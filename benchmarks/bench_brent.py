@@ -1,0 +1,47 @@
+"""E9 — Theorem 1 (Brent): speedup curves for the §6 build.
+
+The paper's processor bounds all come from Brent scheduling of a (T∞, W)
+profile.  We record one real build profile and tabulate T_p, speedup and
+efficiency across p, including the paper's own operating point
+p = n²/log² n.
+"""
+
+import pytest
+
+from benchmarks.common import emit, format_table, log2
+from repro.core.allpairs import ParallelEngine
+from repro.pram import PRAM, brent_time, speedup_table
+from repro.workloads.generators import random_disjoint_rects
+
+N = 64
+
+
+def test_e9_brent_speedup(benchmark):
+    rects = random_disjoint_rects(N, seed=6)
+    pram = PRAM()
+    ParallelEngine(rects, [], pram, leaf_size=6).build()
+    t, w = pram.time, pram.work
+    counts = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536]
+    rows = [
+        [p, tp, round(s, 1), round(e, 3)]
+        for p, tp, s, e in speedup_table(w, t, counts)
+    ]
+    paper_p = max(1, round(N**2 / log2(N) ** 2))
+    rows.append(
+        [f"n²/log²n={paper_p}", brent_time(w, t, paper_p),
+         round(brent_time(w, t, 1) / brent_time(w, t, paper_p), 1), "—"]
+    )
+    text = format_table(
+        ["p", "T_p = ⌈W/p⌉+T∞", "speedup", "efficiency"],
+        rows,
+        title=(
+            f"E9  Brent's theorem on the §6 build (n={N}: T∞={t}, W={w})\n"
+            "linear speedup until W/p ≈ T∞, then saturation at T∞ — the "
+            "paper's processor bounds are exactly the saturation knees"
+        ),
+    )
+    emit("E9_brent", text)
+    tps = [r[1] for r in rows[:-1]]
+    assert tps == sorted(tps, reverse=True)
+    assert tps[-1] <= t + max(1, w // 65536) + 1
+    benchmark(lambda: speedup_table(w, t, counts))

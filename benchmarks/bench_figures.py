@@ -1,0 +1,25 @@
+"""F1–F14 — regenerate every figure of the paper as ASCII art.
+
+The figures are concept drawings (no data); this bench renders all of
+them deterministically and archives them under benchmarks/results/.
+"""
+
+import pathlib
+
+import pytest
+
+from benchmarks.common import RESULTS
+from repro.viz.figures import ALL_FIGURES, figure_text
+
+
+def test_f_all_figures(benchmark):
+    RESULTS.mkdir(exist_ok=True)
+    outdir = RESULTS / "figures"
+    outdir.mkdir(exist_ok=True)
+    texts = {}
+    for k in ALL_FIGURES:
+        texts[k] = figure_text(k)
+        (outdir / f"fig{k:02d}.txt").write_text(texts[k] + "\n")
+    assert len(texts) == 14
+    print(f"\nF1-F14: regenerated {len(texts)} figures into {outdir}")
+    benchmark(lambda: figure_text(6))

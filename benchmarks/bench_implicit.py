@@ -1,0 +1,68 @@
+"""E7 — §7: |P| = N ≫ n, implicit vs explicit representation.
+
+Paper claims: O(N + n²·f(n)) work instead of Θ(N²), with query costs
+unchanged.  Measured: registered-point counts and build times of the
+implicit structure stay flat as the boundary vertex count N grows, while
+the explicit grid structure blows up; the crossover is in the table.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import emit, fit_loglog, format_table
+from repro.core.baseline import GridOracle
+from repro.core.implicit import ImplicitBoundaryStructure
+from repro.pram import PRAM
+from repro.workloads.generators import random_disjoint_rects, staircase_container
+
+N_OBSTACLES = 10
+STEPS = [4, 16, 48, 96]
+
+
+def test_e7_implicit_vs_explicit(benchmark):
+    rects = random_disjoint_rects(N_OBSTACLES, seed=5)
+    rows, Ns, imp_ts, exp_ts = [], [], [], []
+    for steps in STEPS:
+        poly = staircase_container(rects, steps=steps, margin=2 * steps + 8)
+        N = poly.size
+        t0 = time.perf_counter()
+        st = ImplicitBoundaryStructure(poly, rects, PRAM())
+        gates = poly.vertices_loop()[:: max(1, N // 6)]
+        for g in gates:
+            st.length(g, rects[0].sw)
+        t_imp = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        oracle = GridOracle(rects, poly.vertices_loop() + [rects[0].sw])
+        for g in gates:
+            oracle.dist(g, rects[0].sw)
+        t_exp = time.perf_counter() - t0
+        Ns.append(N)
+        imp_ts.append(t_imp)
+        exp_ts.append(t_exp)
+        rows.append(
+            [
+                N,
+                st.registered_points,
+                round(t_imp * 1e3, 1),
+                round(t_exp * 1e3, 1),
+                round(t_exp / t_imp, 2),
+            ]
+        )
+    imp_slope = fit_loglog(Ns, imp_ts)
+    exp_slope = fit_loglog(Ns, exp_ts)
+    text = format_table(
+        ["N=|P|", "registered pts", "implicit ms", "explicit ms", "ratio"],
+        rows,
+        title=(
+            f"E7  §7 implicit representation (n={N_OBSTACLES} fixed, N sweeps)\n"
+            f"measured wall: implicit ~ N^{imp_slope:.2f} (paper: O(N) term), "
+            f"explicit ~ N^{exp_slope:.2f} (paper: N²-ish)"
+        ),
+    )
+    emit("E7_implicit", text)
+    # the implicit registered-point count must not grow with N
+    assert len({r[1] for r in rows}) == 1
+    assert exp_slope > imp_slope + 0.5, "explicit must scale clearly worse"
+    poly = staircase_container(rects, steps=16, margin=40)
+    benchmark(lambda: ImplicitBoundaryStructure(poly, rects, PRAM()))

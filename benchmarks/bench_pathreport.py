@@ -1,0 +1,70 @@
+"""E5 — §8: path reporting cost as a function of k.
+
+Paper claims: an actual path of k segments is reported in O(log n) time by
+⌈k/log n⌉ processors, i.e. O(log n + k) work.  We build comb mazes whose
+shortest paths are forced to weave between alternating teeth (k grows
+linearly with the tooth count) and measure charged work against k; the
+metered parallel time must stay ~logarithmic while k grows.
+"""
+
+import pytest
+
+from benchmarks.common import emit, fit_loglog, format_table
+from repro.core.baseline import path_is_clear, path_length
+from repro.core.pathreport import PathReporter
+from repro.core.sequential import SequentialEngine
+from repro.geometry.primitives import Rect
+from repro.pram import PRAM
+
+
+def comb(m: int) -> list[Rect]:
+    """Alternating long teeth: weaving is forced (going around costs ≫)."""
+    H = 60 * m
+    out = []
+    for i in range(m):
+        if i % 2 == 0:
+            out.append(Rect(4 * i, -H, 4 * i + 2, 10))
+        else:
+            out.append(Rect(4 * i, -10, 4 * i + 2, H))
+    return out
+
+
+SIZES = [2, 4, 8, 16, 32]
+
+
+def test_e5_path_reporting(benchmark):
+    rows, ks, workpts = [], [], []
+    for m in SIZES:
+        rects = comb(m)
+        idx = SequentialEngine(rects).build()
+        pram = PRAM()
+        rep = PathReporter(rects, idx, pram)
+        src = rects[0].nw
+        dst = rects[-1].se if m % 2 == 0 else rects[-1].ne
+        rep.tree(src)  # build the tree outside the measured window
+        before = pram.snapshot()
+        path = rep.path(src, dst)
+        dt, dw = pram.since(before)
+        assert path_is_clear(path, rects)
+        assert path_length(path) == idx.length(src, dst)
+        k = len(path) - 1
+        ks.append(k)
+        workpts.append(dw)
+        rows.append([m, k, dw, round(dw / max(1, k), 2), dt])
+    slope = fit_loglog(ks, workpts)
+    text = format_table(
+        ["teeth", "k (segments)", "report work", "work/k", "simT"],
+        rows,
+        title=(
+            "E5  §8 path reporting — paper: O(log n + k) work, O(log n) time\n"
+            f"measured: work ~ k^{slope:.2f} (paper slope 1.0), time ~flat"
+        ),
+    )
+    emit("E5_pathreport", text)
+    assert 0.5 < slope < 1.5
+    assert rows[-1][4] <= 4 * rows[0][4] + 8  # time stays ~flat while k grows
+    rects = comb(8)
+    idx = SequentialEngine(rects).build()
+    rep = PathReporter(rects, idx, PRAM())
+    rep.tree(rects[0].nw)
+    benchmark(lambda: rep.path(rects[0].nw, rects[-1].se))

@@ -1,0 +1,64 @@
+"""E4 — abstract + §6.4: query costs.
+
+Paper claims: one processor answers a vertex-pair length in O(1) and an
+arbitrary-pair length in O(log n).  Measured: wall-clock nanoseconds per
+query across n (flat for vertex pairs, logarithmic for arbitrary pairs).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import emit, fit_loglog, format_table, log2
+from repro.core.query import QueryStructure
+from repro.core.sequential import SequentialEngine
+from repro.pram import PRAM
+from repro.workloads.generators import random_disjoint_rects, random_free_points
+
+SIZES = [16, 32, 64, 128]
+
+
+def _time_per_call(fn, pairs, repeat=3):
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        for p, q in pairs:
+            fn(p, q)
+        best = min(best, (time.perf_counter() - t0) / len(pairs))
+    return best * 1e6  # µs
+
+
+def test_e4_query_costs(benchmark):
+    rows, ns, vertex_us, arb_us = [], [], [], []
+    for n in SIZES:
+        rects = random_disjoint_rects(n, seed=2)
+        idx = SequentialEngine(rects).build()
+        qs = QueryStructure(rects, idx, PRAM())
+        verts = idx.points
+        vpairs = [(verts[i], verts[-1 - i]) for i in range(min(200, len(verts) // 2))]
+        free = random_free_points(rects, 40, seed=3)
+        apairs = [(free[i], free[(i + 7) % len(free)]) for i in range(len(free))]
+        v_us = _time_per_call(idx.length, vpairs)
+        a_us = _time_per_call(qs.length, apairs)
+        ns.append(n)
+        vertex_us.append(v_us)
+        arb_us.append(a_us)
+        rows.append([n, round(v_us, 2), round(a_us, 1), round(a_us / log2(n), 2)])
+    v_slope = fit_loglog(ns, vertex_us)
+    a_slope = fit_loglog(ns, arb_us)
+    text = format_table(
+        ["n", "vertex-pair µs (O(1))", "arbitrary µs (O(log n))", "arb/log n"],
+        rows,
+        title=(
+            "E4  query latencies — paper: O(1) vertex pairs, O(log n) arbitrary\n"
+            f"measured slopes: vertex ~ n^{v_slope:.2f} (flat target), "
+            f"arbitrary ~ n^{a_slope:.2f} (weak growth target)"
+        ),
+    )
+    emit("E4_queries", text)
+    assert v_slope < 0.35, "vertex-pair lookups must stay ~flat in n"
+    rects = random_disjoint_rects(64, seed=2)
+    idx = SequentialEngine(rects).build()
+    qs = QueryStructure(rects, idx, PRAM())
+    free = random_free_points(rects, 2, seed=4)
+    benchmark(lambda: qs.length(free[0], free[1]))

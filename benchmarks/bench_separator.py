@@ -1,0 +1,65 @@
+"""E1 — Theorem 2: staircase separator quality and cost.
+
+Paper claims: a clear separator with ≤ 7n/8 obstacles on each side and
+O(n) segments, in O(log n) time with O(n) processors.  Measured: worst
+balance fraction, segments/n, simulated time vs log n, across workloads.
+"""
+
+import pytest
+
+from benchmarks.common import emit, fit_loglog, format_table, log2
+from repro.core.separator import staircase_separator
+from repro.pram import PRAM
+from repro.workloads.generators import WORKLOAD_MODES, random_disjoint_rects
+
+SIZES = [64, 256, 1024, 2048]
+SEEDS = range(3)
+
+
+def test_e1_separator_quality(benchmark):
+    rows = []
+    for mode in WORKLOAD_MODES:
+        for n in SIZES:
+            worst_frac = 0.0
+            worst_segs = 0
+            time_sum = work_sum = 0
+            for seed in SEEDS:
+                rects = random_disjoint_rects(n, seed=seed, mode=mode)
+                pram = PRAM()
+                sep = staircase_separator(rects, pram)
+                frac = sep.max_side / n
+                worst_frac = max(worst_frac, frac)
+                worst_segs = max(worst_segs, sep.staircase.num_segments)
+                time_sum += pram.time
+                work_sum += pram.work
+            rows.append(
+                [
+                    mode,
+                    n,
+                    round(worst_frac, 3),
+                    0.875,
+                    worst_segs,
+                    2 * n + 2,
+                    time_sum // len(SEEDS),
+                    round(time_sum / len(SEEDS) / log2(n), 1),
+                    work_sum // len(SEEDS),
+                ]
+            )
+    slope = fit_loglog(
+        [r[1] for r in rows if r[0] == "uniform"],
+        [r[8] for r in rows if r[0] == "uniform"],
+    )
+    text = format_table(
+        ["mode", "n", "worst max-side/n", "paper bound", "segs", "paper 2n+2",
+         "simT", "simT/log n", "work"],
+        rows,
+        title="E1  Theorem 2: separator balance / size / cost "
+        f"(uniform work slope ~ n^{slope:.2f}, paper O(n log n) incl. sort)",
+    )
+    emit("E1_separator", text)
+    for r in rows:
+        if r[1] >= 64:
+            assert r[2] <= 0.875 + 0.02, r  # ≤ 7n/8 with nudge slack
+        assert r[4] <= r[5] + 2, r
+    rects = random_disjoint_rects(512, seed=0)
+    benchmark(lambda: staircase_separator(rects, PRAM()))

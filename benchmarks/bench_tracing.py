@@ -1,0 +1,66 @@
+"""E10 — Lemma 6: path tracing cost, and Lemma 12's single crossing.
+
+Paper claims: an XY(p) path is computed in O(log n) time with O(n)
+processors (forest construction), and any traced path crosses a clear
+staircase at most once.  Measured: forest build work ~ n log n, per-trace
+work ~ path size, crossing counts always ≤ 1.
+"""
+
+import pytest
+
+from benchmarks.common import emit, fit_loglog, format_table, log2
+from repro.core.separator import staircase_separator
+from repro.core.tracing import TraceForests
+from repro.pram import PRAM
+from repro.workloads.generators import random_disjoint_rects, random_free_points
+
+SIZES = [64, 256, 1024]
+
+
+def test_e10_tracing(benchmark):
+    rows, ns, works = [], [], []
+    for n in SIZES:
+        rects = random_disjoint_rects(n, seed=7)
+        pram = PRAM()
+        forests = TraceForests(rects, pram)
+        build_t, build_w = pram.time, pram.work
+        sep = staircase_separator(rects, PRAM(), forests)
+        max_cross = 0
+        trace_work = 0
+        pts = random_free_points(rects, 20, seed=8)
+        for p in pts:
+            for mode in ("NE", "SW", "ES", "WN"):
+                snap = pram.snapshot()
+                tp = forests.trace(p, mode, pram)
+                trace_work += pram.since(snap)[1]
+                flips = 0
+                prev = 0
+                for q in tp.points:
+                    s = sep.staircase.side_of(q)
+                    if s != 0 and prev != 0 and s != prev:
+                        flips += 1
+                    if s != 0:
+                        prev = s
+                max_cross = max(max_cross, flips)
+        ns.append(n)
+        works.append(build_w)
+        rows.append(
+            [n, build_t, build_w, round(build_w / (n * log2(n)), 1),
+             trace_work // (len(pts) * 4), max_cross]
+        )
+    slope = fit_loglog(ns, works)
+    text = format_table(
+        ["n", "forest simT", "forest work", "work/(n log n)",
+         "avg trace work", "max crossings (≤1)"],
+        rows,
+        title=(
+            "E10  Lemma 6 tracing forests + Lemma 12 single crossing\n"
+            f"measured forest work ~ n^{slope:.2f} (paper n log n => ~1.1)"
+        ),
+    )
+    emit("E10_tracing", text)
+    assert all(r[5] <= 1 for r in rows)
+    assert slope < 1.5
+    rects = random_disjoint_rects(256, seed=7)
+    forests = TraceForests(rects, PRAM())
+    benchmark(lambda: forests.trace((0, 0), "NE", PRAM()))

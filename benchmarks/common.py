@@ -1,0 +1,70 @@
+"""Shared helpers for the experiment benchmarks (E1–E10, F1–F14).
+
+Every benchmark prints and writes a table into ``benchmarks/results/``:
+one row per sweep point, with the measured quantity next to the paper's
+predicted scaling column, plus a fitted log-log slope.  EXPERIMENTS.md is
+the narrative index over these tables.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+from typing import Sequence
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def fit_loglog(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x)."""
+    pts = [(math.log(x), math.log(y)) for x, y in zip(xs, ys) if x > 0 and y > 0]
+    if len(pts) < 2:
+        return float("nan")
+    n = len(pts)
+    sx = sum(p[0] for p in pts)
+    sy = sum(p[1] for p in pts)
+    sxx = sum(p[0] * p[0] for p in pts)
+    sxy = sum(p[0] * p[1] for p in pts)
+    denom = n * sxx - sx * sx
+    return (n * sxy - sx * sy) / denom if denom else float("nan")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    cols = len(headers)
+    srows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in srows)) if srows else len(headers[c])
+        for c in range(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in srows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v != v:  # nan
+            return "nan"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        return f"{v:.3g}" if abs(v) < 10 else f"{v:.1f}"
+    if isinstance(v, int) and abs(v) >= 10000:
+        return f"{v:,}"
+    return str(v)
+
+
+def emit(name: str, text: str) -> str:
+    """Print the table and persist it under benchmarks/results/."""
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def log2(n: float) -> float:
+    return math.log2(max(2.0, n))

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Tour of the simulated CREW-PRAM (the paper's machine model).
+
+Shows the metered primitives, a CREW violation being caught, and Brent's
+theorem (Theorem 1) turning one (time, work) profile into running times
+for any processor count — which is how every processor bound in the paper
+should be read.
+
+Run:  python examples/pram_playground.py
+"""
+
+import operator
+
+from repro.errors import ConcurrentWriteError
+from repro.pram import (
+    PRAM,
+    SharedArray,
+    brent_time,
+    parallel_sort,
+    scan,
+    speedup_table,
+)
+from repro.workloads.generators import random_disjoint_rects
+
+
+def main() -> None:
+    pram = PRAM("demo")
+    values = list(range(1000, 0, -1))
+
+    parallel_sort(values, pram=pram)
+    print(f"Cole-style sort of 1000 items:   time={pram.time:>3}, work={pram.work}")
+
+    snap = pram.snapshot()
+    scan(values, operator.add, 0, pram=pram)
+    dt, dw = pram.since(snap)
+    print(f"parallel prefix over 1000 items: time={dt:>3}, work={dw}")
+
+    # CREW means concurrent reads are fine, concurrent writes are not.
+    crew = PRAM("crew", detect_conflicts=True)
+    arr = SharedArray(crew, 8)
+    crew.step(2)
+    arr[3] = "first write"
+    try:
+        arr[3] = "second write, same step"
+    except ConcurrentWriteError as exc:
+        print(f"\nCREW checker caught: {exc}")
+
+    # Brent's theorem on a real build profile.
+    from repro.core.allpairs import ParallelEngine
+
+    rects = random_disjoint_rects(48, seed=3)
+    build_pram = PRAM("build")
+    ParallelEngine(rects, [], build_pram, leaf_size=6).build()
+    t, w = build_pram.time, build_pram.work
+    print(f"\n§6 build on n={len(rects)}: T∞={t}, W={w}")
+    print(f"{'p':>8} {'T_p':>10} {'speedup':>9} {'efficiency':>10}")
+    for p, tp, s, e in speedup_table(w, t, [1, 4, 16, 64, 256, 1024, 4096]):
+        print(f"{p:>8} {tp:>10} {s:>9.1f} {e:>10.2f}")
+    n = len(rects)
+    paper_p = max(1, (n * n) // max(1, t))
+    print(f"\npaper-style processor count W/T∞ ≈ {w // max(1, t)} "
+          f"(the paper's O(n²) would be ~{n * n})")
+    print(f"T at that p: {brent_time(w, t, max(1, w // max(1, t)))} ≈ 2·T∞ = {2 * t}")
+    del paper_p
+
+
+if __name__ == "__main__":
+    main()

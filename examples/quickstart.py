@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: build the structure, query lengths, report a path.
+
+Reproduces, end to end, what the paper's data structure offers:
+O(1) vertex-pair lengths, O(log n) arbitrary-point lengths, and actual
+shortest-path reporting — on a small scene you can eyeball.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Rect, ShortestPathIndex
+from repro.core.baseline import path_length
+from repro.viz.ascii import render_scene
+
+
+def main() -> None:
+    # A little courtyard of five obstacles.
+    rects = [
+        Rect(4, 4, 10, 9),
+        Rect(14, 12, 24, 18),
+        Rect(23, 5, 34, 12),
+        Rect(6, 17, 14, 27),
+        Rect(28, 21, 36, 26),
+    ]
+
+    # Build on the simulated CREW-PRAM (the paper's §5/§6 engine).
+    idx = ShortestPathIndex.build(rects, engine="parallel")
+    t, w = idx.build_stats()
+    print(f"built index over {len(idx.vertices())} vertices "
+          f"(simulated parallel time={t}, work={w})\n")
+
+    # O(1) vertex-to-vertex length queries.
+    a, b = rects[0].sw, rects[4].ne  # (4,4) -> (36,26)
+    print(f"length {a} -> {b}: {idx.length(a, b)}  (O(1) matrix lookup)")
+
+    # O(log n) arbitrary-point queries (§6.4).
+    p, q = (0, 0), (38, 28)
+    print(f"length {p} -> {q}: {idx.length(p, q)}  (O(log n) ray shoots)")
+
+    # Actual shortest path (§8).
+    path = idx.shortest_path(a, b)
+    print(f"path   {a} -> {b}: {path}")
+    assert path_length(path) == idx.length(a, b)
+
+    print()
+    print(render_scene(rects, paths=[path], points=[(a, "A"), (b, "B")],
+                       title="shortest A->B path (*) among obstacles (#)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Regenerate all 14 paper figures as ASCII drawings.
+
+Run:  python examples/render_figures.py [figure-number]
+Writes figures/figN.txt and prints them.
+"""
+
+import pathlib
+import sys
+
+from repro.viz.figures import ALL_FIGURES, figure_text
+
+
+def main() -> None:
+    which = [int(sys.argv[1])] if len(sys.argv) > 1 else list(ALL_FIGURES)
+    outdir = pathlib.Path(__file__).resolve().parent.parent / "figures"
+    outdir.mkdir(exist_ok=True)
+    for k in which:
+        text = figure_text(k)
+        (outdir / f"fig{k:02d}.txt").write_text(text + "\n")
+        print(text)
+        print()
+    print(f"wrote {len(which)} figure(s) to {outdir}/")
+
+
+if __name__ == "__main__":
+    main()

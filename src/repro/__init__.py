@@ -1,0 +1,65 @@
+"""repro — Parallel rectilinear shortest paths with rectangular obstacles.
+
+A from-scratch reproduction of Atallah & Chen (SPAA 1990 / CGTA 1991) on a
+simulated CREW-PRAM.  See README.md for a tour and DESIGN.md for the
+paper-to-module map.
+
+High-level entry point::
+
+    from repro import ShortestPathIndex
+    idx = ShortestPathIndex.build(rects)
+    idx.length(p, q)          # O(1) for obstacle vertices
+    idx.shortest_path(p, q)   # actual polyline
+
+Sub-packages: :mod:`repro.geometry` (exact rectilinear geometry),
+:mod:`repro.pram` (metered CREW-PRAM simulator), :mod:`repro.monge`
+(Monge (min,+) machinery), :mod:`repro.core` (the paper's algorithms),
+:mod:`repro.workloads` (scene generators), :mod:`repro.viz` (ASCII
+renderings, including the paper's figures).
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConcurrentWriteError,
+    ConvexityError,
+    DisjointnessError,
+    GeometryError,
+    MongeError,
+    PRAMError,
+    QueryError,
+    ReproError,
+)
+from repro.geometry.primitives import Point, Rect, dist
+
+__all__ = [
+    "__version__",
+    "Point",
+    "Rect",
+    "dist",
+    "ReproError",
+    "GeometryError",
+    "DisjointnessError",
+    "ConvexityError",
+    "PRAMError",
+    "ConcurrentWriteError",
+    "MongeError",
+    "QueryError",
+]
+
+
+def __getattr__(name: str):
+    """Lazy top-level exports for the heavyweight subsystems."""
+    if name == "ShortestPathIndex":
+        from repro.core.api import ShortestPathIndex
+
+        return ShortestPathIndex
+    if name == "GridOracle":
+        from repro.core.baseline import GridOracle
+
+        return GridOracle
+    if name == "PRAM":
+        from repro.pram.machine import PRAM
+
+        return PRAM
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

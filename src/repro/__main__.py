@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``                        build + query + render on a random scene
+``query SCENE.json P Q``        length/path between two points
+``figures [N]``                 print paper figure(s)
+``bench-info SCENE.json``       build and report simulated PRAM costs
+
+Scene files are JSON: ``{"rects": [[xlo, ylo, xhi, yhi], ...]}``; points
+are given as ``x,y``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro import Rect, ShortestPathIndex
+from repro.pram import PRAM, speedup_table
+from repro.viz.ascii import render_scene
+from repro.workloads.generators import random_disjoint_rects
+
+
+def _load_scene(path: str) -> list[Rect]:
+    with open(path) as fh:
+        data = json.load(fh)
+    try:
+        return [Rect(*map(int, row)) for row in data["rects"]]
+    except (KeyError, TypeError) as exc:
+        raise SystemExit(f"{path}: expected {{'rects': [[xlo,ylo,xhi,yhi],...]}}: {exc}")
+
+
+def _parse_point(text: str) -> tuple[int, int]:
+    try:
+        x, y = text.split(",")
+        return (int(x), int(y))
+    except ValueError:
+        raise SystemExit(f"bad point {text!r}: expected 'x,y'")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    rects = random_disjoint_rects(args.n, seed=args.seed)
+    idx = ShortestPathIndex.build(rects, engine=args.engine)
+    t, w = idx.build_stats()
+    vs = idx.vertices()
+    p, q = vs[0], vs[-1]
+    path = idx.shortest_path(p, q)
+    print(f"n={args.n} obstacles, engine={args.engine}: simulated T={t}, W={w}")
+    print(f"length {p} -> {q} = {idx.length(p, q)}; path has {len(path)-1} segments")
+    print(render_scene(rects, paths=[path], points=[(p, 'A'), (q, 'B')],
+                       title="demo scene"))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    rects = _load_scene(args.scene)
+    p = _parse_point(args.p)
+    q = _parse_point(args.q)
+    idx = ShortestPathIndex.build(rects, extra_points=[p, q], engine=args.engine)
+    print(f"length = {idx.length(p, q)}")
+    if args.path:
+        path = idx.shortest_path(p, q)
+        print("path   =", " -> ".join(map(str, path)))
+        if args.render:
+            print(render_scene(rects, paths=[path], points=[(p, 'A'), (q, 'B')]))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.viz.figures import ALL_FIGURES, figure_text
+
+    which = [args.n] if args.n else list(ALL_FIGURES)
+    for k in which:
+        print(figure_text(k))
+        print()
+    return 0
+
+
+def cmd_bench_info(args: argparse.Namespace) -> int:
+    rects = _load_scene(args.scene)
+    pram = PRAM("cli")
+    ShortestPathIndex.build(rects, engine="parallel", pram=pram)
+    print(f"n={len(rects)}: simulated parallel time T={pram.time}, work W={pram.work}")
+    print(f"{'p':>8} {'T_p':>12} {'speedup':>9}")
+    for p_, tp, s, _ in speedup_table(pram.work, pram.time, [1, 16, 256, 4096]):
+        print(f"{p_:>8} {tp:>12} {s:>9.1f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Parallel rectilinear shortest paths with rectangular "
+        "obstacles (Atallah & Chen 1990/91)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    d = sub.add_parser("demo", help="random scene demo")
+    d.add_argument("-n", type=int, default=12)
+    d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--engine", choices=["parallel", "sequential"], default="parallel")
+    d.set_defaults(fn=cmd_demo)
+
+    q = sub.add_parser("query", help="query a scene file")
+    q.add_argument("scene")
+    q.add_argument("p")
+    q.add_argument("q")
+    q.add_argument("--path", action="store_true")
+    q.add_argument("--render", action="store_true")
+    q.add_argument("--engine", choices=["parallel", "sequential"], default="sequential")
+    q.set_defaults(fn=cmd_query)
+
+    f = sub.add_parser("figures", help="print paper figure(s)")
+    f.add_argument("n", nargs="?", type=int)
+    f.set_defaults(fn=cmd_figures)
+
+    b = sub.add_parser("bench-info", help="simulated PRAM costs for a scene")
+    b.add_argument("scene")
+    b.set_defaults(fn=cmd_bench_info)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

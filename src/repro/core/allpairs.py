@@ -1,0 +1,514 @@
+"""The parallel all-pairs engine (§5 + §6.3 of the paper, simulated).
+
+Divide-and-conquer on staircase separators (Theorem 2), conquering with
+(min,+) products through crossing candidates on the separator — the
+Monge-multiply conquer of Theorem 3 / Lemma 5, with the paper's flow
+pipeline replaced by explicit interface accumulation (substitution table in
+DESIGN.md §2).
+
+Correctness skeleton (mirrors §4's lemma toolkit):
+
+* Each recursion node solves the *free-plane* all-pairs problem among its
+  tracked points ``T_v`` avoiding only its own obstacles ``R_v``.
+* **Soundness** — for any ``z`` on the clear separator,
+  ``D_L(a,z) + D_R(z,b) ≥ dist_{R_v}(a,b)``: an ``R_L``-avoiding path can be
+  shortcut along the separator (staircases are L1-geodesics, the paper's
+  Containment Lemma 10 argument) into a weakly-left path avoiding all of
+  ``R_v``, and symmetrically on the right.
+* **Completeness** — some optimal path crosses the separator in one
+  connected component (Single Intersection, Lemma 11).  The functions
+  ``t ↦ dist_{R_L}(a, Sep(t))`` and ``t ↦ dist_{R_R}(Sep(t), b)`` are
+  piecewise linear in arc length with slopes ±1 and kinks only at (a) the
+  crossings of Hanan grid lines through obstacle corners with the
+  separator, (b) separator corners, and (c) the endpoint's own grid-line
+  projections.  Hence the optimal crossing is found by a (min,+) product
+  over the O(n_v) core candidates (a)+(b) plus O(1) per-pair candidates
+  (c), evaluated directly with a visibility test.
+
+The per-node core candidate set is ``O(n_v)``, so interfaces grow only
+additively along a root-leaf path; measured totals are reported in
+EXPERIMENTS.md E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.baseline import GridOracle
+from repro.core.separator import staircase_separator
+from repro.errors import GeometryError, QueryError
+from repro.geometry.primitives import Point, Rect, bbox_of_points, dist, validate_disjoint
+from repro.geometry.rayshoot import RayShooter
+from repro.geometry.staircase import Staircase
+from repro.monge.matrix import is_monge
+from repro.monge.multiply import minplus_auto, minplus_monge, minplus_naive
+from repro.pram.machine import PRAM, ambient
+
+INF = float("inf")
+
+#: stop recursing below this many obstacles (Theorem 2 guarantees balance
+#: only for n ≥ 8; smaller sets are brute-forced on the Hanan grid)
+DEFAULT_LEAF_SIZE = 6
+
+
+@dataclass
+class BuildStats:
+    """Instrumentation for the experiments (E3)."""
+
+    nodes: int = 0
+    leaves: int = 0
+    max_interface: int = 0
+    max_tracked: int = 0
+    separator_fallbacks: int = 0
+    crossing_candidates: int = 0
+    monge_fast_blocks: int = 0
+    conquer_pairs: int = 0
+    per_level_points: dict = field(default_factory=dict)
+
+
+class DistanceIndex:
+    """All-pairs length matrix over a fixed point set with O(1) lookups.
+
+    This is the data structure of the paper's abstract: one processor
+    obtains any vertex-pair length in constant time.
+    """
+
+    def __init__(self, points: Sequence[Point], matrix: np.ndarray) -> None:
+        self.points = list(points)
+        self.matrix = matrix
+        self.index = {p: i for i, p in enumerate(self.points)}
+
+    def length(self, p: Point, q: Point) -> int:
+        try:
+            i = self.index[p]
+            j = self.index[q]
+        except KeyError as exc:
+            raise QueryError(f"{exc.args[0]} is not an indexed point") from None
+        v = self.matrix[i, j]
+        return int(v) if np.isfinite(v) else v  # type: ignore[return-value]
+
+    def has_point(self, p: Point) -> bool:
+        return p in self.index
+
+    def submatrix(self, pts: Sequence[Point]) -> np.ndarray:
+        ids = [self.index[p] for p in pts]
+        return self.matrix[np.ix_(ids, ids)]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def _arc_pos(p: Point, increasing: bool) -> int:
+    """Arc-length parameter along a monotone staircase (x+y or x−y)."""
+    return p[0] + p[1] if increasing else p[0] - p[1]
+
+
+class ParallelEngine:
+    """Builds the all-pairs structure among obstacle vertices (plus any
+    extra points) on the simulated CREW-PRAM."""
+
+    def __init__(
+        self,
+        rects: Sequence[Rect],
+        extra_points: Sequence[Point] = (),
+        pram: Optional[PRAM] = None,
+        leaf_size: int = DEFAULT_LEAF_SIZE,
+        validate: bool = True,
+        extra_chains: Sequence[Sequence[Point]] = (),
+        monge_dispatch: bool = True,
+    ) -> None:
+        self.rects = list(rects)
+        if validate:
+            validate_disjoint(self.rects)
+        self.extra_points = list(dict.fromkeys(extra_points))
+        for chain in extra_chains:
+            for p in chain:
+                if p not in self.extra_points:
+                    self.extra_points.append(p)
+        for p in self.extra_points:
+            if any(r.contains_interior(p) for r in self.rects):
+                raise GeometryError(f"extra point {p} is inside an obstacle")
+        self.pram = pram or ambient()
+        self.leaf_size = max(2, leaf_size)
+        self.stats = BuildStats()
+        # chain provenance: points known to lie, in order, on a common
+        # monotone staircase.  This is the paper's boundary-partitioning
+        # discipline (Lemmas 1/5): matrix blocks indexed by one chain are
+        # Monge and take the SMAWK path in the conquer products.
+        self.monge_dispatch = monge_dispatch
+        self._chain_tags: dict[Point, tuple[int, int]] = {}
+        self._next_chain_id = 0
+        for chain in extra_chains:
+            cid = self._fresh_chain_id()
+            for k, p in enumerate(chain):
+                self._chain_tags[p] = (cid, k)
+
+    def _fresh_chain_id(self) -> int:
+        self._next_chain_id += 1
+        return self._next_chain_id
+
+    # ------------------------------------------------------------------
+    def build(self) -> DistanceIndex:
+        """Compute the index; simulated time O(log² n)-ish, see E3."""
+        if not self.rects:
+            pts = list(self.extra_points)
+            m = np.zeros((len(pts), len(pts)))
+            for i, p in enumerate(pts):
+                for j, q in enumerate(pts):
+                    m[i, j] = dist(p, q)
+            return DistanceIndex(pts, m)
+        idx = list(range(len(self.rects)))
+        pts, mat = self._solve(idx, self.extra_points, self.pram, depth=0)
+        return DistanceIndex(pts, mat)
+
+    # ------------------------------------------------------------------
+    def _tracked_points(self, rect_idx: list[int], interface: Sequence[Point]) -> list[Point]:
+        seen: dict[Point, None] = {}
+        for i in rect_idx:
+            for v in self.rects[i].vertices:
+                seen.setdefault(v, None)
+        for p in interface:
+            seen.setdefault(p, None)
+        return list(seen)
+
+    def _solve(
+        self,
+        rect_idx: list[int],
+        interface: Sequence[Point],
+        pram: PRAM,
+        depth: int,
+    ) -> tuple[list[Point], np.ndarray]:
+        self.stats.nodes += 1
+        self.stats.max_interface = max(self.stats.max_interface, len(interface))
+        pts = self._tracked_points(rect_idx, interface)
+        self.stats.max_tracked = max(self.stats.max_tracked, len(pts))
+        lvl = self.stats.per_level_points
+        lvl[depth] = lvl.get(depth, 0) + len(pts)
+        if len(rect_idx) <= self.leaf_size:
+            return self._leaf(rect_idx, pts, pram)
+        sub_rects = [self.rects[i] for i in rect_idx]
+        sep = staircase_separator(sub_rects, pram)
+        if not sep.upper or not sep.lower:
+            self.stats.separator_fallbacks += 1
+            return self._leaf(rect_idx, pts, pram)
+        chain = sep.staircase
+        zs = self._crossing_candidates(chain, sub_rects, pts, pram)
+        if not zs:
+            self.stats.separator_fallbacks += 1
+            return self._leaf(rect_idx, pts, pram)
+        upper_idx = [rect_idx[i] for i in sep.upper]
+        lower_idx = [rect_idx[i] for i in sep.lower]
+        pram.step(len(pts))
+        side_of = {p: chain.side_of(p) for p in pts}
+        up_iface = list(dict.fromkeys(
+            [p for p in pts if side_of[p] >= 0] + zs))
+        lo_iface = list(dict.fromkeys(
+            [p for p in pts if side_of[p] <= 0] + zs))
+        (ptsU, matU), (ptsL, matL) = pram.parallel(
+            [
+                lambda m, ui=upper_idx, si=up_iface: self._solve(ui, si, m, depth + 1),
+                lambda m, li=lower_idx, si=lo_iface: self._solve(li, si, m, depth + 1),
+            ]
+        )
+        return self._conquer(
+            pts, side_of, chain, zs, sub_rects, (ptsU, matU), (ptsL, matL), pram
+        )
+
+    # ------------------------------------------------------------------
+    def _leaf(
+        self, rect_idx: list[int], pts: list[Point], pram: PRAM
+    ) -> tuple[list[Point], np.ndarray]:
+        """Base case: solve the few-obstacle subproblem directly.
+
+        Uses the §9 monotone-DAG engine (quadratic in the point count and
+        independently validated); charged as the honest PRAM equivalent:
+        one independent single-pair computation per point pair, each a
+        [11]-style sweep over the ``c`` leaf obstacles — time
+        ``O(log m + c log c)``, work ``O(m² · c log c)``.  With the
+        constant leaf size this keeps the global Θ(log² n) time; with
+        ``c = n`` (no recursion) it exposes the Θ(n³)-work/Θ(n log n)-time
+        flat solve the paper's recursion exists to avoid (ablation E11).
+        """
+        self.stats.leaves += 1
+        sub = [self.rects[i] for i in rect_idx]
+        m = len(pts)
+        if not sub:
+            mat = np.zeros((m, m))
+            for i, p in enumerate(pts):
+                for j, q in enumerate(pts):
+                    mat[i, j] = dist(p, q)
+            pram.step(m * m)
+            return pts, mat
+        # local import to avoid a module cycle (sequential builds on the
+        # DistanceIndex defined here)
+        from repro.core.sequential import SequentialEngine
+        from repro.pram.machine import pram_scope
+
+        corner_set = {v for r in sub for v in r.vertices}
+        extras = [p for p in pts if p not in corner_set]
+        with pram_scope(PRAM("leaf-scratch")):
+            # the sequential solver's internal metering is *not* the cost a
+            # PRAM would pay here; the summary charge below is
+            leaf_index = SequentialEngine(sub, extras, validate=False).build()
+        mat = leaf_index.matrix[
+            np.ix_(
+                [leaf_index.index[p] for p in pts],
+                [leaf_index.index[p] for p in pts],
+            )
+        ]
+        lg = pram.log2ceil(m or 1)
+        c = len(sub)
+        clogc = max(1, c * max(1, (max(c - 1, 1)).bit_length()))
+        pram.charge(time=lg + clogc, work=m * m * clogc, width=m * m)
+        return pts, mat
+
+    # ------------------------------------------------------------------
+    def _crossing_candidates(
+        self,
+        chain: Staircase,
+        sub_rects: list[Rect],
+        pts: list[Point],
+        pram: PRAM,
+    ) -> list[Point]:
+        """Core crossing candidates: obstacle grid-line crossings with the
+        separator, plus separator corners (clipped to the scene box)."""
+        xlo, ylo, xhi, yhi = bbox_of_points(
+            [v for r in sub_rects for v in (r.sw, r.ne)] + list(pts)
+        )
+        xs = sorted({r.xlo for r in sub_rects} | {r.xhi for r in sub_rects})
+        ys = sorted({r.ylo for r in sub_rects} | {r.yhi for r in sub_rects})
+        out: dict[Point, None] = {}
+        for x in xs:
+            for p in chain.crossings_with_vline(x):
+                if ylo <= p[1] <= yhi:
+                    out.setdefault(p, None)
+        for y in ys:
+            for p in chain.crossings_with_hline(y):
+                if xlo <= p[0] <= xhi:
+                    out.setdefault(p, None)
+        for p in chain.clip_points_to_bbox(xlo, ylo, xhi, yhi):
+            out.setdefault(p, None)
+        pram.charge(
+            time=pram.log2ceil(len(xs) + len(ys) + 1),
+            work=2 * (len(xs) + len(ys)) + len(chain.pts),
+            width=len(xs) + len(ys),
+        )
+        zs = sorted(out, key=lambda p: _arc_pos(p, chain.increasing))
+        cid = self._fresh_chain_id()
+        for k, z in enumerate(zs):
+            self._chain_tags.setdefault(z, (cid, k))
+        self.stats.crossing_candidates += len(zs)
+        return zs
+
+    # ------------------------------------------------------------------
+    def _conquer(
+        self,
+        pts: list[Point],
+        side_of: dict[Point, int],
+        chain: Staircase,
+        zs: list[Point],
+        sub_rects: list[Rect],
+        upper: tuple[list[Point], np.ndarray],
+        lower: tuple[list[Point], np.ndarray],
+        pram: PRAM,
+    ) -> tuple[list[Point], np.ndarray]:
+        ptsU, matU = upper
+        ptsL, matL = lower
+        iu = {p: i for i, p in enumerate(ptsU)}
+        il = {p: i for i, p in enumerate(ptsL)}
+        m = len(pts)
+        pidx = {p: i for i, p in enumerate(pts)}
+        out = np.full((m, m), INF)
+        rows_u = [p for p in pts if side_of[p] >= 0]
+        rows_l = [p for p in pts if side_of[p] <= 0]
+        # same-side pairs come straight from the children (Containment)
+        uid = [iu[p] for p in rows_u]
+        lid = [il[p] for p in rows_l]
+        sel_u = [pidx[p] for p in rows_u]
+        sel_l = [pidx[p] for p in rows_l]
+        out[np.ix_(sel_u, sel_u)] = matU[np.ix_(uid, uid)]
+        out[np.ix_(sel_l, sel_l)] = np.minimum(
+            out[np.ix_(sel_l, sel_l)], matL[np.ix_(lid, lid)]
+        )
+        self.stats.conquer_pairs += len(rows_u) * len(rows_l)
+        # cross pairs through the separator
+        t = np.array([_arc_pos(z, chain.increasing) for z in zs], dtype=float)
+        zu = [iu[z] for z in zs]
+        zl = [il[z] for z in zs]
+        DU = matU[np.ix_(uid, zu)]  # upper-side point -> separator
+        DL = matL[np.ix_(zl, lid)]  # separator -> lower-side point
+        cross = self._cross_product(DU, DL, rows_l, pram)
+        cross = self._apply_projection_specials(
+            cross, rows_u, rows_l, chain, zs, t, DU, DL, sub_rects, pram
+        )
+        cur = out[np.ix_(sel_u, sel_l)]
+        out[np.ix_(sel_u, sel_l)] = np.minimum(cur, cross)
+        out[np.ix_(sel_l, sel_u)] = out[np.ix_(sel_u, sel_l)].T
+        np.fill_diagonal(out, 0.0)
+        return pts, out
+
+    # ------------------------------------------------------------------
+    def _cross_product(
+        self,
+        DU: np.ndarray,
+        DL: np.ndarray,
+        cols: list[Point],
+        pram: PRAM,
+    ) -> np.ndarray:
+        """(min,+) product ``DU * DL`` with chain-grouped column dispatch.
+
+        Columns with a common chain provenance are processed together in
+        chain order: the block ``DL[Z × group]`` is then Monge whenever
+        Lemma 2's side conditions hold (verified at runtime, O(|Z|·|g|)),
+        so those groups take the SMAWK path of Lemma 3.  Ungrouped columns
+        (obstacle vertices) fall back to the vectorised naive product —
+        the quantified substitution of DESIGN.md §2.
+        """
+        if not self.monge_dispatch:
+            return minplus_naive(DU, DL, pram)
+        groups: dict[int, list[int]] = {}
+        scattered: list[int] = []
+        for j, p in enumerate(cols):
+            tag = self._chain_tags.get(p)
+            if tag is None:
+                scattered.append(j)
+            else:
+                groups.setdefault(tag[0], []).append(j)
+        out = np.full((DU.shape[0], DL.shape[1]), INF)
+
+        def group_job(idxs: list[int]):
+            def run(m: PRAM):
+                block = DL[:, idxs]
+                m.charge(time=1, work=block.size, width=block.size)  # certify
+                if is_monge(block):
+                    self.stats.monge_fast_blocks += 1
+                    return idxs, minplus_monge(DU, block, m, check=False)
+                return idxs, minplus_naive(DU, block, m)
+
+            return run
+
+        jobs = []
+        for cid, idxs in groups.items():
+            idxs.sort(key=lambda j: self._chain_tags[cols[j]][1])
+            jobs.append(group_job(idxs))
+        if scattered:
+            jobs.append(
+                lambda m: (scattered, minplus_naive(DU, DL[:, scattered], m))
+            )
+        # independent column groups multiply side by side on the PRAM
+        for idxs, block_out in pram.parallel(jobs):
+            out[:, idxs] = block_out
+        return out
+
+    # ------------------------------------------------------------------
+    def _apply_projection_specials(
+        self,
+        cross: np.ndarray,
+        rows_u: list[Point],
+        rows_l: list[Point],
+        chain: Staircase,
+        zs: list[Point],
+        t: np.ndarray,
+        DU: np.ndarray,
+        DL: np.ndarray,
+        sub_rects: list[Rect],
+        pram: PRAM,
+    ) -> np.ndarray:
+        """Per-pair candidates (c): each endpoint's own visible grid-line
+        projections onto the separator (see module docstring)."""
+        shooter = RayShooter(sub_rects)
+        su = _projection_table(rows_u, chain, shooter, toward=-1)
+        sl = _projection_table(rows_l, chain, shooter, toward=+1)
+        pram.step(2 * (len(rows_u) + len(rows_l)))
+        nz = len(zs)
+        # (i) upper special -> neighbouring core z -> lower point
+        for k in range(su.t.shape[1]):
+            valid = np.isfinite(su.val[:, k])
+            if not valid.any():
+                continue
+            pos = np.searchsorted(t, su.t[:, k])
+            for nb in (np.clip(pos - 1, 0, nz - 1), np.clip(pos, 0, nz - 1)):
+                base = su.val[:, k] + np.abs(su.t[:, k] - t[nb])
+                cand = base[:, None] + DL[nb, :]
+                cand[~valid, :] = INF
+                np.minimum(cross, cand, out=cross)
+        # (ii) upper point -> neighbouring core z -> lower special
+        for k in range(sl.t.shape[1]):
+            valid = np.isfinite(sl.val[:, k])
+            if not valid.any():
+                continue
+            pos = np.searchsorted(t, sl.t[:, k])
+            for nb in (np.clip(pos - 1, 0, nz - 1), np.clip(pos, 0, nz - 1)):
+                base = sl.val[:, k] + np.abs(sl.t[:, k] - t[nb])
+                cand = DU[:, nb] + base[None, :]
+                cand[:, ~valid] = INF
+                np.minimum(cross, cand, out=cross)
+        # (iii) upper special -> lower special directly along the chain
+        for k in range(su.t.shape[1]):
+            for l in range(sl.t.shape[1]):
+                cand = (
+                    su.val[:, k][:, None]
+                    + np.abs(su.t[:, k][:, None] - sl.t[:, l][None, :])
+                    + sl.val[:, l][None, :]
+                )
+                np.minimum(cross, cand, out=cross)
+        pram.charge(time=2, work=cross.size * 12, width=cross.size)
+        return cross
+
+
+@dataclass
+class _Specials:
+    t: np.ndarray  # (m, 2) arc positions (inf when absent)
+    val: np.ndarray  # (m, 2) straight distances (inf when blocked/absent)
+
+
+def _projection_table(
+    points: list[Point], chain: Staircase, shooter: RayShooter, toward: int
+) -> _Specials:
+    """For each point: its vertical and horizontal grid-line crossings with
+    the separator, with straight L1 distance when the view is clear.
+
+    ``toward=-1`` means the points are on the chain's +1 side and look
+    toward it (down for the vertical projection of an upper point, etc.).
+    """
+    m = len(points)
+    tarr = np.full((m, 2), 0.0)
+    varr = np.full((m, 2), INF)
+    inc = chain.increasing
+    for i, p in enumerate(points):
+        for k, crossings in enumerate(
+            (chain.crossings_with_vline(p[0]), chain.crossings_with_hline(p[1]))
+        ):
+            if not crossings:
+                continue
+            # nearest crossing on the segment from p toward the chain
+            z = min(crossings, key=lambda c: dist(p, c))
+            tarr[i, k] = _arc_pos(z, inc)
+            d = dist(p, z)
+            if d == 0:
+                varr[i, k] = 0.0
+                continue
+            direction = _dir_toward(p, z)
+            hit = shooter.shoot(p, direction)
+            if hit is None or dist(p, hit.point) >= d:
+                varr[i, k] = float(d)
+    return _Specials(tarr, varr)
+
+
+def _dir_toward(p: Point, z: Point) -> str:
+    if p[0] == z[0]:
+        return "N" if z[1] > p[1] else "S"
+    return "E" if z[0] > p[0] else "W"
+
+
+def build_vertex_index(
+    rects: Sequence[Rect],
+    extra_points: Sequence[Point] = (),
+    pram: Optional[PRAM] = None,
+    leaf_size: int = DEFAULT_LEAF_SIZE,
+) -> DistanceIndex:
+    """Convenience wrapper: the §6.3 all-pairs structure in one call."""
+    return ParallelEngine(rects, extra_points, pram, leaf_size).build()

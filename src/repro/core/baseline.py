@@ -1,0 +1,145 @@
+"""Ground-truth oracle and comparison baselines.
+
+``GridOracle`` runs Dijkstra on the Hanan grid — trivially correct, exact
+integer arithmetic, and the reference every engine in this repository is
+validated against.  It also serves as the ``O(n² log n)``-ish *repeated
+single-source* baseline of experiment E6 (the approach the paper's §1
+credits to de Rezende–Lee–Wu [11] when applied once per source).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.hanan import HananGraph, hanan_graph
+from repro.geometry.primitives import Point, Rect
+
+INF = float("inf")
+
+
+class GridOracle:
+    """Exact shortest-path-length oracle over a fixed scene.
+
+    All query points must be supplied at construction time (they become
+    grid lines).  Distances are exact integers; unreachable pairs get
+    ``math.inf`` (possible only when obstacles fully enclose a point —
+    legal scenes in this library never do, but the oracle stays total).
+    """
+
+    def __init__(self, rects: Sequence[Rect], points: Iterable[Point] = ()) -> None:
+        self.rects = list(rects)
+        self.extra = list(points)
+        self.graph: HananGraph = hanan_graph(self.rects, self.extra)
+        self._dist_cache: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _sssp(self, src_id: int) -> np.ndarray:
+        cached = self._dist_cache.get(src_id)
+        if cached is not None:
+            return cached
+        g = self.graph
+        dist = np.full(g.num_nodes, INF)
+        dist[src_id] = 0
+        heap: list[tuple[int, int]] = [(0, src_id)]
+        while heap:
+            d, u = heappop(heap)
+            if d > dist[u]:
+                continue
+            for v, w in g.neighbors(u):
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+        self._dist_cache[src_id] = dist
+        return dist
+
+    # ------------------------------------------------------------------
+    def dist(self, p: Point, q: Point) -> float:
+        """Exact rectilinear obstacle-avoiding distance between two of the
+        registered points."""
+        try:
+            pid = self.graph.node_id(p)
+            qid = self.graph.node_id(q)
+        except Exception as exc:  # noqa: BLE001 - reraise with context
+            raise QueryError(
+                f"oracle can only answer registered points: {exc}"
+            ) from exc
+        d = self._sssp(pid)[qid]
+        return int(d) if d != INF else INF
+
+    def dist_matrix(self, points: Sequence[Point]) -> np.ndarray:
+        """All-pairs distances among the given registered points."""
+        ids = [self.graph.node_id(p) for p in points]
+        out = np.full((len(points), len(points)), INF)
+        for i, pid in enumerate(ids):
+            d = self._sssp(pid)
+            out[i, :] = d[ids]
+        return out
+
+    def path(self, p: Point, q: Point) -> list[Point]:
+        """One shortest path as a corner polyline (greedy descent on the
+        distance field)."""
+        g = self.graph
+        pid, qid = g.node_id(p), g.node_id(q)
+        dq = self._sssp(qid)
+        if dq[pid] == INF:
+            raise QueryError(f"{p} and {q} are disconnected")
+        nodes = [pid]
+        cur = pid
+        while cur != qid:
+            for v, w in g.neighbors(cur):
+                if dq[v] == dq[cur] - w:
+                    cur = v
+                    break
+            else:  # pragma: no cover - would indicate a broken field
+                raise QueryError("stuck while descending distance field")
+            nodes.append(cur)
+        pts = [g.node_point(nid) for nid in nodes]
+        return _compress_collinear(pts)
+
+
+def _compress_collinear(pts: list[Point]) -> list[Point]:
+    out = [pts[0]]
+    for p in pts[1:]:
+        if len(out) >= 2 and (
+            (out[-2][0] == out[-1][0] == p[0]) or (out[-2][1] == out[-1][1] == p[1])
+        ):
+            out[-1] = p
+        elif out[-1] != p:
+            out.append(p)
+    return out
+
+
+def repeated_single_source_matrix(
+    rects: Sequence[Rect], points: Sequence[Point], oracle: Optional[GridOracle] = None
+) -> np.ndarray:
+    """The E6 comparison baseline: one Dijkstra per source point."""
+    oracle = oracle or GridOracle(rects, points)
+    return oracle.dist_matrix(points)
+
+
+def path_length(path: Sequence[Point]) -> int:
+    """Length of a rectilinear polyline."""
+    total = 0
+    for a, b in zip(path, path[1:]):
+        if a[0] != b[0] and a[1] != b[1]:
+            raise QueryError(f"polyline not rectilinear at {a} -> {b}")
+        total += abs(a[0] - b[0]) + abs(a[1] - b[1])
+    return total
+
+
+def path_is_clear(path: Sequence[Point], rects: Sequence[Rect]) -> bool:
+    """True when no polyline segment crosses an obstacle interior."""
+    for a, b in zip(path, path[1:]):
+        for r in rects:
+            if a[1] == b[1]:
+                if r.blocks_h_segment(a[1], a[0], b[0]):
+                    return False
+            else:
+                if r.blocks_v_segment(a[0], a[1], b[1]):
+                    return False
+    return True

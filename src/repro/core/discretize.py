@@ -1,0 +1,113 @@
+"""The Discretization Lemma (§4, Lemma 7).
+
+Given the matrix ``D_Q`` of all-pairs lengths among ``B(Q)`` and the gap
+visibility information (the ``Horiz``/``Vert`` arrays), the length of a
+shortest path between *any* two boundary points ``b₁, b₂`` follows in
+``O(log |B(Q)|)``: find the neighbouring ``B(Q)`` points ``v, w`` of
+``b₁`` and ``v′, w′`` of ``b₂``; if the two boundary gaps see each other
+horizontally or vertically the answer is ``d(b₁, b₂)``; otherwise it is
+the best of the four ``via-neighbour`` combinations — anything else would
+contradict the definition of the neighbours (the paper's proof).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.allpairs import DistanceIndex
+from repro.errors import QueryError
+from repro.geometry.primitives import Point, Rect, dist
+from repro.geometry.visibility import BoundarySet
+
+INF = float("inf")
+
+
+class DiscretizedBoundary:
+    """Lemma 7 queries over a region boundary.
+
+    ``index`` must contain every point of ``bset`` (build any engine with
+    ``extra_points=bset.points``).
+    """
+
+    def __init__(self, bset: BoundarySet, index: DistanceIndex) -> None:
+        self.bset = bset
+        self.index = index
+        missing = [p for p in bset.points if not index.has_point(p)]
+        if missing:
+            raise QueryError(f"index lacks {len(missing)} B(Q) points, e.g. {missing[0]}")
+
+    # ------------------------------------------------------------------
+    def length(self, b1: Point, b2: Point) -> float:
+        """Shortest-path length between two boundary points of Q."""
+        if self.bset.boundary_pos(b1) is None or self.bset.boundary_pos(b2) is None:
+            raise QueryError("both query points must lie on Bound(Q)")
+        if b1 == b2:
+            return 0
+        if self._sees(b1, b2):
+            return dist(b1, b2)
+        v, w = self.bset.neighbors(b1)
+        v2, w2 = self.bset.neighbors(b2)
+        best: float = INF
+        for a in {v, w}:
+            for b in {v2, w2}:
+                cand = dist(b1, a) + self.index.length(a, b) + dist(b, b2)
+                if cand < best:
+                    best = cand
+        return best
+
+    # ------------------------------------------------------------------
+    def _sees(self, b1: Point, b2: Point) -> bool:
+        """The paper's ``vw ⊆ Horiz(v'w')`` / ``Vert`` test: do the two
+        boundary gaps see each other through the interior?  When they do,
+        a staircase runs through the corridor and the length is d(b1,b2).
+
+        Gaps never span a corner (every vertex of Q is in B(Q)), so each
+        gap is a sub-segment of one boundary edge; convexity keeps the
+        connecting segment inside Q, leaving only obstacle blocking to
+        check.
+        """
+        rects: Sequence[Rect] = self.bset.rects
+        # direct axis-aligned clear view is always exact (d is a lower bound)
+        if b1[1] == b2[1] and not any(
+            r.blocks_h_segment(b1[1], b1[0], b2[0]) for r in rects
+        ):
+            return True
+        if b1[0] == b2[0] and not any(
+            r.blocks_v_segment(b1[0], b1[1], b2[1]) for r in rects
+        ):
+            return True
+        v1, w1 = self.bset.neighbors(b1)
+        v2, w2 = self.bset.neighbors(b2)
+        # full horizontal gap-to-gap visibility between vertical gaps: the
+        # whole corridor strip must be clear, then a monotone staircase
+        # through it realises d(b1, b2)
+        if _span_is_vertical(v1, w1, b1) and _span_is_vertical(v2, w2, b2):
+            lo = max(min(v1[1], w1[1], b1[1]), min(v2[1], w2[1], b2[1]))
+            hi = min(max(v1[1], w1[1], b1[1]), max(v2[1], w2[1], b2[1]))
+            if lo <= hi and b1[0] != b2[0]:
+                xa, xb = sorted((b1[0], b2[0]))
+                if not any(
+                    r.xlo < xb and xa < r.xhi and r.ylo < hi and lo < r.yhi
+                    for r in rects
+                ):
+                    return True
+        # full vertical gap-to-gap visibility between horizontal gaps
+        if _span_is_horizontal(v1, w1, b1) and _span_is_horizontal(v2, w2, b2):
+            lo = max(min(v1[0], w1[0], b1[0]), min(v2[0], w2[0], b2[0]))
+            hi = min(max(v1[0], w1[0], b1[0]), max(v2[0], w2[0], b2[0]))
+            if lo <= hi and b1[1] != b2[1]:
+                ya, yb = sorted((b1[1], b2[1]))
+                if not any(
+                    r.ylo < yb and ya < r.yhi and r.xlo < hi and lo < r.xhi
+                    for r in rects
+                ):
+                    return True
+        return False
+
+
+def _span_is_vertical(v: Point, w: Point, b: Point) -> bool:
+    return v[0] == w[0] == b[0] or v == w
+
+
+def _span_is_horizontal(v: Point, w: Point, b: Point) -> bool:
+    return v[1] == w[1] == b[1] or v == w

@@ -1,0 +1,186 @@
+"""The implicit representation for ``|P| = N ≫ n`` (§7 of the paper).
+
+When the container polygon has far more vertices than there are obstacles,
+materialising the ``Θ(N²)`` boundary-to-boundary matrix is wasteful.  The
+paper partitions ``Bound(P)`` into at most eight *chunks* with the four
+axis lines through the extreme edges of ``Env(R)``, projects ``O(n)``
+representative points ``K`` onto those lines, and answers every
+boundary query through a constant number of ``K`` candidates — giving
+``O(N + n²·f(n))`` work and O(1)-candidate queries.
+
+Implementation notes (kink-exactness, same argument as the engine conquer):
+the four axis lines are clear of obstacle interiors, so the distance
+function restricted to a line is piecewise linear with slopes ±1 and kinks
+only at obstacle grid coordinates — all of which are projected into ``K``.
+A boundary point's *own* projections are therefore handled by Lipschitz
+interpolation between its two adjacent ``K`` points, which is the paper's
+"associate each p with q and q′" preprocessing.  Pairs whose spanning
+rectangle misses the obstacle bounding box entirely are *trivial*: a clear
+staircase exists inside ``P`` (Containment Lemma) and the length is the L1
+distance.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Optional, Sequence
+
+from repro.core.allpairs import DistanceIndex
+from repro.core.sequential import SequentialEngine
+from repro.errors import QueryError
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.primitives import Point, Rect, bbox_of_rects, dist
+from repro.pram.machine import PRAM, ambient
+
+INF = float("inf")
+
+
+class _LineK:
+    """The K candidates on one axis line, with neighbour lookups."""
+
+    def __init__(self, pts: list[Point], axis: int):
+        # axis = coordinate that varies along the line (0 = horizontal line)
+        self.axis = axis
+        self.pts = sorted(set(pts), key=lambda p: p[axis])
+        self.keys = [p[axis] for p in self.pts]
+
+    def neighbors(self, coord: int) -> list[Point]:
+        i = bisect_left(self.keys, coord)
+        out = []
+        if i > 0:
+            out.append(self.pts[i - 1])
+        if i < len(self.pts):
+            out.append(self.pts[i])
+        return out
+
+
+class ImplicitBoundaryStructure:
+    """§7: boundary queries against ``O(n)`` registered points.
+
+    Answers ``length(p, w)`` for ``p`` on ``Bound(P)`` (or anywhere outside
+    the obstacle bounding box, inside ``P``) and ``w`` either an obstacle
+    vertex or another such boundary point — without ever indexing the
+    ``N²`` boundary pairs.
+    """
+
+    def __init__(
+        self,
+        polygon: RectilinearPolygon,
+        rects: Sequence[Rect],
+        pram: Optional[PRAM] = None,
+    ) -> None:
+        pram = pram or ambient()
+        self.polygon = polygon
+        self.rects = list(rects)
+        for r in self.rects:
+            if not polygon.contains_rect(r):
+                raise QueryError(f"obstacle {r} is not inside P")
+        self.bbox = bbox_of_rects(self.rects)
+        xlo, ylo, xhi, yhi = self.bbox
+        xs = sorted({v for r in self.rects for v in (r.xlo, r.xhi)})
+        ys = sorted({v for r in self.rects for v in (r.ylo, r.yhi)})
+        self.k_top = _LineK([(x, yhi) for x in xs] + [(xlo, yhi), (xhi, yhi)], axis=0)
+        self.k_bottom = _LineK([(x, ylo) for x in xs] + [(xlo, ylo), (xhi, ylo)], axis=0)
+        self.k_east = _LineK([(xhi, y) for y in ys] + [(xhi, ylo), (xhi, yhi)], axis=1)
+        self.k_west = _LineK([(xlo, y) for y in ys] + [(xlo, ylo), (xlo, yhi)], axis=1)
+        kpts = (
+            self.k_top.pts + self.k_bottom.pts + self.k_east.pts + self.k_west.pts
+        )
+        # one O(n)-point index: N never enters this build
+        self.index: DistanceIndex = SequentialEngine(
+            self.rects, extra_points=kpts
+        ).build()
+        n = len(self.rects)
+        m = len(self.index)
+        pram.charge(
+            time=pram.log2ceil(max(n, 2)) ** 2,
+            work=m * m,
+            width=m,
+        )
+        # O(N) part: boundary vertices get classified once (the paper's
+        # chunk association); queries for non-vertex boundary points
+        # classify on the fly in O(1)
+        pram.charge(time=1, work=polygon.size, width=polygon.size)
+
+    # ------------------------------------------------------------------
+    def _entry_candidates(self, p: Point) -> list[tuple[Point, int]]:
+        """(K candidate, straight-distance from p) pairs covering every way
+        a shortest path from ``p`` can enter the obstacle bounding box."""
+        xlo, ylo, xhi, yhi = self.bbox
+        x, y = p
+        out: list[tuple[Point, int]] = []
+
+        def add_line(line: _LineK, entry: Point) -> None:
+            d0 = dist(p, entry)
+            for k in line.neighbors(entry[line.axis]):
+                out.append((k, d0 + dist(entry, k)))
+
+        if y >= yhi:  # can enter through the top line
+            add_line(self.k_top, (min(max(x, xlo), xhi), yhi))
+        if y <= ylo:
+            add_line(self.k_bottom, (min(max(x, xlo), xhi), ylo))
+        if x >= xhi:
+            add_line(self.k_east, (xhi, min(max(y, ylo), yhi)))
+        if x <= xlo:
+            add_line(self.k_west, (xlo, min(max(y, ylo), yhi)))
+        if not out:
+            raise QueryError(
+                f"{p} is inside the obstacle bounding box; use the full "
+                "query structure for interior points"
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def length(self, p: Point, w: Point) -> float:
+        """Shortest-path length from boundary/outside point ``p`` to ``w``
+        (an obstacle vertex, a K point, or another outside point)."""
+        if not self.polygon.contains(p) or not self.polygon.contains(w):
+            raise QueryError("query points must lie inside P")
+        p_out = _outside(self.bbox, p)
+        w_out = _outside(self.bbox, w)
+        if p_out and w_out and not _rect_hits_bbox(self.bbox, p, w):
+            # trivial pair: a staircase between them avoids the obstacle
+            # box entirely and stays in P (Containment Lemma)
+            return dist(p, w)
+        if not p_out:
+            if not self.index.has_point(p):
+                raise QueryError(
+                    f"{p} is inside the bounding box but not an indexed point"
+                )
+            if w_out:
+                return self.length(w, p)
+            return self.index.length(p, w)
+        cands = self._entry_candidates(p)
+        best = INF
+        if w_out:
+            w_cands = self._entry_candidates(w)
+            for k1, d1 in cands:
+                for k2, d2 in w_cands:
+                    v = d1 + self.index.length(k1, k2) + d2
+                    if v < best:
+                        best = v
+            # also: both outside but the spanning rect clips the box corner
+            if not _rect_hits_bbox(self.bbox, p, w):
+                best = min(best, dist(p, w))
+            return best
+        for k1, d1 in cands:
+            v = d1 + self.index.length(k1, w)
+            if v < best:
+                best = v
+        return best
+
+    @property
+    def registered_points(self) -> int:
+        return len(self.index)
+
+
+def _outside(bbox, p: Point) -> bool:
+    xlo, ylo, xhi, yhi = bbox
+    return p[0] <= xlo or p[0] >= xhi or p[1] <= ylo or p[1] >= yhi
+
+
+def _rect_hits_bbox(bbox, p: Point, q: Point) -> bool:
+    xlo, ylo, xhi, yhi = bbox
+    lo_x, hi_x = min(p[0], q[0]), max(p[0], q[0])
+    lo_y, hi_y = min(p[1], q[1]), max(p[1], q[1])
+    return lo_x < xhi and xlo < hi_x and lo_y < yhi and ylo < hi_y

@@ -1,0 +1,39 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised on purpose by the library derives from :class:`ReproError`
+so callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (malformed rectangle, non-monotone chain...)."""
+
+
+class DisjointnessError(GeometryError):
+    """Obstacle set violates the pairwise-disjoint-interiors requirement."""
+
+
+class ConvexityError(GeometryError):
+    """A polygon that must be rectilinear convex is not."""
+
+
+class PRAMError(ReproError):
+    """Misuse of the simulated CREW-PRAM."""
+
+
+class ConcurrentWriteError(PRAMError):
+    """Two processors wrote the same shared cell in one step (CREW violation)."""
+
+
+class MongeError(ReproError):
+    """A matrix required to be Monge is not (and no fallback was allowed)."""
+
+
+class QueryError(ReproError):
+    """A query was made against a structure that cannot answer it."""

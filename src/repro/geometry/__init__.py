@@ -1,0 +1,58 @@
+"""Exact rectilinear geometry substrate.
+
+Everything in this package works on integer (or exact rational) coordinates;
+no floating point enters any shortest-path length, which lets every test in
+the suite assert *exact* equality between independent engines.
+"""
+
+from repro.geometry.primitives import (
+    Point,
+    Rect,
+    Transform,
+    ALL_TRANSFORMS,
+    IDENTITY,
+    dist,
+    bbox_of_points,
+    bbox_of_rects,
+    validate_disjoint,
+)
+from repro.geometry.staircase import Staircase
+from repro.geometry.frontier import (
+    maximal_points,
+    max_staircase,
+    all_max_staircases,
+)
+from repro.geometry.envelope import Envelope, envelope, rectilinear_hull_exists
+from repro.geometry.polygon import RectilinearPolygon, pockets_to_rects
+from repro.geometry.rayshoot import RayShooter
+from repro.geometry.trapezoid import trapezoidal_decomposition, hit_sets
+from repro.geometry.visibility import boundary_points, BoundarySet
+from repro.geometry.hanan import hanan_graph, HananGraph
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Transform",
+    "ALL_TRANSFORMS",
+    "IDENTITY",
+    "dist",
+    "bbox_of_points",
+    "bbox_of_rects",
+    "validate_disjoint",
+    "Staircase",
+    "maximal_points",
+    "max_staircase",
+    "all_max_staircases",
+    "Envelope",
+    "envelope",
+    "rectilinear_hull_exists",
+    "RectilinearPolygon",
+    "pockets_to_rects",
+    "RayShooter",
+    "trapezoidal_decomposition",
+    "hit_sets",
+    "boundary_points",
+    "BoundarySet",
+    "hanan_graph",
+    "HananGraph",
+]

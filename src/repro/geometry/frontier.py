@@ -1,0 +1,92 @@
+"""Pareto frontiers and the four ``MAX_XY`` unbounded staircases (§2, Fig. 1).
+
+``MAX_NE(R')`` is the lowest-leftmost decreasing unbounded staircase above
+every rectangle of ``R'``; it passes through the maximal elements of the
+rectangles' NE corners.  The other three staircases are obtained from the
+canonical NE construction through the axis symmetry group, exactly as the
+paper treats them ("one can similarly define...").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import (
+    FLIP_X,
+    FLIP_XY,
+    FLIP_Y,
+    IDENTITY,
+    Point,
+    Rect,
+    Transform,
+)
+from repro.geometry.staircase import Staircase
+
+_QUADRANT_TRANSFORM: dict[str, Transform] = {
+    "NE": IDENTITY,
+    "NW": FLIP_X,
+    "SE": FLIP_Y,
+    "SW": FLIP_XY,
+}
+
+_QUADRANT_CORNER = {
+    "NE": lambda r: r.ne,
+    "NW": lambda r: r.nw,
+    "SE": lambda r: r.se,
+    "SW": lambda r: r.sw,
+}
+
+
+def maximal_points(pts: Iterable[Point]) -> list[Point]:
+    """NE-maximal elements: points not dominated by another point with both
+    coordinates ≥.  Returned sorted by increasing x (hence decreasing y).
+
+    Classic `O(m log m)` sweep; see [32] for the definition the paper cites.
+    """
+    ordered = sorted(set(pts), key=lambda p: (-p[0], -p[1]))
+    out: list[Point] = []
+    best_y = None
+    for p in ordered:
+        if best_y is None or p[1] > best_y:
+            out.append(p)
+            best_y = p[1]
+    out.reverse()
+    return out
+
+
+def _ne_frontier_staircase(pts: Sequence[Point]) -> Staircase:
+    """The canonical MAX_NE staircase over a point set."""
+    maxima = maximal_points(pts)
+    if not maxima:
+        raise GeometryError("frontier of empty point set")
+    chain: list[Point] = [maxima[0]]
+    for prev, cur in zip(maxima, maxima[1:]):
+        chain.append((cur[0], prev[1]))  # east along the shelf ...
+        chain.append(cur)  # ... then drop at the next maximal x
+    return Staircase(tuple(chain), increasing=False, left_dir="W", right_dir="E")
+
+
+def max_staircase(pts: Iterable[Point], quadrant: str) -> Staircase:
+    """``MAX_quadrant`` of a point set, for quadrant in NE/NW/SE/SW.
+
+    Used directly on projection point sets in §7, and via
+    :func:`all_max_staircases` on rectangle corners for envelopes.
+    """
+    try:
+        t = _QUADRANT_TRANSFORM[quadrant]
+    except KeyError:
+        raise GeometryError(f"unknown quadrant {quadrant!r}") from None
+    canonical = _ne_frontier_staircase([t.apply(p) for p in pts])
+    return canonical.transform(t.inverse())
+
+
+def max_staircase_of_rects(rects: Sequence[Rect], quadrant: str) -> Staircase:
+    """``MAX_quadrant(R')`` — the frontier over the relevant rect corners."""
+    corner = _QUADRANT_CORNER[quadrant]
+    return max_staircase([corner(r) for r in rects], quadrant)
+
+
+def all_max_staircases(rects: Sequence[Rect]) -> dict[str, Staircase]:
+    """All four ``MAX_XY(R')`` staircases keyed by quadrant name."""
+    return {q: max_staircase_of_rects(rects, q) for q in ("NE", "NW", "SE", "SW")}

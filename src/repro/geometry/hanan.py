@@ -1,0 +1,113 @@
+"""The Hanan grid graph of a rectangular-obstacle scene.
+
+Classic fact (used implicitly throughout the paper and explicitly by every
+rectilinear shortest-path oracle): between any two points there is a
+shortest obstacle-avoiding rectilinear path whose segments lie on the grid
+induced by the x/y coordinates of the obstacle vertices and the two
+endpoints.  The grid graph is therefore an exact — if quadratic-sized —
+model of the metric, and :mod:`repro.core.baseline` runs Dijkstra on it as
+the ground-truth oracle every other engine is validated against.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import Point, Rect
+
+
+@dataclass
+class HananGraph:
+    """Grid-graph view of a scene: coordinates plus blocked-edge masks.
+
+    ``block_h[yi, xi]`` — the horizontal edge from ``(xs[xi], ys[yi])`` to
+    ``(xs[xi+1], ys[yi])`` crosses an obstacle interior.  ``block_v[yi, xi]``
+    is the vertical edge from ``(xs[xi], ys[yi])`` upward.  Node ``(xi, yi)``
+    is indexed ``yi * len(xs) + xi``.
+    """
+
+    xs: list[int]
+    ys: list[int]
+    block_h: np.ndarray
+    block_v: np.ndarray
+    _xindex: dict[int, int] = field(default_factory=dict, repr=False)
+    _yindex: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._xindex = {x: i for i, x in enumerate(self.xs)}
+        self._yindex = {y: i for i, y in enumerate(self.ys)}
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.xs) * len(self.ys)
+
+    def node_id(self, p: Point) -> int:
+        try:
+            xi = self._xindex[p[0]]
+            yi = self._yindex[p[1]]
+        except KeyError:
+            raise GeometryError(f"{p} is not a grid point") from None
+        return yi * len(self.xs) + xi
+
+    def node_point(self, nid: int) -> Point:
+        w = len(self.xs)
+        return (self.xs[nid % w], self.ys[nid // w])
+
+    def neighbors(self, nid: int) -> Iterable[tuple[int, int]]:
+        """(neighbor id, edge length) pairs."""
+        w = len(self.xs)
+        xi, yi = nid % w, nid // w
+        xs, ys = self.xs, self.ys
+        if xi + 1 < w and not self.block_h[yi, xi]:
+            yield nid + 1, xs[xi + 1] - xs[xi]
+        if xi > 0 and not self.block_h[yi, xi - 1]:
+            yield nid - 1, xs[xi] - xs[xi - 1]
+        if yi + 1 < len(ys) and not self.block_v[yi, xi]:
+            yield nid + w, ys[yi + 1] - ys[yi]
+        if yi > 0 and not self.block_v[yi - 1, xi]:
+            yield nid - w, ys[yi] - ys[yi - 1]
+
+
+def hanan_graph(rects: Sequence[Rect], extra_points: Iterable[Point] = ()) -> HananGraph:
+    """Build the grid graph over obstacle vertices plus any extra points."""
+    xs_set = {r.xlo for r in rects} | {r.xhi for r in rects}
+    ys_set = {r.ylo for r in rects} | {r.yhi for r in rects}
+    for x, y in extra_points:
+        xs_set.add(x)
+        ys_set.add(y)
+    if not xs_set or not ys_set:
+        raise GeometryError("empty scene")
+    xs = sorted(xs_set)
+    ys = sorted(ys_set)
+    nx, ny = len(xs), len(ys)
+    # Difference-array accumulation of blocked-edge ranges, one 2-D range
+    # addition per rectangle, then prefix sums.
+    dh = np.zeros((ny + 1, nx + 1), dtype=np.int32)
+    dv = np.zeros((ny + 1, nx + 1), dtype=np.int32)
+    for r in rects:
+        x0 = bisect_left(xs, r.xlo)
+        x1 = bisect_left(xs, r.xhi)
+        y0 = bisect_left(ys, r.ylo)
+        y1 = bisect_left(ys, r.yhi)
+        # horizontal edges: rows y0+1..y1-1 (strictly inside), cols x0..x1-1
+        if y0 + 1 <= y1 - 1 and x0 <= x1 - 1:
+            dh[y0 + 1, x0] += 1
+            dh[y0 + 1, x1] -= 1
+            dh[y1, x0] -= 1
+            dh[y1, x1] += 1
+        # vertical edges: rows y0..y1-1, cols x0+1..x1-1 (strictly inside)
+        if x0 + 1 <= x1 - 1 and y0 <= y1 - 1:
+            dv[y0, x0 + 1] += 1
+            dv[y0, x1] -= 1
+            dv[y1, x0 + 1] -= 1
+            dv[y1, x1] += 1
+    cov_h = np.cumsum(np.cumsum(dh, axis=0), axis=1)
+    cov_v = np.cumsum(np.cumsum(dv, axis=0), axis=1)
+    block_h = cov_h[:ny, : nx - 1] > 0
+    block_v = cov_v[: ny - 1, :nx] > 0
+    return HananGraph(xs, ys, block_h, block_v)

@@ -1,0 +1,170 @@
+"""Rectilinear convex polygons — the container ``P`` of the paper.
+
+A rectilinear convex polygon is a rectilinear simple polygon containing
+every axis-parallel segment between any two of its points (§2).  Internally
+a polygon is normalised to the same top/bottom :class:`StepProfile` pair as
+:class:`~repro.geometry.envelope.Envelope`, which gives containment tests,
+boundary walks and ray exits in one shared representation.
+
+:func:`pockets_to_rects` decomposes ``bbox(P) \\ P`` into axis-parallel
+rectangles.  This is how the engines support a polygon container: the free
+space inside ``P`` equals the free space among ``R ∪ pockets``, so every
+obstacle-only algorithm applies unchanged (substitution recorded in
+DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConvexityError, GeometryError
+from repro.geometry.envelope import StepProfile, _profile_from_polyline
+from repro.geometry.primitives import Point, Rect
+
+
+def _signed_area2(loop: Sequence[Point]) -> int:
+    s = 0
+    for (x1, y1), (x2, y2) in zip(loop, list(loop[1:]) + [loop[0]]):
+        s += x1 * y2 - x2 * y1
+    return s
+
+
+class RectilinearPolygon:
+    """A rectilinear *convex* polygon given by its boundary vertex loop."""
+
+    def __init__(self, loop: Sequence[Point]) -> None:
+        loop = list(loop)
+        if len(loop) >= 2 and loop[0] == loop[-1]:
+            loop = loop[:-1]
+        if len(loop) < 4:
+            raise GeometryError("polygon needs at least 4 vertices")
+        for a, b in zip(loop, loop[1:] + [loop[0]]):
+            if (a[0] != b[0]) == (a[1] != b[1]):
+                raise GeometryError(f"non-rectilinear or zero edge {a} -> {b}")
+        if _signed_area2(loop) < 0:
+            loop.reverse()
+        self.loop = loop
+        self._build_profiles()
+
+    # ------------------------------------------------------------------
+    def _build_profiles(self) -> None:
+        loop = self.loop
+        n = len(loop)
+        xlo = min(p[0] for p in loop)
+        xhi = max(p[0] for p in loop)
+        # south-west-most and south-east-most vertices anchor the bottom walk
+        sw = min(range(n), key=lambda i: (loop[i][0], loop[i][1]))
+        se = max(range(n), key=lambda i: (loop[i][0], -loop[i][1]))
+        bottom: list[Point] = []
+        i = sw
+        while True:
+            bottom.append(loop[i])
+            if i == se:
+                break
+            i = (i + 1) % n
+            if len(bottom) > n:
+                raise ConvexityError("bottom walk does not reach the east side")
+        top: list[Point] = []
+        i = se
+        while True:
+            top.append(loop[i])
+            if i == sw:
+                break
+            i = (i + 1) % n
+            if len(top) > n:
+                raise ConvexityError("top walk does not reach the west side")
+        top.reverse()
+        for chain, name in ((bottom, "bottom"), (top, "top")):
+            for a, b in zip(chain, chain[1:]):
+                if b[0] < a[0]:
+                    raise ConvexityError(f"{name} boundary not x-monotone at {a}->{b}")
+        if bottom[0][0] != xlo or top[0][0] != xlo or bottom[-1][0] != xhi:
+            raise ConvexityError("extreme vertices inconsistent")
+        self.top = _profile_from_polyline(top)
+        self.bottom = _profile_from_polyline(bottom)
+        self.bbox = (xlo, min(p[1] for p in loop), xhi, max(p[1] for p in loop))
+        _check_unimodal(self.top, peak=True)
+        _check_unimodal(self.bottom, peak=False)
+
+    # -- region protocol ---------------------------------------------------
+    def top_at(self, x: int) -> int:
+        return self.top.value_max_at(x)
+
+    def bottom_at(self, x: int) -> int:
+        return self.bottom.value_min_at(x)
+
+    def contains(self, p: Point) -> bool:
+        x, y = p
+        if not (self.bbox[0] <= x <= self.bbox[2]):
+            return False
+        return self.bottom_at(x) <= y <= self.top_at(x)
+
+    def contains_interior(self, p: Point) -> bool:
+        x, y = p
+        if not (self.bbox[0] < x < self.bbox[2]):
+            return False
+        return self.bottom.value_max_at(x) < y < self.top.value_min_at(x)
+
+    def contains_rect(self, r: Rect) -> bool:
+        return all(self.contains(v) for v in r.vertices) and not any(
+            _rect_pokes_out(self, r, x) for x in (r.xlo, r.xhi)
+        )
+
+    def vertices_loop(self) -> list[Point]:
+        return list(self.loop)
+
+    @property
+    def size(self) -> int:
+        """|P|: the number of boundary vertices."""
+        return len(self.loop)
+
+    def boundary_vertices_ccw(self) -> list[Point]:
+        return list(self.loop)
+
+    def on_boundary(self, p: Point) -> bool:
+        x, y = p
+        for a, b in zip(self.loop, self.loop[1:] + [self.loop[0]]):
+            if a[0] == b[0] == x and min(a[1], b[1]) <= y <= max(a[1], b[1]):
+                return True
+            if a[1] == b[1] == y and min(a[0], b[0]) <= x <= max(a[0], b[0]):
+                return True
+        return False
+
+
+def _rect_pokes_out(poly: RectilinearPolygon, r: Rect, x: int) -> bool:
+    return not (poly.bottom_at(x) <= r.ylo and r.yhi <= poly.top_at(x))
+
+
+def _check_unimodal(profile: StepProfile, peak: bool) -> None:
+    ys = [r[2] for r in profile.runs]
+    direction = 1
+    for a, b in zip(ys, ys[1:]):
+        d = b - a
+        if not peak:
+            d = -d
+        if direction == 1 and d < 0:
+            direction = -1
+        elif direction == -1 and d > 0:
+            raise ConvexityError("profile not unimodal: polygon is not convex")
+
+
+def rect_polygon(xlo: int, ylo: int, xhi: int, yhi: int) -> RectilinearPolygon:
+    """The rectangle ``[xlo,xhi] × [ylo,yhi]`` as a polygon."""
+    return RectilinearPolygon([(xlo, ylo), (xhi, ylo), (xhi, yhi), (xlo, yhi)])
+
+
+def pockets_to_rects(poly: RectilinearPolygon) -> list[Rect]:
+    """Decompose ``bbox(P) \\ P`` into rectangles (one per profile step).
+
+    The rectangles may share edges with each other; their interiors are
+    pairwise disjoint and disjoint from ``P``.
+    """
+    xlo, ylo, xhi, yhi = poly.bbox
+    out: list[Rect] = []
+    for a, b, y in poly.top.runs:
+        if y < yhi:
+            out.append(Rect(a, y, b, yhi))
+    for a, b, y in poly.bottom.runs:
+        if y > ylo:
+            out.append(Rect(a, ylo, b, y))
+    return out

@@ -1,0 +1,243 @@
+"""Points, rectangles, the L1 metric, and the 8-element axis symmetry group.
+
+Points are plain ``(x, y)`` tuples throughout the library: they are created
+in the millions by the engines, and tuples are the cheapest hashable exact
+representation Python offers.
+
+The :class:`Transform` group is the workhorse that lets the rest of the code
+implement *one* canonical orientation of every directional construction
+(path tracing ``NE(p)``, Pareto frontiers ``MAX_NE``, the four monotone DAG
+cases of §9 ...) and derive the other orientations mechanically, which is
+how the paper itself argues ("the other cases are symmetrical").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.errors import DisjointnessError, GeometryError
+
+Point = Tuple[int, int]
+
+
+def dist(p: Point, q: Point) -> int:
+    """L1 (rectilinear) distance between two points (§2)."""
+    return abs(p[0] - q[0]) + abs(p[1] - q[1])
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Rect:
+    """A closed axis-parallel rectangle ``[xlo, xhi] × [ylo, yhi]``.
+
+    Degenerate (zero width/height) rectangles are rejected: the paper's
+    obstacles are full-dimensional, and several constructions (ray shooting,
+    tracing) rely on edges having two distinct endpoints.
+    """
+
+    xlo: int
+    ylo: int
+    xhi: int
+    yhi: int
+
+    def __post_init__(self) -> None:
+        if not (self.xlo < self.xhi and self.ylo < self.yhi):
+            raise GeometryError(f"degenerate rectangle {self!r}")
+
+    # -- corners (paper's V_R consists of these, 4 per obstacle) ----------
+    @property
+    def sw(self) -> Point:
+        return (self.xlo, self.ylo)
+
+    @property
+    def se(self) -> Point:
+        return (self.xhi, self.ylo)
+
+    @property
+    def nw(self) -> Point:
+        return (self.xlo, self.yhi)
+
+    @property
+    def ne(self) -> Point:
+        return (self.xhi, self.yhi)
+
+    @property
+    def vertices(self) -> Tuple[Point, Point, Point, Point]:
+        """The four corners in counterclockwise order starting at SW."""
+        return (self.sw, self.se, self.ne, self.nw)
+
+    @property
+    def center2(self) -> Point:
+        """Twice the center (kept integral to stay exact)."""
+        return (self.xlo + self.xhi, self.ylo + self.yhi)
+
+    @property
+    def width(self) -> int:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> int:
+        return self.yhi - self.ylo
+
+    # -- containment -------------------------------------------------------
+    def contains(self, p: Point) -> bool:
+        """Closed containment (boundary included)."""
+        return self.xlo <= p[0] <= self.xhi and self.ylo <= p[1] <= self.yhi
+
+    def contains_interior(self, p: Point) -> bool:
+        """Open containment (boundary excluded) — obstacles are *opaque
+        interiors*; paths may run along their boundaries (§2)."""
+        return self.xlo < p[0] < self.xhi and self.ylo < p[1] < self.yhi
+
+    def on_boundary(self, p: Point) -> bool:
+        return self.contains(p) and not self.contains_interior(p)
+
+    # -- rect/rect relations ------------------------------------------------
+    def interiors_intersect(self, other: "Rect") -> bool:
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    def touches_or_intersects(self, other: "Rect") -> bool:
+        return (
+            self.xlo <= other.xhi
+            and other.xlo <= self.xhi
+            and self.ylo <= other.yhi
+            and other.ylo <= self.yhi
+        )
+
+    # -- segment blocking ---------------------------------------------------
+    def blocks_h_segment(self, y: int, x1: int, x2: int) -> bool:
+        """Does the *open* horizontal segment at height ``y`` from ``x1`` to
+        ``x2`` pass through this rectangle's interior?"""
+        if x1 > x2:
+            x1, x2 = x2, x1
+        return self.ylo < y < self.yhi and x1 < self.xhi and self.xlo < x2
+
+    def blocks_v_segment(self, x: int, y1: int, y2: int) -> bool:
+        """Vertical analogue of :meth:`blocks_h_segment`."""
+        if y1 > y2:
+            y1, y2 = y2, y1
+        return self.xlo < x < self.xhi and y1 < self.yhi and self.ylo < y2
+
+
+@dataclass(frozen=True, slots=True)
+class Transform:
+    """An element of the dihedral symmetry group of the coordinate axes.
+
+    ``apply((x, y))`` computes ``(sx*x, sy*y)`` and then swaps the
+    coordinates when ``swap`` is set.  The 8 group elements map the
+    canonical "north-primary / east-detour" orientation onto every other
+    orientation used by the paper.
+    """
+
+    sx: int = 1
+    sy: int = 1
+    swap: bool = False
+
+    def apply(self, p: Point) -> Point:
+        x, y = self.sx * p[0], self.sy * p[1]
+        return (y, x) if self.swap else (x, y)
+
+    def apply_rect(self, r: Rect) -> Rect:
+        ax, ay = self.apply(r.sw)
+        bx, by = self.apply(r.ne)
+        return Rect(min(ax, bx), min(ay, by), max(ax, bx), max(ay, by))
+
+    def apply_rects(self, rects: Sequence[Rect]) -> list[Rect]:
+        return [self.apply_rect(r) for r in rects]
+
+    def apply_points(self, pts: Iterable[Point]) -> list[Point]:
+        return [self.apply(p) for p in pts]
+
+    def inverse(self) -> "Transform":
+        if not self.swap:
+            return Transform(self.sx, self.sy, False)
+        # apply: (x,y) -> (sy*y, sx*x); the inverse swaps first.
+        return Transform(self.sy, self.sx, True)
+
+    def compose(self, inner: "Transform") -> "Transform":
+        """Return the transform equivalent to ``self ∘ inner``."""
+        if inner.swap:
+            sx, sy = self.sy * inner.sx, self.sx * inner.sy
+        else:
+            sx, sy = self.sx * inner.sx, self.sy * inner.sy
+        return Transform(sx, sy, self.swap != inner.swap)
+
+
+IDENTITY = Transform()
+FLIP_X = Transform(sx=-1)
+FLIP_Y = Transform(sy=-1)
+FLIP_XY = Transform(sx=-1, sy=-1)
+TRANSPOSE = Transform(swap=True)
+
+ALL_TRANSFORMS: Tuple[Transform, ...] = tuple(
+    Transform(sx, sy, swap) for swap in (False, True) for sx in (1, -1) for sy in (1, -1)
+)
+
+
+def bbox_of_points(pts: Iterable[Point]) -> Tuple[int, int, int, int]:
+    """``(xlo, ylo, xhi, yhi)`` of a non-empty point collection."""
+    it = iter(pts)
+    try:
+        x, y = next(it)
+    except StopIteration:  # pragma: no cover - caller bug
+        raise GeometryError("bbox of empty point set") from None
+    xlo = xhi = x
+    ylo = yhi = y
+    for x, y in it:
+        xlo = x if x < xlo else xlo
+        xhi = x if x > xhi else xhi
+        ylo = y if y < ylo else ylo
+        yhi = y if y > yhi else yhi
+    return (xlo, ylo, xhi, yhi)
+
+
+def bbox_of_rects(rects: Sequence[Rect]) -> Tuple[int, int, int, int]:
+    if not rects:
+        raise GeometryError("bbox of empty rectangle set")
+    return (
+        min(r.xlo for r in rects),
+        min(r.ylo for r in rects),
+        max(r.xhi for r in rects),
+        max(r.yhi for r in rects),
+    )
+
+
+def validate_disjoint(rects: Sequence[Rect]) -> None:
+    """Check pairwise-disjoint interiors via a sweep; raise otherwise.
+
+    ``O(n log n + k)`` with an active-set sweep over x; the paper's input
+    contract (§1) is *pairwise disjoint* rectangles, and every engine in the
+    library assumes it, so the public entry points call this eagerly.
+    """
+    events: list[tuple[int, int, int]] = []  # (x, kind, index); kind 0=open 1=close
+    for i, r in enumerate(rects):
+        events.append((r.xlo, 0, i))
+        events.append((r.xhi, 1, i))
+    events.sort(key=lambda e: (e[0], e[1]))
+    active: list[int] = []
+    for _x, kind, i in events:
+        if kind == 1:
+            active.remove(i)
+            continue
+        ri = rects[i]
+        for j in active:
+            if ri.interiors_intersect(rects[j]):
+                raise DisjointnessError(
+                    f"obstacles {j} and {i} overlap: {rects[j]!r} vs {ri!r}"
+                )
+        active.append(i)
+
+
+def all_coords(rects: Sequence[Rect], pts: Iterable[Point] = ()) -> tuple[list[int], list[int]]:
+    """Sorted deduplicated x- and y-coordinate lists (the Hanan grid lines)."""
+    xs = {r.xlo for r in rects} | {r.xhi for r in rects}
+    ys = {r.ylo for r in rects} | {r.yhi for r in rects}
+    for x, y in pts:
+        xs.add(x)
+        ys.add(y)
+    return sorted(xs), sorted(ys)

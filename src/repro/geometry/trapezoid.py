@@ -1,0 +1,54 @@
+"""Trapezoidal decompositions and ``Hit(e)`` sets (§6.1, §8, §9).
+
+The paper uses the parallel trapezoidal decomposition of [4] for three
+things: the parent pointers of the path-tracing forests (Lemma 6), the
+planar subdivisions ``H₁``/``H₂`` answering arbitrary-point ray shooting in
+§6.4, and the ``Hit(e)`` vertex lists that drive both the shortest-path
+trees of §8 and the monotone DAGs of §9.  All three reduce to first-hit ray
+shooting, provided here on top of :class:`RayShooter`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional, Sequence
+
+from repro.geometry.primitives import Point, Rect
+from repro.geometry.rayshoot import Hit, RayShooter
+
+
+def trapezoidal_decomposition(
+    rects: Sequence[Rect],
+    points: Sequence[Point],
+    direction: str = "N",
+    shooter: Optional[RayShooter] = None,
+) -> list[Optional[Hit]]:
+    """For each point, the first obstacle edge hit in ``direction`` — the
+    point's trapezoidal segment (None = the segment at infinity)."""
+    shooter = shooter or RayShooter(rects)
+    return [shooter.shoot(p, direction) for p in points]
+
+
+def hit_sets(
+    rects: Sequence[Rect],
+    points: Sequence[Point],
+    direction: str = "W",
+    shooter: Optional[RayShooter] = None,
+) -> tuple[list[Optional[Hit]], dict[int, list[int]]]:
+    """Per-point hits plus the paper's ``Hit(e)`` lists.
+
+    Returns ``(hits, by_edge)`` where ``hits[i]`` is the first hit of the
+    ray from ``points[i]`` and ``by_edge[rect_index]`` lists the indices of
+    the points whose ray lands on that obstacle, sorted by where the rays
+    land along the edge (for W/E shots, by y; for N/S shots, by x).
+    """
+    shooter = shooter or RayShooter(rects)
+    hits = [shooter.shoot(p, direction) for p in points]
+    by_edge: dict[int, list[int]] = defaultdict(list)
+    for i, h in enumerate(hits):
+        if h is not None:
+            by_edge[h.rect_index].append(i)
+    axis = 1 if direction in ("W", "E") else 0
+    for idx in by_edge:
+        by_edge[idx].sort(key=lambda i: points[i][axis])
+    return hits, dict(by_edge)

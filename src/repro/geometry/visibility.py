@@ -1,0 +1,197 @@
+"""``B(Q)`` boundary point sets and boundary visibility (Definition 1, Figs. 3 & 7).
+
+Given a convex connected region ``Q`` (an :class:`Envelope` or a
+:class:`RectilinearPolygon`) containing an obstacle subset ``R'``, ``B(Q)``
+consists of the vertices of ``Q`` together with every boundary point that is
+horizontally or vertically visible from a vertex of ``Q`` or of an obstacle.
+``|B(Q)| = O(|Q| + |R'|)``, which is the size bound all the path-length
+matrices of §4–§6 rely on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Optional, Sequence, Union
+
+from repro.errors import GeometryError
+from repro.geometry.envelope import Envelope
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.primitives import Point, Rect, dist
+from repro.geometry.rayshoot import RayShooter
+
+Region = Union[Envelope, RectilinearPolygon]
+
+
+def _north_exit(region: Region, x: int) -> int:
+    return region.top.value_min_at(x)
+
+
+def _south_exit(region: Region, x: int) -> int:
+    return region.bottom.value_max_at(x)
+
+
+class BoundarySet:
+    """``B(Q)`` with the circular ordering of §2 and gap-visibility helpers.
+
+    The points are stored in counterclockwise order starting from the
+    south-west-most boundary vertex; ``positions`` holds each point's arc
+    length along the boundary, which implements the paper's circular
+    ordering and the neighbour searches of the Discretization Lemma.
+    """
+
+    def __init__(self, region: Region, rects: Sequence[Rect]) -> None:
+        self.region = region
+        self.rects = list(rects)
+        self.shooter = RayShooter(self.rects)
+        self.loop = region.vertices_loop()
+        self._edge_starts: list[int] = []
+        total = 0
+        loop = self.loop
+        for a, b in zip(loop, loop[1:] + [loop[0]]):
+            self._edge_starts.append(total)
+            total += dist(a, b)
+        self.perimeter = total
+        pts = set(loop)
+        xlo, ylo, xhi, yhi = region.bbox
+        sources: list[Point] = list(loop)
+        for r in self.rects:
+            sources.extend(r.vertices)
+        for v in sources:
+            for d in ("N", "S", "E", "W"):
+                p = self._exit_point(v, d)
+                if p is not None:
+                    pts.add(p)
+        positioned = []
+        for p in pts:
+            pos = self.boundary_pos(p)
+            if pos is not None:
+                positioned.append((pos, p))
+        positioned.sort()
+        self.points: list[Point] = [p for _pos, p in positioned]
+        self.positions: list[int] = [pos for pos, _p in positioned]
+        self.index = {p: i for i, p in enumerate(self.points)}
+        del xlo, ylo, xhi, yhi
+
+    # ------------------------------------------------------------------
+    def _exit_point(self, v: Point, direction: str) -> Optional[Point]:
+        """Boundary point seen from ``v`` in ``direction`` (None if an
+        obstacle blocks the view first)."""
+        x, y = v
+        region = self.region
+        xlo, ylo, xhi, yhi = region.bbox
+        if not region.contains(v):
+            return None
+        if direction == "N":
+            exit_pt: Point = (x, _north_exit(region, x))
+            ok = exit_pt[1] >= y
+        elif direction == "S":
+            exit_pt = (x, _south_exit(region, x))
+            ok = exit_pt[1] <= y
+        elif direction == "E":
+            ex = self._east_exit_at_row(y, x)
+            if ex is None:
+                return None
+            exit_pt = (ex, y)
+            ok = ex >= x
+        else:
+            wx = self._west_exit_at_row(y, x)
+            if wx is None:
+                return None
+            exit_pt = (wx, y)
+            ok = wx <= x
+        if not ok:
+            return None
+        hit = self.shooter.shoot(v, direction)
+        if hit is not None:
+            if direction == "N" and hit.point[1] < exit_pt[1]:
+                return None
+            if direction == "S" and hit.point[1] > exit_pt[1]:
+                return None
+            if direction == "E" and hit.point[0] < exit_pt[0]:
+                return None
+            if direction == "W" and hit.point[0] > exit_pt[0]:
+                return None
+        return exit_pt
+
+    def _east_exit_at_row(self, y: int, from_x: int) -> Optional[int]:
+        """Largest x with (x, y) in Q, scanning the boundary columns."""
+        region = self.region
+        xlo, _, xhi, _ = region.bbox
+        # whole-row extent: rightmost column whose [bottom, top] contains y
+        cols = sorted(
+            set(region.top.breakpoints()) | set(region.bottom.breakpoints())
+        )
+        best = None
+        for a, b in zip(cols, cols[1:]):
+            if b <= from_x:
+                continue
+            top = min(region.top.value_max_at(a), region.top.value_max_at(b))
+            bot = max(region.bottom.value_min_at(a), region.bottom.value_min_at(b))
+            lo_t = min(region.top.value_min_at(a), region.top.value_min_at(b))
+            hi_b = max(region.bottom.value_max_at(a), region.bottom.value_max_at(b))
+            if hi_b <= y <= lo_t:
+                best = b
+            elif bot <= y <= top and best is None:
+                best = max(from_x, a)
+            else:
+                if best is not None and a >= from_x:
+                    break
+        del xlo, xhi
+        return best
+
+    def _west_exit_at_row(self, y: int, from_x: int) -> Optional[int]:
+        region = self.region
+        cols = sorted(
+            set(region.top.breakpoints()) | set(region.bottom.breakpoints())
+        )
+        best = None
+        for b, a in zip(reversed(cols), list(reversed(cols))[1:]):
+            if a >= from_x:
+                continue
+            lo_t = min(region.top.value_min_at(a), region.top.value_min_at(b))
+            hi_b = max(region.bottom.value_max_at(a), region.bottom.value_max_at(b))
+            if hi_b <= y <= lo_t:
+                best = a
+            else:
+                if best is not None and b <= from_x:
+                    break
+        return best
+
+    # ------------------------------------------------------------------
+    def boundary_pos(self, p: Point) -> Optional[int]:
+        """Arc-length position of ``p`` along the CCW boundary, or None if
+        ``p`` is not on the boundary."""
+        loop = self.loop
+        for i, (a, b) in enumerate(zip(loop, loop[1:] + [loop[0]])):
+            if a[0] == b[0] == p[0]:
+                lo, hi = min(a[1], b[1]), max(a[1], b[1])
+                if lo <= p[1] <= hi:
+                    return self._edge_starts[i] + abs(p[1] - a[1])
+            elif a[1] == b[1] == p[1]:
+                lo, hi = min(a[0], b[0]), max(a[0], b[0])
+                if lo <= p[0] <= hi:
+                    return self._edge_starts[i] + abs(p[0] - a[0])
+        return None
+
+    def neighbors(self, b: Point) -> tuple[Point, Point]:
+        """The first B(Q) points met from ``b`` walking clockwise and
+        counterclockwise (the ``v``/``w`` of the Discretization Lemma)."""
+        pos = self.boundary_pos(b)
+        if pos is None:
+            raise GeometryError(f"{b} is not on the boundary")
+        i = self.index.get(b)
+        if i is not None:
+            return b, b
+        j = bisect_right(self.positions, pos) % len(self.points)
+        return self.points[j - 1], self.points[j]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+
+def boundary_points(region: Region, rects: Sequence[Rect]) -> BoundarySet:
+    """Compute ``B(Q)`` for a region and the obstacles it contains."""
+    return BoundarySet(region, rects)

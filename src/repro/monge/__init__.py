@@ -1,0 +1,25 @@
+"""Monge matrices and (min,+) products — Lemmas 1–5 of the paper."""
+
+from repro.monge.matrix import (
+    INF,
+    as_matrix,
+    is_monge,
+    pad_matrix,
+)
+from repro.monge.smawk import smawk_row_minima
+from repro.monge.multiply import (
+    minplus_naive,
+    minplus_monge,
+    minplus_auto,
+)
+
+__all__ = [
+    "INF",
+    "as_matrix",
+    "is_monge",
+    "pad_matrix",
+    "smawk_row_minima",
+    "minplus_naive",
+    "minplus_monge",
+    "minplus_auto",
+]

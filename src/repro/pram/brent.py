@@ -1,0 +1,42 @@
+"""Brent's theorem (Theorem 1 of the paper).
+
+Any synchronous parallel algorithm taking time ``T`` with ``W`` total
+operations can be simulated by ``p`` processors in ``O(W/p + T)``.  The
+engines record ``(T, W)`` pairs; these helpers evaluate the scheduled time
+for any processor count — experiment E9 plots the resulting speedup curves,
+and E2/E3 derive the paper's processor counts as ``W / T``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def brent_time(work: int, time: int, processors: int) -> int:
+    """Scheduled parallel time with ``p`` processors: ``⌈W/p⌉ + T``."""
+    if processors < 1:
+        raise ValueError("need at least one processor")
+    return math.ceil(work / processors) + time
+
+
+def speedup_table(
+    work: int, time: int, processor_counts: Sequence[int]
+) -> list[tuple[int, int, float, float]]:
+    """Rows ``(p, T_p, speedup, efficiency)`` for a sweep of p."""
+    t1 = brent_time(work, time, 1)
+    out = []
+    for p in processor_counts:
+        tp = brent_time(work, time, p)
+        s = t1 / tp
+        out.append((p, tp, s, s / p))
+    return out
+
+
+def processors_for_time(work: int, time: int, target_time: int) -> int:
+    """Smallest p with ``T_p ≤ target_time`` (∞ -> raises if T > target)."""
+    if time > target_time:
+        raise ValueError("even infinitely many processors cannot beat T∞")
+    if target_time == time:
+        return max(1, work)  # needs one processor per op in the widest step
+    return max(1, math.ceil(work / (target_time - time)))

@@ -1,0 +1,73 @@
+"""Euler-tour tree computations (Tarjan–Vishkin [36]).
+
+The paper uses the Euler tour twice: to extract root paths from the
+path-tracing forests (Lemma 6) and to compute node depths for path
+reporting (§8).  Both reduce to list ranking / parallel prefix over the
+tour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import PRAMError
+from repro.pram.listrank import list_rank
+from repro.pram.machine import PRAM, ambient
+from repro.pram.primitives import scan
+
+
+def euler_tour(children: Sequence[Sequence[int]], root: int) -> list[tuple[int, int]]:
+    """The Euler tour of a rooted tree as ``(node, +1/-1)`` events."""
+    tour: list[tuple[int, int]] = []
+    stack: list[tuple[int, int]] = [(root, 0)]
+    # iterative DFS emitting enter/exit events (the tour itself)
+    state: list[int] = [0] * len(children)
+    stack = [root]
+    tour.append((root, +1))
+    while stack:
+        v = stack[-1]
+        if state[v] < len(children[v]):
+            c = children[v][state[v]]
+            state[v] += 1
+            stack.append(c)
+            tour.append((c, +1))
+        else:
+            stack.pop()
+            tour.append((v, -1))
+    return tour
+
+
+def tree_depths(
+    children: Sequence[Sequence[int]], root: int, pram: Optional[PRAM] = None
+) -> list[int]:
+    """Depths of all
+
+    nodes via +1/-1 prefix sums over the Euler tour [36]."""
+    pram = pram or ambient()
+    tour = euler_tour(children, root)
+    sums = scan([d for _v, d in tour], lambda a, b: a + b, 0, pram=pram)
+    depth = [-1] * len(children)
+    for (v, d), s in zip(tour, sums):
+        if d == +1 and depth[v] < 0:
+            depth[v] = s - 1
+    return depth
+
+
+def forest_depths(
+    parents: Sequence[Optional[int]], pram: Optional[PRAM] = None
+) -> list[int]:
+    """Depth of every node in a parent-pointer forest (roots have parent
+    None) by pointer jumping — this is list ranking on the parent links."""
+    pram = pram or ambient()
+    return list_rank(parents, pram=pram)
+
+
+def root_of(parents: Sequence[Optional[int]], v: int) -> int:
+    """Sequential root chase (O(depth)); metered callers use jump tables."""
+    seen = 0
+    while parents[v] is not None:
+        v = parents[v]  # type: ignore[assignment]
+        seen += 1
+        if seen > len(parents):
+            raise PRAMError("cycle in parent pointers")
+    return v

@@ -1,0 +1,43 @@
+"""List ranking by pointer jumping (Wyllie), used by the Euler-tour
+machinery [36].
+
+``O(log n)`` time, ``O(n log n)`` work — the paper's tree computations
+tolerate this (their budgets are quadratic); the optimal ``O(n)``-work
+rankers would only change constants in our measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import PRAMError
+from repro.pram.machine import PRAM, ambient
+
+
+def list_rank(succ: Sequence[Optional[int]], pram: Optional[PRAM] = None) -> list[int]:
+    """Distance from each node to the end of its list.
+
+    ``succ[i]`` is the successor index or None at a list tail.  Every node
+    must reach a tail (no cycles).
+    """
+    pram = pram or ambient()
+    n = len(succ)
+    if n == 0:
+        return []
+    rank = [0 if s is None else 1 for s in succ]
+    nxt: list[Optional[int]] = list(succ)
+    rounds = 0
+    while any(p is not None for p in nxt):
+        rounds += 1
+        if rounds > 2 * n.bit_length() + 4:
+            raise PRAMError("cycle detected in list_rank input")
+        pram.step(n)  # one jumping round: n processors, O(1) each
+        new_rank = list(rank)
+        new_nxt: list[Optional[int]] = list(nxt)
+        for i in range(n):
+            j = nxt[i]
+            if j is not None:
+                new_rank[i] = rank[i] + rank[j]
+                new_nxt[i] = nxt[j]
+        rank, nxt = new_rank, new_nxt
+    return rank

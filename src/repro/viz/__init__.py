@@ -1,0 +1,6 @@
+"""Deterministic ASCII renderings of scenes and of the paper's figures."""
+
+from repro.viz.ascii import Canvas, render_scene
+from repro.viz.figures import figure_text, ALL_FIGURES
+
+__all__ = ["Canvas", "render_scene", "figure_text", "ALL_FIGURES"]

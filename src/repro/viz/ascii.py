@@ -1,0 +1,132 @@
+"""A tiny ASCII canvas for rectilinear scenes.
+
+Used by the examples and by :mod:`repro.viz.figures` to regenerate the
+paper's illustrative figures as deterministic text art (the paper has no
+data plots — its figures are geometric concept drawings).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.geometry.primitives import Point, Rect
+from repro.geometry.staircase import Staircase
+
+
+class Canvas:
+    """Character grid over a world-coordinate bounding box."""
+
+    def __init__(
+        self,
+        bbox: tuple[int, int, int, int],
+        width: int = 72,
+        height: int = 28,
+    ) -> None:
+        self.xlo, self.ylo, self.xhi, self.yhi = bbox
+        self.width = max(8, width)
+        self.height = max(6, height)
+        self.grid = [[" "] * self.width for _ in range(self.height)]
+
+    # ------------------------------------------------------------------
+    def _col(self, x: float) -> int:
+        span = max(1, self.xhi - self.xlo)
+        c = round((x - self.xlo) * (self.width - 1) / span)
+        return min(max(int(c), 0), self.width - 1)
+
+    def _row(self, y: float) -> int:
+        span = max(1, self.yhi - self.ylo)
+        r = round((y - self.ylo) * (self.height - 1) / span)
+        return self.height - 1 - min(max(int(r), 0), self.height - 1)
+
+    def put(self, p: Point, ch: str) -> None:
+        self.grid[self._row(p[1])][self._col(p[0])] = ch[0]
+
+    def label(self, p: Point, text: str) -> None:
+        r, c = self._row(p[1]), self._col(p[0])
+        for i, ch in enumerate(text):
+            if c + i < self.width:
+                self.grid[r][c + i] = ch
+
+    # ------------------------------------------------------------------
+    def rect(self, r: Rect, fill: str = "#", border: Optional[str] = None) -> None:
+        c0, c1 = self._col(r.xlo), self._col(r.xhi)
+        r0, r1 = self._row(r.yhi), self._row(r.ylo)
+        for row in range(r0, r1 + 1):
+            for col in range(c0, c1 + 1):
+                edge = row in (r0, r1) or col in (c0, c1)
+                ch = (border or fill) if edge else fill
+                self.grid[row][col] = ch
+
+    def hline(self, y: int, x1: float, x2: float, ch: str = "-") -> None:
+        row = self._row(y)
+        a, b = sorted((self._col(x1), self._col(x2)))
+        for col in range(a, b + 1):
+            cur = self.grid[row][col]
+            self.grid[row][col] = "+" if cur in "|+" else ch
+
+    def vline(self, x: int, y1: float, y2: float, ch: str = "|") -> None:
+        col = self._col(x)
+        a, b = sorted((self._row(y1), self._row(y2)))
+        for row in range(a, b + 1):
+            cur = self.grid[row][col]
+            self.grid[row][col] = "+" if cur in "-+" else ch
+
+    def polyline(self, pts: Sequence[Point], hch: str = "-", vch: str = "|") -> None:
+        for a, b in zip(pts, pts[1:]):
+            if a[1] == b[1]:
+                self.hline(a[1], a[0], b[0], hch)
+            elif a[0] == b[0]:
+                self.vline(a[0], a[1], b[1], vch)
+        for p in pts:
+            self.put(p, "+")
+
+    def staircase(self, s: Staircase, hch: str = "=", vch: str = "|") -> None:
+        self.polyline(list(s.pts), hch, vch)
+        if s.left_dir == "W":
+            self.hline(s.pts[0][1], self.xlo, s.pts[0][0], hch)
+        if s.left_dir in ("N", "S"):
+            edge = self.yhi if s.left_dir == "N" else self.ylo
+            self.vline(s.pts[0][0], s.pts[0][1], edge, vch)
+        if s.right_dir == "E":
+            self.hline(s.pts[-1][1], s.pts[-1][0], self.xhi, hch)
+        if s.right_dir in ("N", "S"):
+            edge = self.yhi if s.right_dir == "N" else self.ylo
+            self.vline(s.pts[-1][0], s.pts[-1][1], edge, vch)
+
+    # ------------------------------------------------------------------
+    def render(self, title: str = "") -> str:
+        frame = ["+" + "-" * self.width + "+"]
+        body = ["|" + "".join(row) + "|" for row in self.grid]
+        out = ([title] if title else []) + frame + body + [frame[0]]
+        return "\n".join(out)
+
+
+def render_scene(
+    rects: Sequence[Rect],
+    paths: Iterable[Sequence[Point]] = (),
+    points: Iterable[tuple[Point, str]] = (),
+    title: str = "",
+    width: int = 72,
+    height: int = 28,
+    margin: int = 2,
+) -> str:
+    """One-call scene rendering: obstacles, optional paths, labelled points."""
+    xs = [r.xlo for r in rects] + [r.xhi for r in rects]
+    ys = [r.ylo for r in rects] + [r.yhi for r in rects]
+    for path in paths:
+        xs += [p[0] for p in path]
+        ys += [p[1] for p in path]
+    for p, _ in points:
+        xs.append(p[0])
+        ys.append(p[1])
+    if not xs:
+        xs, ys = [0, 10], [0, 10]
+    bbox = (min(xs) - margin, min(ys) - margin, max(xs) + margin, max(ys) + margin)
+    canvas = Canvas(bbox, width, height)
+    for r in rects:
+        canvas.rect(r, fill="#")
+    for path in paths:
+        canvas.polyline(list(path), hch="*", vch="*")
+    for p, name in points:
+        canvas.label(p, name)
+    return canvas.render(title)

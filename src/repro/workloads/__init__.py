@@ -1,0 +1,25 @@
+"""Workload generators and deterministic fixture scenes."""
+
+from repro.workloads.generators import (
+    random_disjoint_rects,
+    random_container_polygon,
+    random_free_points,
+    WORKLOAD_MODES,
+)
+from repro.workloads.fixtures import (
+    two_clusters,
+    three_shelves,
+    ring_of_rects,
+    paper_figure_scene,
+)
+
+__all__ = [
+    "random_disjoint_rects",
+    "random_container_polygon",
+    "random_free_points",
+    "WORKLOAD_MODES",
+    "two_clusters",
+    "three_shelves",
+    "ring_of_rects",
+    "paper_figure_scene",
+]

@@ -1,0 +1,85 @@
+"""Small deterministic scenes used by tests, examples and figure rendering."""
+
+from __future__ import annotations
+
+from repro.geometry.primitives import Rect
+
+
+def two_clusters() -> list[Rect]:
+    """Two diagonal clusters — the hull-does-not-exist shape of Fig. 2(a)."""
+    return [
+        Rect(0, 30, 6, 37),
+        Rect(3, 24, 10, 29),
+        Rect(8, 33, 15, 40),
+        Rect(40, 2, 48, 9),
+        Rect(44, 11, 52, 16),
+        Rect(51, 0, 58, 6),
+    ]
+
+
+def three_shelves() -> list[Rect]:
+    """Three long horizontal shelves with offset gaps (classic maze)."""
+    return [
+        Rect(0, 10, 40, 13),
+        Rect(15, 20, 55, 23),
+        Rect(0, 30, 40, 33),
+        Rect(48, 28, 60, 35),
+        Rect(45, 8, 58, 15),
+    ]
+
+
+def ring_of_rects() -> list[Rect]:
+    """Eight rectangles arranged in a ring with a free centre."""
+    return [
+        Rect(10, 0, 20, 6),
+        Rect(24, 2, 34, 8),
+        Rect(36, 12, 42, 22),
+        Rect(35, 26, 41, 36),
+        Rect(22, 38, 32, 44),
+        Rect(8, 37, 18, 43),
+        Rect(0, 24, 6, 34),
+        Rect(1, 9, 7, 19),
+    ]
+
+
+def paper_figure_scene(which: int) -> list[Rect]:
+    """Deterministic obstacle sets shaped after the paper's figures.
+
+    ``which`` is the figure number (1–14).  These are not copies of the
+    hand-drawn figures — the paper gives no coordinates — but scenes that
+    exhibit the same phenomenon each figure illustrates.
+    """
+    if which in (1, 3, 7):  # frontier/visibility demos: scattered blocks
+        return [
+            Rect(2, 14, 8, 19),
+            Rect(10, 8, 16, 12),
+            Rect(18, 16, 24, 21),
+            Rect(26, 3, 33, 7),
+            Rect(12, 24, 20, 28),
+        ]
+    if which == 2:  # envelope cases
+        return two_clusters()
+    if which in (4, 9, 11, 12, 13):  # Monge / conquer / bridging demos
+        # interlocking projections: the envelope is non-degenerate, so the
+        # boundary chains of Lemma 1 exist
+        return [
+            Rect(4, 4, 10, 9),
+            Rect(14, 12, 24, 18),
+            Rect(23, 5, 34, 12),
+            Rect(6, 17, 14, 27),
+            Rect(28, 21, 36, 26),
+        ]
+    if which in (5, 6):  # path tracing and separator
+        return [
+            Rect(6, 6, 14, 11),
+            Rect(18, 14, 27, 20),
+            Rect(9, 24, 17, 30),
+            Rect(30, 3, 38, 8),
+            Rect(33, 23, 41, 29),
+            Rect(21, 33, 30, 38),
+        ]
+    if which in (8, 10):  # staircase extension / U,U',W,W'
+        return three_shelves()
+    if which == 14:  # chunk partition of Bound(P)
+        return ring_of_rects()
+    raise ValueError(f"no fixture for figure {which}")

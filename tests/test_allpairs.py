@@ -1,0 +1,134 @@
+"""Validation of the §5/§6 parallel engine against the grid oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.allpairs import DistanceIndex, ParallelEngine, build_vertex_index
+from repro.core.baseline import GridOracle
+from repro.errors import GeometryError, QueryError
+from repro.geometry.primitives import Rect, dist
+from repro.pram import PRAM
+from repro.workloads.generators import (
+    WORKLOAD_MODES,
+    random_disjoint_rects,
+    random_free_points,
+)
+
+
+def assert_matches_oracle(rects, extra=(), leaf_size=6):
+    pram = PRAM()
+    engine = ParallelEngine(rects, extra, pram, leaf_size=leaf_size)
+    idx = engine.build()
+    vertices = [v for r in rects for v in r.vertices] + list(extra)
+    vertices = list(dict.fromkeys(vertices))
+    oracle = GridOracle(rects, vertices)
+    want = oracle.dist_matrix(vertices)
+    got = idx.submatrix(vertices)
+    bad = np.argwhere(got != want)
+    assert bad.size == 0, (
+        f"{len(bad)} mismatches; first: {vertices[bad[0][0]]}->"
+        f"{vertices[bad[0][1]]} got {got[tuple(bad[0])]} want {want[tuple(bad[0])]}"
+    )
+    return engine, idx
+
+
+class TestEngineSmall:
+    def test_no_obstacles(self):
+        idx = ParallelEngine([], [(0, 0), (3, 4)], PRAM()).build()
+        assert idx.length((0, 0), (3, 4)) == 7
+
+    def test_single_rect(self):
+        assert_matches_oracle([Rect(0, 0, 4, 4)])
+
+    def test_two_rects_detour(self):
+        assert_matches_oracle([Rect(0, 0, 2, 10), Rect(6, -5, 8, 5)])
+
+    def test_wall_between_extra_points(self):
+        rects = [Rect(4, -20, 6, 20)]
+        _, idx = assert_matches_oracle(rects, extra=[(0, 0), (10, 0)])
+        assert idx.length((0, 0), (10, 0)) == 10 + 2 * 20
+
+    def test_extra_point_inside_obstacle_rejected(self):
+        with pytest.raises(GeometryError):
+            ParallelEngine([Rect(0, 0, 4, 4)], [(2, 2)], PRAM())
+
+    def test_unknown_point_query(self):
+        idx = ParallelEngine([Rect(0, 0, 1, 1)], [], PRAM()).build()
+        with pytest.raises(QueryError):
+            idx.length((500, 500), (0, 0))
+
+    def test_diagonal_is_zero_and_symmetric(self):
+        rects = random_disjoint_rects(10, seed=0)
+        idx = ParallelEngine(rects, [], PRAM()).build()
+        m = idx.matrix
+        assert (np.diag(m) == 0).all()
+        assert (m == m.T).all()
+
+
+class TestEngineRecursive:
+    """Sizes above the leaf threshold: the conquer path is exercised."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_uniform_n20(self, seed):
+        rects = random_disjoint_rects(20, seed=seed)
+        assert_matches_oracle(rects, leaf_size=4)
+
+    @pytest.mark.parametrize("mode", WORKLOAD_MODES)
+    def test_all_workloads_n24(self, mode):
+        rects = random_disjoint_rects(24, seed=11, mode=mode)
+        assert_matches_oracle(rects, leaf_size=4)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_extra_points(self, seed):
+        rects = random_disjoint_rects(16, seed=seed)
+        extra = random_free_points(rects, 6, seed=seed + 100)
+        assert_matches_oracle(rects, extra=extra, leaf_size=4)
+
+    def test_deeper_recursion_n40(self):
+        rects = random_disjoint_rects(40, seed=3)
+        engine, _ = assert_matches_oracle(rects, leaf_size=4)
+        assert engine.stats.nodes > 3  # actually recursed
+
+    def test_lower_bound_and_triangle(self):
+        rects = random_disjoint_rects(24, seed=9)
+        idx = ParallelEngine(rects, [], PRAM(), leaf_size=4).build()
+        m = idx.matrix
+        pts = idx.points
+        for i in range(0, len(pts), 7):
+            for j in range(0, len(pts), 5):
+                assert m[i, j] >= dist(pts[i], pts[j])
+        # spot-check the triangle inequality
+        n = len(pts)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            i, j, k = rng.integers(0, n, 3)
+            assert m[i, j] <= m[i, k] + m[k, j] + 1e-9
+
+
+class TestMetering:
+    def test_parallel_time_much_smaller_than_work(self):
+        pram = PRAM()
+        rects = random_disjoint_rects(32, seed=5)
+        ParallelEngine(rects, [], pram, leaf_size=4).build()
+        assert pram.time > 0
+        assert pram.work > 10 * pram.time  # real parallelism in the model
+
+    def test_stats_populated(self):
+        pram = PRAM()
+        rects = random_disjoint_rects(32, seed=6)
+        engine = ParallelEngine(rects, [], pram, leaf_size=4)
+        engine.build()
+        s = engine.stats
+        assert s.nodes >= 3
+        assert s.leaves >= 2
+        assert s.crossing_candidates > 0
+        assert s.max_tracked >= 4 * 4
+
+
+class TestConvenience:
+    def test_build_vertex_index(self):
+        rects = random_disjoint_rects(12, seed=2)
+        idx = build_vertex_index(rects)
+        assert isinstance(idx, DistanceIndex)
+        v0 = rects[0].sw
+        assert idx.length(v0, v0) == 0

@@ -1,0 +1,128 @@
+"""Tests for the CLI entry point and the workload generators."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import GeometryError
+from repro.geometry.primitives import validate_disjoint
+from repro.workloads.fixtures import (
+    paper_figure_scene,
+    ring_of_rects,
+    three_shelves,
+    two_clusters,
+)
+from repro.workloads.generators import (
+    WORKLOAD_MODES,
+    random_container_polygon,
+    random_disjoint_rects,
+    random_free_points,
+    staircase_container,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("mode", WORKLOAD_MODES)
+    def test_modes_produce_valid_scenes(self, mode):
+        rects = random_disjoint_rects(30, seed=1, mode=mode)
+        assert len(rects) == 30
+        validate_disjoint(rects)
+
+    @pytest.mark.parametrize("mode", WORKLOAD_MODES)
+    def test_distinct_coordinates(self, mode):
+        rects = random_disjoint_rects(25, seed=2, mode=mode)
+        xs = [x for r in rects for x in (r.xlo, r.xhi)]
+        ys = [y for r in rects for y in (r.ylo, r.yhi)]
+        assert len(set(xs)) == len(xs)
+        assert len(set(ys)) == len(ys)
+
+    def test_deterministic_per_seed(self):
+        a = random_disjoint_rects(15, seed=9)
+        b = random_disjoint_rects(15, seed=9)
+        c = random_disjoint_rects(15, seed=10)
+        assert a == b
+        assert a != c
+
+    def test_unknown_mode(self):
+        with pytest.raises(GeometryError):
+            random_disjoint_rects(5, mode="galactic")
+
+    def test_free_points_avoid_interiors(self):
+        rects = random_disjoint_rects(20, seed=4)
+        pts = random_free_points(rects, 30, seed=4)
+        assert len(pts) == len(set(pts)) == 30
+        for p in pts:
+            assert not any(r.contains_interior(p) for r in rects)
+
+    def test_container_polygon_contains(self):
+        rects = random_disjoint_rects(10, seed=5)
+        poly = random_container_polygon(rects, seed=5)
+        for r in rects:
+            assert poly.contains_rect(r)
+
+    @pytest.mark.parametrize("steps", [1, 8, 40])
+    def test_staircase_container_vertex_count_scales(self, steps):
+        rects = random_disjoint_rects(8, seed=6)
+        poly = staircase_container(rects, steps=steps, margin=2 * steps + 6)
+        for r in rects:
+            assert poly.contains_rect(r)
+        if steps >= 8:
+            assert poly.size >= 4 * steps
+
+    def test_tiny_scene(self):
+        rects = random_disjoint_rects(2, seed=7)
+        assert len(rects) == 2
+        validate_disjoint(rects)
+
+
+class TestFixtures:
+    def test_fixture_scenes_valid(self):
+        for scene in (two_clusters(), three_shelves(), ring_of_rects()):
+            validate_disjoint(scene)
+
+    def test_all_figure_fixtures(self):
+        for k in range(1, 15):
+            validate_disjoint(paper_figure_scene(k))
+
+    def test_unknown_figure_fixture(self):
+        with pytest.raises(ValueError):
+            paper_figure_scene(99)
+
+
+class TestCLI:
+    def test_demo(self, capsys):
+        assert main(["demo", "-n", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out and "length" in out
+
+    def test_query_roundtrip(self, tmp_path, capsys):
+        scene = tmp_path / "scene.json"
+        scene.write_text(json.dumps({"rects": [[2, 2, 4, 8], [6, 0, 9, 5]]}))
+        assert main(["query", str(scene), "0,0", "11,7", "--path"]) == 0
+        out = capsys.readouterr().out
+        assert "length = 18" in out
+        assert "path   =" in out
+
+    def test_query_bad_point(self, tmp_path):
+        scene = tmp_path / "scene.json"
+        scene.write_text(json.dumps({"rects": [[0, 0, 1, 1]]}))
+        with pytest.raises(SystemExit):
+            main(["query", str(scene), "zero", "1,1"])
+
+    def test_query_bad_scene(self, tmp_path):
+        scene = tmp_path / "scene.json"
+        scene.write_text(json.dumps({"boxes": []}))
+        with pytest.raises(SystemExit):
+            main(["query", str(scene), "0,0", "1,1"])
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "6"]) == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_bench_info(self, tmp_path, capsys):
+        scene = tmp_path / "scene.json"
+        scene.write_text(json.dumps({"rects": [[0, 0, 2, 2], [5, 5, 8, 8]]}))
+        assert main(["bench-info", str(scene)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out

@@ -1,0 +1,222 @@
+"""Edge-case and failure-injection tests across all subsystems.
+
+These cover the awkward geometries and misuse paths the main suites don't:
+touching rectangles (polygon pockets produce them), degenerate separators,
+single-obstacle scenes, huge coordinates, empty inputs, and API misuse.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.allpairs import DistanceIndex, ParallelEngine
+from repro.core.baseline import GridOracle, path_is_clear, path_length
+from repro.core.query import QueryStructure
+from repro.core.sequential import SequentialEngine
+from repro.errors import DisjointnessError, GeometryError, QueryError
+from repro.geometry.primitives import Rect, dist, validate_disjoint
+from repro.geometry.staircase import Staircase
+from repro.monge.matrix import as_matrix, is_monge
+from repro.pram import PRAM
+from repro.workloads.generators import random_disjoint_rects
+
+
+class TestTouchingRectangles:
+    """Shared edges and corners — the pocket-decomposition regime."""
+
+    def stacked(self):
+        # three slabs sharing full horizontal edges
+        return [Rect(0, 0, 10, 2), Rect(0, 2, 10, 4), Rect(0, 4, 10, 6)]
+
+    def test_validate_accepts_stacked(self):
+        validate_disjoint(self.stacked())
+
+    def test_engines_agree_on_stacked(self):
+        rects = self.stacked()
+        seq = SequentialEngine(rects).build()
+        par = ParallelEngine(rects, [], PRAM(), leaf_size=2).build()
+        assert (par.submatrix(seq.points) == seq.matrix).all()
+
+    def test_seam_corner_distances(self):
+        rects = self.stacked()
+        idx = SequentialEngine(rects).build()
+        # around the combined block, not through it
+        assert idx.length((0, 0), (10, 6)) == 16
+        # along the shared seam edges: boundary is passable
+        assert idx.length((0, 2), (10, 2)) == 10
+
+    def test_corner_touching(self):
+        rects = [Rect(0, 0, 4, 4), Rect(4, 4, 8, 8)]
+        seq = SequentialEngine(rects).build()
+        oracle = GridOracle(rects, seq.points)
+        assert (oracle.dist_matrix(seq.points) == seq.matrix).all()
+        # diagonal corner is passable
+        assert seq.length((0, 4), (8, 4)) == 8
+
+    def test_checkerboard(self):
+        rects = [
+            Rect(0, 0, 2, 2), Rect(2, 2, 4, 4), Rect(4, 0, 6, 2),
+            Rect(2, 6, 4, 8), Rect(0, 4, 2, 6),
+        ]
+        validate_disjoint(rects)
+        seq = SequentialEngine(rects).build()
+        oracle = GridOracle(rects, seq.points)
+        assert (oracle.dist_matrix(seq.points) == seq.matrix).all()
+
+
+class TestExtremeGeometry:
+    def test_huge_coordinates_stay_exact(self):
+        base = 10**12
+        rects = [
+            Rect(base, base, base + 5, base + 9),
+            Rect(base + 11, base - 7, base + 19, base + 3),
+        ]
+        idx = SequentialEngine(rects).build()
+        for i, p in enumerate(idx.points):
+            for j, q in enumerate(idx.points):
+                assert idx.matrix[i, j] >= dist(p, q)
+        # values exceed 2^32 comfortably and remain exact in float64
+        assert idx.length(rects[0].sw, rects[1].ne) == dist(
+            rects[0].sw, rects[1].ne
+        )
+
+    def test_negative_coordinates(self):
+        rects = [Rect(-20, -20, -10, -12), Rect(-5, -8, 3, -1)]
+        seq = SequentialEngine(rects).build()
+        oracle = GridOracle(rects, seq.points)
+        assert (oracle.dist_matrix(seq.points) == seq.matrix).all()
+
+    def test_unit_squares(self):
+        rects = [Rect(3 * i, 0, 3 * i + 1, 1) for i in range(10)]
+        seq = SequentialEngine(rects).build()
+        assert np.isfinite(seq.matrix).all()
+
+    def test_nested_envelope_like_layout(self):
+        # a big U around a small block
+        rects = [
+            Rect(0, 0, 20, 2), Rect(0, 2, 2, 20), Rect(18, 2, 20, 20),
+            Rect(8, 8, 12, 12),
+        ]
+        seq = SequentialEngine(rects).build()
+        par = ParallelEngine(rects, [], PRAM(), leaf_size=2).build()
+        assert (par.submatrix(seq.points) == seq.matrix).all()
+
+
+class TestSmallN:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_below_theorem2_threshold(self, n):
+        """Theorem 2's balance guarantee needs n ≥ 8; the engine must stay
+        exact below it regardless of what the separator does."""
+        rects = random_disjoint_rects(n, seed=n)
+        par = ParallelEngine(rects, [], PRAM(), leaf_size=2).build()
+        oracle = GridOracle(rects, par.points)
+        assert (oracle.dist_matrix(par.points) == par.matrix).all()
+
+    def test_single_obstacle_all_pairs(self):
+        r = Rect(0, 0, 7, 3)
+        idx = SequentialEngine([r]).build()
+        assert idx.length(r.sw, r.ne) == 10
+        assert idx.length(r.sw, r.se) == 7
+        assert idx.length(r.nw, r.se) == 10
+
+
+class TestAPIsAndErrors:
+    def test_distance_index_submatrix_order(self):
+        pts = [(0, 0), (5, 0), (0, 5)]
+        m = np.arange(9, dtype=float).reshape(3, 3)
+        idx = DistanceIndex(pts, m)
+        sub = idx.submatrix([(0, 5), (0, 0)])
+        assert sub[0, 1] == m[2, 0]
+        assert len(idx) == 3
+
+    def test_distance_index_unknown_point(self):
+        idx = DistanceIndex([(0, 0)], np.zeros((1, 1)))
+        with pytest.raises(QueryError):
+            idx.length((0, 0), (1, 1))
+
+    def test_overlapping_input_rejected_everywhere(self):
+        bad = [Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)]
+        with pytest.raises(DisjointnessError):
+            ParallelEngine(bad, [], PRAM())
+        with pytest.raises(DisjointnessError):
+            SequentialEngine(bad)
+
+    def test_as_matrix_rejects_1d(self):
+        with pytest.raises(ValueError):
+            as_matrix([1.0, 2.0])
+
+    def test_is_monge_with_all_inf(self):
+        assert is_monge(np.full((3, 3), math.inf))
+
+    def test_query_structure_both_registered_short_circuit(self):
+        rects = [Rect(0, 0, 2, 2)]
+        idx = SequentialEngine(rects).build()
+        qs = QueryStructure(rects, idx, PRAM())
+        assert qs.length((0, 0), (2, 2)) == idx.length((0, 0), (2, 2))
+
+
+class TestStaircaseEdgeCases:
+    def test_single_point_bounded(self):
+        s = Staircase(((5, 5),), increasing=True)
+        assert s.pts == ((5, 5),)
+        assert s._contains_bounded((5, 5))
+        assert not s._contains_bounded((5, 6))
+
+    def test_horizontal_only_chain_sides(self):
+        s = Staircase(((0, 0), (10, 0)), increasing=True, left_dir="W", right_dir="E")
+        assert s.side_of((5, 3)) == 1
+        assert s.side_of((5, -3)) == -1
+        assert s.side_of((100, 0)) == 0
+
+    def test_subchain_single_point(self):
+        s = Staircase(((0, 0), (4, 0), (4, 3)), increasing=True)
+        assert s.subchain((2, 0), (2, 0)) == [(2, 0)]
+
+    def test_crossings_on_ray(self):
+        s = Staircase(((0, 0), (4, 0), (4, 3)), increasing=True,
+                      left_dir="W", right_dir="N")
+        assert s.crossings_with_hline(100) == [(4, 100)]
+        assert s.crossings_with_vline(-50) == [(-50, 0)]
+
+
+class TestQueryGeometryCorners:
+    """Positions that stress the §6.4 case analysis."""
+
+    def setup_method(self):
+        self.rects = [Rect(4, 4, 10, 10), Rect(14, 2, 18, 8), Rect(6, 14, 12, 18)]
+        self.idx = SequentialEngine(self.rects).build()
+        self.qs = QueryStructure(self.rects, self.idx, PRAM())
+
+    def check(self, p, q):
+        oracle = GridOracle(self.rects, [p, q])
+        assert self.qs.length(p, q) == oracle.dist(p, q), (p, q)
+
+    def test_point_in_notch_between_obstacles(self):
+        self.check((12, 6), (0, 0))  # between the two lower blocks
+
+    def test_point_on_obstacle_edge(self):
+        self.check((7, 4), (20, 20))  # on the bottom edge of block 1
+
+    def test_corner_to_corner_diagonal(self):
+        self.check((0, 20), (20, 0))
+
+    def test_alignment_through_gap(self):
+        self.check((0, 12), (20, 12))  # passes between the blocks
+
+    def test_query_point_equal_to_vertex(self):
+        v = self.rects[0].ne
+        self.check(v, (0, 0))
+
+
+class TestPathsThroughSeams:
+    def test_path_between_touching_rects_valid(self):
+        from repro.core.pathreport import PathReporter
+
+        rects = [Rect(0, 0, 4, 4), Rect(4, 0, 8, 4), Rect(0, 4, 8, 6)]
+        idx = SequentialEngine(rects).build()
+        rep = PathReporter(rects, idx, PRAM())
+        p, q = (0, 0), (8, 6)
+        path = rep.path(p, q)
+        assert path_length(path) == idx.length(p, q)
+        assert path_is_clear(path, rects)

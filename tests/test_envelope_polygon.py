@@ -1,0 +1,160 @@
+"""Tests for envelopes (§2 Fig. 2) and rectilinear convex polygons."""
+
+import pytest
+
+from repro.errors import ConvexityError, GeometryError
+from repro.geometry.envelope import Envelope, envelope, rectilinear_hull_exists
+from repro.geometry.polygon import RectilinearPolygon, pockets_to_rects, rect_polygon
+from repro.geometry.primitives import Rect, validate_disjoint
+from repro.workloads.fixtures import two_clusters
+from repro.workloads.generators import random_container_polygon, random_disjoint_rects
+
+
+class TestEnvelope:
+    def test_single_rect_envelope_is_the_rect(self):
+        env = envelope([Rect(2, 3, 8, 9)])
+        assert env.bbox == (2, 3, 8, 9)
+        assert not env.is_degenerate
+        assert env.contains((5, 5)) and env.contains((2, 3))
+        assert not env.contains((1, 5))
+        assert sorted(env.vertices_loop()) == sorted(
+            [(2, 3), (8, 3), (8, 9), (2, 9)]
+        )
+
+    def test_envelope_contains_all_rect_corners(self):
+        rects = random_disjoint_rects(30, seed=11)
+        env = envelope(rects)
+        for r in rects:
+            for v in r.vertices:
+                assert env.contains(v)
+
+    def test_hull_exists_for_interlocking_rects(self):
+        # both projections cover the bbox: no thinnable bridge
+        rects = [Rect(0, 0, 4, 4), Rect(3, 3, 7, 7)]
+        assert rectilinear_hull_exists(rects)
+
+    def test_hull_missing_for_vertically_separated(self):
+        # x-projections overlap but the y-projection has a gap: the vertical
+        # bridge can be thinned indefinitely, so the hull does not exist
+        rects = [Rect(0, 0, 4, 4), Rect(2, 6, 6, 10)]
+        assert not rectilinear_hull_exists(rects)
+
+    def test_degenerate_two_clusters(self):
+        assert not rectilinear_hull_exists(two_clusters())
+
+    def test_boundary_loop_is_closed_rectilinear(self):
+        rects = random_disjoint_rects(25, seed=4)
+        env = envelope(rects)
+        loop = env.vertices_loop()
+        assert len(loop) >= 4
+        for a, b in zip(loop, loop[1:] + [loop[0]]):
+            assert (a[0] == b[0]) != (a[1] == b[1]), (a, b)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_column_convexity(self, seed):
+        rects = random_disjoint_rects(20, seed=seed)
+        env = envelope(rects)
+        xlo, ylo, xhi, yhi = env.bbox
+        for x in range(xlo, xhi + 1, max(1, (xhi - xlo) // 17)):
+            assert env.bottom_at(x) <= env.top_at(x)
+
+    def test_boundary_chains_monotone(self):
+        rects = random_disjoint_rects(22, seed=5)
+        env = envelope(rects)
+        if env.is_degenerate:
+            pytest.skip("degenerate sample")
+        for q in ("NE", "NW", "SE", "SW"):
+            chain = env.boundary_chain(q)
+            assert chain.increasing == (q in ("NW", "SE"))
+
+    def test_intersects_rect_interior(self):
+        env = envelope([Rect(0, 0, 4, 4), Rect(8, 0, 12, 4)])
+        assert env.intersects_rect_interior(Rect(5, 1, 7, 3))
+        assert not env.intersects_rect_interior(Rect(5, 10, 7, 12))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Envelope([])
+
+
+class TestRectilinearPolygon:
+    def test_rectangle(self):
+        p = rect_polygon(0, 0, 10, 6)
+        assert p.size == 4
+        assert p.contains((5, 3)) and p.contains((0, 0))
+        assert not p.contains((11, 3))
+        assert p.contains_interior((5, 3))
+        assert not p.contains_interior((0, 3))
+
+    def test_octagon_like(self):
+        loop = [
+            (2, 0), (8, 0), (8, 2), (10, 2), (10, 8), (8, 8),
+            (8, 10), (2, 10), (2, 8), (0, 8), (0, 2), (2, 2),
+        ]
+        p = RectilinearPolygon(loop)
+        assert p.contains((5, 5))
+        assert p.contains((1, 5))  # inside the west notch band
+        assert not p.contains((1, 1))  # cut corner
+        assert p.on_boundary((2, 1))
+        assert p.size == 12
+
+    def test_non_convex_rejected(self):
+        loop = [(0, 0), (10, 0), (10, 10), (6, 10), (6, 4), (4, 4), (4, 10), (0, 10)]
+        with pytest.raises(ConvexityError):
+            RectilinearPolygon(loop)
+
+    def test_non_rectilinear_rejected(self):
+        with pytest.raises(GeometryError):
+            RectilinearPolygon([(0, 0), (5, 5), (0, 5), (0, 1)])
+
+    def test_orientation_normalised(self):
+        cw = [(0, 0), (0, 5), (5, 5), (5, 0)]
+        p = RectilinearPolygon(cw)
+        assert p.contains((2, 2))
+
+    def test_pockets_of_rectangle_are_empty(self):
+        assert pockets_to_rects(rect_polygon(0, 0, 8, 8)) == []
+
+    def test_pockets_cover_complement(self):
+        loop = [
+            (2, 0), (8, 0), (8, 2), (10, 2), (10, 8), (8, 8),
+            (8, 10), (2, 10), (2, 8), (0, 8), (0, 2), (2, 2),
+        ]
+        p = RectilinearPolygon(loop)
+        pockets = pockets_to_rects(p)
+        validate_disjoint(pockets)
+        xlo, ylo, xhi, yhi = p.bbox
+        # every unit cell of the bbox is in exactly one of P, pockets
+        for x in range(xlo, xhi):
+            for y in range(ylo, yhi):
+                in_pocket = sum(
+                    1
+                    for r in pockets
+                    if r.xlo <= x and x + 1 <= r.xhi and r.ylo <= y and y + 1 <= r.yhi
+                )
+                cell_in_p = (
+                    p.bottom.run_value(x) <= y and y + 1 <= p.top.run_value(x)
+                )
+                assert in_pocket == (0 if cell_in_p else 1), (x, y)
+
+    def test_contains_rect(self):
+        p = rect_polygon(0, 0, 10, 10)
+        assert p.contains_rect(Rect(1, 1, 9, 9))
+        assert not p.contains_rect(Rect(5, 5, 12, 9))
+
+
+class TestRandomContainer:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_container_contains_scene(self, seed):
+        rects = random_disjoint_rects(15, seed=seed)
+        poly = random_container_polygon(rects, seed=seed)
+        for r in rects:
+            assert poly.contains_rect(r), r
+
+    def test_pockets_disjoint_from_scene(self):
+        rects = random_disjoint_rects(12, seed=2)
+        poly = random_container_polygon(rects, seed=2)
+        pockets = pockets_to_rects(poly)
+        for a in pockets:
+            for b in rects:
+                assert not a.interiors_intersect(b)

@@ -1,0 +1,96 @@
+"""Tests for Pareto frontiers and MAX_XY staircases (§2, Fig. 1)."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.frontier import (
+    all_max_staircases,
+    max_staircase,
+    max_staircase_of_rects,
+    maximal_points,
+)
+from repro.geometry.primitives import Rect
+from repro.workloads.generators import random_disjoint_rects
+
+
+class TestMaximalPoints:
+    def test_single(self):
+        assert maximal_points([(3, 3)]) == [(3, 3)]
+
+    def test_chain(self):
+        pts = [(0, 5), (2, 3), (4, 1), (1, 1), (0, 0)]
+        assert maximal_points(pts) == [(0, 5), (2, 3), (4, 1)]
+
+    def test_dominated_removed(self):
+        assert maximal_points([(0, 0), (5, 5)]) == [(5, 5)]
+
+    def test_same_x_keeps_highest(self):
+        assert maximal_points([(2, 1), (2, 9)]) == [(2, 9)]
+
+    def test_output_sorted_x_increasing_y_decreasing(self):
+        import random
+
+        rng = random.Random(42)
+        pts = [(rng.randint(0, 50), rng.randint(0, 50)) for _ in range(200)]
+        out = maximal_points(pts)
+        assert all(a[0] < b[0] and a[1] > b[1] for a, b in zip(out, out[1:]))
+
+    def test_no_point_dominated_in_output(self):
+        import random
+
+        rng = random.Random(1)
+        pts = [(rng.randint(0, 30), rng.randint(0, 30)) for _ in range(100)]
+        out = set(maximal_points(pts))
+        for p in pts:
+            dominated = any(q != p and q[0] >= p[0] and q[1] >= p[1] for q in pts)
+            assert (p in out) == (not dominated)
+
+
+class TestMaxStaircases:
+    def rects(self):
+        return [Rect(0, 8, 4, 12), Rect(6, 2, 10, 6), Rect(3, 0, 5, 3)]
+
+    def test_ne_goes_through_maximal_corners(self):
+        s = max_staircase_of_rects(self.rects(), "NE")
+        assert (4, 12) in s.pts and (10, 6) in s.pts
+        assert s.increasing is False
+        assert s.left_dir == "W" and s.right_dir == "E"
+
+    def test_all_rects_below_ne(self):
+        rects = self.rects()
+        s = max_staircase_of_rects(rects, "NE")
+        # "below": no rect point strictly above a staircase point — corner check
+        for r in rects:
+            assert s.side_of_rect(r) == -1 or all(
+                s.side_of(v) <= 0 for v in r.vertices
+            )
+
+    def test_unknown_quadrant(self):
+        with pytest.raises(GeometryError):
+            max_staircase([(0, 0)], "XX")
+
+    @pytest.mark.parametrize("quadrant", ["NE", "NW", "SE", "SW"])
+    def test_frontier_clear_random(self, quadrant):
+        rects = random_disjoint_rects(40, seed=3)
+        s = max_staircase_of_rects(rects, quadrant)
+        assert s.is_clear(rects)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_frontier_separates_random(self, seed):
+        """Every obstacle lies weakly on the inner side of each frontier."""
+        rects = random_disjoint_rects(30, seed=seed)
+        stairs = all_max_staircases(rects)
+        sides = {"NE": -1, "SE": 1, "NW": -1, "SW": 1}
+        for q, s in stairs.items():
+            want = sides[q]
+            for r in rects:
+                for v in r.vertices:
+                    got = s.side_of(v)
+                    assert got == want or got == 0, (q, r, v)
+
+    def test_unbounded_and_size(self):
+        rects = random_disjoint_rects(25, seed=9)
+        for q in ("NE", "NW", "SE", "SW"):
+            s = max_staircase_of_rects(rects, q)
+            assert s.unbounded
+            assert s.num_segments <= 2 * len(rects) + 2

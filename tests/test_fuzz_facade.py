@@ -1,0 +1,59 @@
+"""Randomized end-to-end fuzz of the public facade.
+
+Hundreds of mixed operations (vertex queries, arbitrary queries, paths)
+against the Dijkstra oracle on moderate scenes — the catch-all net for
+rare case-analysis interactions that the targeted suites might miss.
+"""
+
+import random
+
+import pytest
+
+from repro.core.api import ShortestPathIndex
+from repro.core.baseline import GridOracle, path_is_clear, path_length
+from repro.workloads.generators import (
+    WORKLOAD_MODES,
+    random_disjoint_rects,
+    random_free_points,
+)
+
+
+@pytest.mark.parametrize("mode", WORKLOAD_MODES)
+def test_fuzz_mixed_operations(mode):
+    rng = random.Random(f"fuzz|{mode}")
+    rects = random_disjoint_rects(18, seed=99, mode=mode)
+    idx = ShortestPathIndex.build(rects, engine="parallel")
+    verts = idx.vertices()
+    free = random_free_points(rects, 12, seed=99)
+    oracle = GridOracle(rects, verts + free)
+    for step in range(120):
+        op = rng.randrange(4)
+        if op == 0:  # vertex-vertex length
+            p, q = rng.choice(verts), rng.choice(verts)
+            assert idx.length(p, q) == oracle.dist(p, q), (mode, step, p, q)
+        elif op == 1:  # arbitrary-arbitrary length
+            p, q = rng.choice(free), rng.choice(free)
+            assert idx.length(p, q) == oracle.dist(p, q), (mode, step, p, q)
+        elif op == 2:  # mixed length
+            p, q = rng.choice(verts), rng.choice(free)
+            assert idx.length(p, q) == oracle.dist(p, q), (mode, step, p, q)
+        else:  # vertex-vertex path
+            p, q = rng.choice(verts), rng.choice(verts)
+            path = idx.shortest_path(p, q)
+            assert path[0] == p and path[-1] == q
+            assert path_length(path) == oracle.dist(p, q), (mode, step, p, q)
+            assert path_is_clear(path, rects), (mode, step, p, q)
+
+
+def test_fuzz_arbitrary_paths():
+    rng = random.Random("fuzz-paths")
+    rects = random_disjoint_rects(14, seed=123)
+    idx = ShortestPathIndex.build(rects, engine="sequential")
+    free = random_free_points(rects, 16, seed=123)
+    oracle = GridOracle(rects, free)
+    for _ in range(40):
+        p, q = rng.choice(free), rng.choice(free)
+        path = idx.shortest_path(p, q)
+        assert path[0] == p and path[-1] == q
+        assert path_length(path) == oracle.dist(p, q), (p, q)
+        assert path_is_clear(path, rects), (p, q)

@@ -1,0 +1,262 @@
+"""Tests for the CREW-PRAM simulator and parallel primitives."""
+
+import operator
+
+import pytest
+
+from repro.errors import ConcurrentWriteError, PRAMError
+from repro.pram import (
+    LCA,
+    LevelAncestor,
+    PRAM,
+    SharedArray,
+    brent_time,
+    euler_tour,
+    forest_depths,
+    list_rank,
+    par_filter,
+    par_map,
+    parallel_merge,
+    parallel_sort,
+    pram_scope,
+    reduce_par,
+    scan,
+    speedup_table,
+    tree_depths,
+)
+from repro.pram.brent import processors_for_time
+
+
+class TestMachine:
+    def test_step_accounting(self):
+        p = PRAM()
+        p.step(10)
+        p.step(5)
+        assert p.time == 2 and p.work == 15 and p.max_ops == 10
+
+    def test_zero_step_free(self):
+        p = PRAM()
+        p.step(0)
+        assert p.time == 0 and p.work == 0
+
+    def test_negative_rejected(self):
+        p = PRAM()
+        with pytest.raises(PRAMError):
+            p.step(-1)
+        with pytest.raises(PRAMError):
+            p.charge(time=-1)
+
+    def test_parallel_branches_max_time_sum_work(self):
+        p = PRAM()
+
+        def branch_a(m):
+            m.step(100)
+            return "a"
+
+        def branch_b(m):
+            m.step(50)
+            m.step(50)
+            return "b"
+
+        out = p.parallel([branch_a, branch_b])
+        assert out == ["a", "b"]
+        assert p.time == 2  # max(1, 2)
+        assert p.work == 200
+
+    def test_snapshot_since(self):
+        p = PRAM()
+        s = p.snapshot()
+        p.step(7)
+        assert p.since(s) == (1, 7)
+
+    def test_scope_nesting(self):
+        from repro.pram.machine import current_pram
+
+        outer, inner = PRAM("o"), PRAM("i")
+        with pram_scope(outer):
+            assert current_pram() is outer
+            with pram_scope(inner):
+                assert current_pram() is inner
+            assert current_pram() is outer
+        assert current_pram() is None
+
+
+class TestSharedArray:
+    def test_crew_violation_detected(self):
+        p = PRAM(detect_conflicts=True)
+        arr = SharedArray(p, 4)
+        p.step(2)
+        arr[1] = "x"
+        with pytest.raises(ConcurrentWriteError):
+            arr[1] = "x"  # same step, same cell — even same value
+
+    def test_writes_in_different_steps_ok(self):
+        p = PRAM(detect_conflicts=True)
+        arr = SharedArray(p, 4)
+        p.step(1)
+        arr[1] = "a"
+        p.step(1)
+        arr[1] = "b"
+        assert arr[1] == "b"
+
+    def test_concurrent_reads_allowed(self):
+        p = PRAM(detect_conflicts=True)
+        arr = SharedArray(p, [7])
+        p.step(3)
+        assert arr[0] + arr[0] + arr[0] == 21
+
+    def test_detection_off_by_default(self):
+        p = PRAM()
+        arr = SharedArray(p, 2)
+        p.step(2)
+        arr[0] = 1
+        arr[0] = 2  # no error
+        assert arr.tolist() == [2, None]
+
+
+class TestPrimitives:
+    def test_par_map(self):
+        p = PRAM()
+        assert par_map(lambda x: x * x, [1, 2, 3], p) == [1, 4, 9]
+        assert p.time == 1 and p.work == 3
+
+    def test_par_filter(self):
+        p = PRAM()
+        assert par_filter(lambda x: x % 2 == 0, list(range(10)), p) == [0, 2, 4, 6, 8]
+
+    def test_scan_inclusive_exclusive(self):
+        p = PRAM()
+        vals = [3, 1, 4, 1, 5]
+        assert scan(vals, operator.add, 0, pram=p) == [3, 4, 8, 9, 14]
+        assert scan(vals, operator.add, 0, inclusive=False, pram=p) == [0, 3, 4, 8, 9]
+
+    def test_scan_charges_log_time(self):
+        p = PRAM()
+        scan(list(range(1024)), operator.add, 0, pram=p)
+        assert p.time == 10
+        assert p.work == 2048
+
+    def test_reduce(self):
+        p = PRAM()
+        assert reduce_par([5, 2, 9], min, float("inf"), pram=p) == 2
+
+    def test_merge(self):
+        p = PRAM()
+        assert parallel_merge([1, 4, 6], [2, 3, 7], pram=p) == [1, 2, 3, 4, 6, 7]
+
+    def test_sort_cost_profile(self):
+        p = PRAM()
+        out = parallel_sort([5, 3, 8, 1], pram=p)
+        assert out == [1, 3, 5, 8]
+        assert p.time == 2  # ceil(log2 4)
+        assert p.work == 8  # n log n
+
+
+class TestListRankEuler:
+    def test_list_rank_chain(self):
+        # 0 -> 1 -> 2 -> 3 -> None
+        succ = [1, 2, 3, None]
+        assert list_rank(succ, PRAM()) == [3, 2, 1, 0]
+
+    def test_list_rank_cycle_detected(self):
+        with pytest.raises(PRAMError):
+            list_rank([1, 0], PRAM())
+
+    def test_forest_depths(self):
+        #      0        5
+        #     / \       |
+        #    1   2      6
+        #    |
+        #    3,4
+        parents = [None, 0, 0, 1, 1, None, 5]
+        assert forest_depths(parents, PRAM()) == [0, 1, 1, 2, 2, 0, 1]
+
+    def test_euler_tour_events_balanced(self):
+        children = [[1, 2], [3], [], []]
+        tour = euler_tour(children, 0)
+        assert len(tour) == 2 * 4
+        assert tour[0] == (0, 1) and tour[-1] == (0, -1)
+
+    def test_tree_depths_via_euler(self):
+        children = [[1, 2], [3], [], []]
+        assert tree_depths(children, 0, PRAM()) == [0, 1, 1, 2]
+
+
+class TestLevelAncestor:
+    def build_random_forest(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        parents = [None]
+        for v in range(1, n):
+            parents.append(rng.randrange(0, v))
+        return parents
+
+    def test_small_tree(self):
+        parents = [None, 0, 1, 2, 3]
+        la = LevelAncestor(parents, PRAM())
+        assert la.query(4, 0) == 4
+        assert la.query(4, 1) == 3
+        assert la.query(4, 4) == 0
+        assert la.root(2) == 0
+
+    def test_query_beyond_root_raises(self):
+        la = LevelAncestor([None, 0], PRAM())
+        with pytest.raises(PRAMError):
+            la.query(1, 5)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_naive_random(self, seed):
+        parents = self.build_random_forest(200, seed)
+        la = LevelAncestor(parents, PRAM())
+        import random
+
+        rng = random.Random(seed + 1)
+        for _ in range(300):
+            v = rng.randrange(200)
+            d = la.depth[v]
+            k = rng.randint(0, d)
+            u = v
+            for _ in range(k):
+                u = parents[u]
+            assert la.query(v, k) == u
+
+    def test_lca(self):
+        #        0
+        #      1   2
+        #     3 4   5
+        parents = [None, 0, 0, 1, 1, 2]
+        lca = LCA(LevelAncestor(parents, PRAM()))
+        assert lca.query(3, 4) == 1
+        assert lca.query(3, 5) == 0
+        assert lca.query(3, 3) == 3
+        assert lca.query(1, 3) == 1
+
+    def test_lca_different_trees_raises(self):
+        parents = [None, None]
+        lca = LCA(LevelAncestor(parents, PRAM()))
+        with pytest.raises(PRAMError):
+            lca.query(0, 1)
+
+
+class TestBrent:
+    def test_brent_time(self):
+        assert brent_time(1000, 10, 1) == 1010
+        assert brent_time(1000, 10, 100) == 20
+        assert brent_time(1000, 10, 10**9) == 11
+
+    def test_brent_invalid(self):
+        with pytest.raises(ValueError):
+            brent_time(10, 1, 0)
+
+    def test_speedup_table_monotone(self):
+        rows = speedup_table(10**6, 100, [1, 2, 4, 8, 16])
+        times = [r[1] for r in rows]
+        assert times == sorted(times, reverse=True)
+        assert rows[0][2] == pytest.approx(1.0)
+
+    def test_processors_for_time(self):
+        p = processors_for_time(1000, 10, 20)
+        assert brent_time(1000, 10, p) <= 20
+        with pytest.raises(ValueError):
+            processors_for_time(1000, 50, 20)

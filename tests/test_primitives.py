@@ -1,0 +1,159 @@
+"""Unit tests for repro.geometry.primitives."""
+
+import pytest
+
+from repro.errors import DisjointnessError, GeometryError
+from repro.geometry.primitives import (
+    ALL_TRANSFORMS,
+    IDENTITY,
+    Point,
+    Rect,
+    Transform,
+    all_coords,
+    bbox_of_points,
+    bbox_of_rects,
+    dist,
+    validate_disjoint,
+)
+
+
+class TestDist:
+    def test_zero(self):
+        assert dist((3, 4), (3, 4)) == 0
+
+    def test_axis_aligned(self):
+        assert dist((0, 0), (5, 0)) == 5
+        assert dist((0, 0), (0, 7)) == 7
+
+    def test_general(self):
+        assert dist((1, 2), (4, 6)) == 7
+
+    def test_symmetric(self):
+        assert dist((-3, 5), (2, -1)) == dist((2, -1), (-3, 5)) == 11
+
+
+class TestRect:
+    def test_corners(self):
+        r = Rect(1, 2, 5, 7)
+        assert r.sw == (1, 2)
+        assert r.se == (5, 2)
+        assert r.nw == (1, 7)
+        assert r.ne == (5, 7)
+        assert r.vertices == ((1, 2), (5, 2), (5, 7), (1, 7))
+
+    def test_dimensions(self):
+        r = Rect(1, 2, 5, 7)
+        assert r.width == 4
+        assert r.height == 5
+        assert r.center2 == (6, 9)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(1, 1, 1, 5)
+        with pytest.raises(GeometryError):
+            Rect(1, 5, 3, 5)
+        with pytest.raises(GeometryError):
+            Rect(5, 1, 3, 4)
+
+    def test_containment_closed_vs_open(self):
+        r = Rect(0, 0, 4, 4)
+        assert r.contains((0, 0)) and r.contains((4, 4))
+        assert not r.contains_interior((0, 2))
+        assert r.contains_interior((2, 2))
+        assert r.on_boundary((0, 2))
+        assert not r.on_boundary((2, 2))
+        assert not r.contains((5, 2))
+
+    def test_interiors_intersect(self):
+        a = Rect(0, 0, 4, 4)
+        assert a.interiors_intersect(Rect(3, 3, 6, 6))
+        assert not a.interiors_intersect(Rect(4, 0, 8, 4))  # shared edge
+        assert not a.interiors_intersect(Rect(5, 5, 8, 8))
+        assert a.touches_or_intersects(Rect(4, 0, 8, 4))
+
+    def test_segment_blocking(self):
+        r = Rect(2, 2, 6, 6)
+        assert r.blocks_h_segment(4, 0, 10)
+        assert not r.blocks_h_segment(2, 0, 10)  # along the boundary
+        assert not r.blocks_h_segment(6, 0, 10)
+        assert not r.blocks_h_segment(4, 0, 2)  # stops at the wall
+        assert r.blocks_h_segment(4, 10, 0)  # direction-agnostic
+        assert r.blocks_v_segment(4, 0, 10)
+        assert not r.blocks_v_segment(2, 0, 10)
+
+
+class TestTransform:
+    def test_identity(self):
+        assert IDENTITY.apply((3, -4)) == (3, -4)
+
+    def test_flip_and_swap(self):
+        t = Transform(sx=-1, sy=1, swap=True)
+        assert t.apply((2, 5)) == (5, -2)
+
+    def test_group_has_eight_distinct_elements(self):
+        images = {tuple(t.apply(p) for p in [(1, 2), (3, 5)]) for t in ALL_TRANSFORMS}
+        assert len(images) == 8
+
+    def test_inverse_roundtrip(self):
+        pts = [(0, 0), (3, -7), (-2, 9), (11, 4)]
+        for t in ALL_TRANSFORMS:
+            inv = t.inverse()
+            for p in pts:
+                assert inv.apply(t.apply(p)) == p
+
+    def test_compose_matches_sequential_application(self):
+        pts = [(1, 2), (-3, 4), (7, -5)]
+        for outer in ALL_TRANSFORMS:
+            for inner in ALL_TRANSFORMS:
+                comp = outer.compose(inner)
+                for p in pts:
+                    assert comp.apply(p) == outer.apply(inner.apply(p))
+
+    def test_apply_rect_normalises(self):
+        r = Rect(1, 2, 5, 7)
+        for t in ALL_TRANSFORMS:
+            rr = t.apply_rect(r)
+            assert rr.xlo < rr.xhi and rr.ylo < rr.yhi
+            # corner sets must map onto each other
+            assert {t.apply(v) for v in r.vertices} == set(rr.vertices)
+
+    def test_rect_roundtrip(self):
+        r = Rect(-3, 4, 9, 11)
+        for t in ALL_TRANSFORMS:
+            assert t.inverse().apply_rect(t.apply_rect(r)) == r
+
+
+class TestBBoxAndValidation:
+    def test_bbox_points(self):
+        assert bbox_of_points([(1, 5), (-2, 3), (4, 4)]) == (-2, 3, 4, 5)
+
+    def test_bbox_points_empty(self):
+        with pytest.raises(GeometryError):
+            bbox_of_points([])
+
+    def test_bbox_rects(self):
+        assert bbox_of_rects([Rect(0, 0, 2, 2), Rect(5, -1, 7, 3)]) == (0, -1, 7, 3)
+
+    def test_validate_disjoint_accepts_touching(self):
+        validate_disjoint([Rect(0, 0, 2, 2), Rect(2, 0, 4, 2), Rect(0, 2, 4, 3)])
+
+    def test_validate_disjoint_rejects_overlap(self):
+        with pytest.raises(DisjointnessError):
+            validate_disjoint([Rect(0, 0, 4, 4), Rect(3, 3, 6, 6)])
+
+    def test_validate_disjoint_large_random(self):
+        from repro.workloads.generators import random_disjoint_rects
+
+        rects = random_disjoint_rects(120, seed=7)
+        validate_disjoint(rects)  # must not raise
+
+    def test_all_coords(self):
+        xs, ys = all_coords([Rect(0, 1, 2, 3)], [(9, 9)])
+        assert xs == [0, 2, 9]
+        assert ys == [1, 3, 9]
+
+
+class TestPointTyping:
+    def test_point_is_plain_tuple(self):
+        p: Point = (1, 2)
+        assert isinstance(p, tuple)

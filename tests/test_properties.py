@@ -1,0 +1,307 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Scene strategies: a *slab* strategy whose disjointness is by construction
+(shrinks well) and a *seeded-generator* strategy that reaches denser
+layouts.  Every property mirrors a lemma or invariant from the paper.
+"""
+
+import operator
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allpairs import ParallelEngine
+from repro.core.baseline import GridOracle, path_is_clear, path_length
+from repro.core.separator import staircase_separator
+from repro.core.sequential import SequentialEngine
+from repro.core.tracing import MODES, TraceForests
+from repro.geometry.envelope import envelope
+from repro.geometry.frontier import max_staircase_of_rects, maximal_points
+from repro.geometry.primitives import ALL_TRANSFORMS, Rect, dist
+from repro.monge.matrix import is_monge
+from repro.monge.multiply import minplus_monge, minplus_naive
+from repro.monge.smawk import brute_force_row_minima, smawk_row_minima
+from repro.pram import PRAM, LevelAncestor, list_rank, parallel_merge, parallel_sort, scan
+from repro.workloads.generators import random_disjoint_rects
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+FAST = settings(max_examples=60, deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# scene strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def slab_scene(draw, max_rects=8):
+    """Disjoint-by-construction: one rect per vertical slab."""
+    k = draw(st.integers(min_value=2, max_value=max_rects))
+    xs = sorted(draw(st.lists(
+        st.integers(0, 400), min_size=2 * k, max_size=2 * k, unique=True)))
+    rects = []
+    for i in range(k):
+        xlo, xhi = xs[2 * i], xs[2 * i + 1]
+        ylo = draw(st.integers(-50, 50))
+        h = draw(st.integers(1, 60))
+        rects.append(Rect(xlo, ylo, xhi, ylo + h))
+    return rects
+
+
+@st.composite
+def generated_scene(draw, max_rects=14):
+    n = draw(st.integers(min_value=2, max_value=max_rects))
+    seed = draw(st.integers(min_value=0, max_value=5000))
+    return random_disjoint_rects(n, seed=seed)
+
+
+@st.composite
+def monge_matrix(draw, max_side=9):
+    """Monge by construction: L1 distances between two sorted point rows."""
+    r = draw(st.integers(2, max_side))
+    c = draw(st.integers(2, max_side))
+    xs = sorted(draw(st.lists(st.integers(0, 300), min_size=r, max_size=r, unique=True)))
+    ys = sorted(draw(st.lists(st.integers(0, 300), min_size=c, max_size=c, unique=True)))
+    off = draw(st.integers(0, 50))
+    return np.array([[abs(x - y) + off for y in ys] for x in xs], dtype=float)
+
+
+# ---------------------------------------------------------------------------
+# engine-level metric properties
+# ---------------------------------------------------------------------------
+class TestEngineProperties:
+    @SLOW
+    @given(slab_scene())
+    def test_parallel_engine_matches_oracle(self, rects):
+        idx = ParallelEngine(rects, [], PRAM(), leaf_size=3).build()
+        oracle = GridOracle(rects, idx.points)
+        want = oracle.dist_matrix(idx.points)
+        assert (idx.matrix == want).all()
+
+    @SLOW
+    @given(generated_scene())
+    def test_engines_agree(self, rects):
+        seq = SequentialEngine(rects).build()
+        par = ParallelEngine(rects, [], PRAM(), leaf_size=4).build()
+        assert (par.submatrix(seq.points) == seq.matrix).all()
+
+    @SLOW
+    @given(generated_scene(max_rects=10))
+    def test_metric_axioms(self, rects):
+        idx = SequentialEngine(rects).build()
+        m = idx.matrix
+        assert (m == m.T).all()
+        assert (np.diag(m) == 0).all()
+        n = len(idx.points)
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            i, j, k = rng.integers(0, n, 3)
+            assert m[i, j] <= m[i, k] + m[k, j]
+
+    @SLOW
+    @given(generated_scene(max_rects=10))
+    def test_l1_lower_bound_and_free_pairs(self, rects):
+        idx = SequentialEngine(rects).build()
+        pts = idx.points
+        for i in range(0, len(pts), 5):
+            for j in range(0, len(pts), 7):
+                p, q = pts[i], pts[j]
+                d = idx.matrix[i, j]
+                assert d >= dist(p, q)
+                lo_x, hi_x = min(p[0], q[0]), max(p[0], q[0])
+                lo_y, hi_y = min(p[1], q[1]), max(p[1], q[1])
+                blocked = any(
+                    r.xlo < hi_x and lo_x < r.xhi and r.ylo < hi_y and lo_y < r.yhi
+                    for r in rects
+                )
+                if not blocked:
+                    assert d == dist(p, q)
+
+    @SLOW
+    @given(generated_scene(max_rects=8))
+    def test_symmetry_invariance_of_the_metric(self, rects):
+        """Applying any axis symmetry to the scene transforms the metric
+        covariantly (the paper's w.l.o.g. reflections are lossless)."""
+        base = SequentialEngine(rects).build()
+        for t in ALL_TRANSFORMS[:4]:
+            timg = SequentialEngine(t.apply_rects(rects)).build()
+            for p in base.points[::5]:
+                for q in base.points[::7]:
+                    assert base.length(p, q) == timg.length(t.apply(p), t.apply(q))
+
+
+# ---------------------------------------------------------------------------
+# separator / tracing / frontier properties (Theorem 2, Lemmas 6 & 12)
+# ---------------------------------------------------------------------------
+class TestGeometryProperties:
+    @SLOW
+    @given(generated_scene(max_rects=14))
+    def test_separator_invariants(self, rects):
+        sep = staircase_separator(rects, PRAM())
+        assert sep.staircase.is_clear(rects)
+        assert len(sep.upper) + len(sep.lower) == len(rects)
+        assert sep.staircase.num_segments <= 2 * len(rects) + 4
+        for idx_ in sep.upper:
+            assert all(sep.staircase.side_of(v) >= 0 for v in rects[idx_].vertices)
+        for idx_ in sep.lower:
+            assert all(sep.staircase.side_of(v) <= 0 for v in rects[idx_].vertices)
+
+    @SLOW
+    @given(generated_scene(max_rects=12), st.sampled_from(sorted(MODES)))
+    def test_tracing_invariants(self, rects, mode):
+        forests = TraceForests(rects, PRAM())
+        p = (min(r.xlo for r in rects) - 3, min(r.ylo for r in rects) - 3)
+        tp = forests.trace(p, mode, PRAM())
+        xs = [q[0] for q in tp.points]
+        ys = [q[1] for q in tp.points]
+        assert xs == sorted(xs) or xs == sorted(xs, reverse=True)
+        assert ys == sorted(ys) or ys == sorted(ys, reverse=True)
+        assert tp.size <= 2 * len(rects) + 2
+
+    @FAST
+    @given(st.lists(st.tuples(st.integers(0, 60), st.integers(0, 60)),
+                    min_size=1, max_size=40))
+    def test_maximal_points_definition(self, pts):
+        out = set(maximal_points(pts))
+        for p in set(pts):
+            dominated = any(q != p and q[0] >= p[0] and q[1] >= p[1] for q in set(pts))
+            assert (p in out) == (not dominated)
+
+    @SLOW
+    @given(generated_scene(max_rects=10))
+    def test_frontiers_clear_and_enclosing(self, rects):
+        for quadrant, want in (("NE", -1), ("NW", -1), ("SE", 1), ("SW", 1)):
+            s = max_staircase_of_rects(rects, quadrant)
+            assert s.is_clear(rects)
+            for r in rects:
+                for v in r.vertices:
+                    assert s.side_of(v) == want or s.side_of(v) == 0
+
+    @SLOW
+    @given(generated_scene(max_rects=10))
+    def test_envelope_contains_scene(self, rects):
+        env = envelope(rects)
+        for r in rects:
+            for v in r.vertices:
+                assert env.contains(v)
+
+
+# ---------------------------------------------------------------------------
+# Monge properties (Lemmas 1, 3, 4)
+# ---------------------------------------------------------------------------
+class TestMongeProperties:
+    @FAST
+    @given(monge_matrix())
+    def test_construction_is_monge(self, m):
+        assert is_monge(m)
+
+    @FAST
+    @given(monge_matrix(), st.integers(0, 100))
+    def test_row_offsets_preserve_monge(self, m, off):
+        m2 = m.copy()
+        m2[0, :] += off
+        assert is_monge(m2)
+
+    @SLOW
+    @given(monge_matrix(max_side=7), monge_matrix(max_side=7))
+    def test_minplus_closure_and_agreement(self, a, b):
+        if a.shape[1] != b.shape[0]:
+            b = np.array(
+                [[abs(i - j) for j in range(5)] for i in range(a.shape[1])],
+                dtype=float,
+            )
+        fast = minplus_monge(a, b, PRAM(), check=False)
+        slow = minplus_naive(a, b, PRAM())
+        assert (fast == slow).all()
+        assert is_monge(fast)
+
+    @FAST
+    @given(monge_matrix())
+    def test_smawk_matches_bruteforce(self, m):
+        rows = list(range(m.shape[0]))
+        cols = list(range(m.shape[1]))
+        f = lambda r, c: m[r, c]
+        fast = smawk_row_minima(rows, cols, f)
+        slow = brute_force_row_minima(rows, cols, f)
+        for r in rows:
+            assert m[r, fast[r]] == m[r, slow[r]]
+
+
+# ---------------------------------------------------------------------------
+# PRAM primitive semantics
+# ---------------------------------------------------------------------------
+class TestPramProperties:
+    @FAST
+    @given(st.lists(st.integers(-100, 100), max_size=60))
+    def test_scan_matches_accumulate(self, vals):
+        import itertools
+
+        got = scan(vals, operator.add, 0, pram=PRAM())
+        want = list(itertools.accumulate(vals))
+        assert got == want
+
+    @FAST
+    @given(st.lists(st.integers(0, 1000), max_size=50))
+    def test_sort_matches_sorted(self, vals):
+        assert parallel_sort(vals, pram=PRAM()) == sorted(vals)
+
+    @FAST
+    @given(st.lists(st.integers(0, 99), max_size=30),
+           st.lists(st.integers(0, 99), max_size=30))
+    def test_merge_matches_sorted(self, a, b):
+        a, b = sorted(a), sorted(b)
+        assert parallel_merge(a, b, pram=PRAM()) == sorted(a + b)
+
+    @FAST
+    @given(st.integers(1, 120), st.integers(0, 10**6))
+    def test_list_rank_on_random_chains(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        order = list(range(n))
+        rng.shuffle(order)
+        succ = [None] * n
+        for a, b in zip(order, order[1:]):
+            succ[a] = b
+        ranks = list_rank(succ, PRAM())
+        for pos, v in enumerate(order):
+            assert ranks[v] == n - 1 - pos
+
+    @FAST
+    @given(st.integers(2, 150), st.integers(0, 10**6))
+    def test_level_ancestor_random_trees(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        parents = [None] + [rng.randrange(0, v) for v in range(1, n)]
+        la = LevelAncestor(parents, PRAM())
+        for _ in range(30):
+            v = rng.randrange(n)
+            k = rng.randint(0, la.depth[v])
+            u = v
+            for _ in range(k):
+                u = parents[u]
+            assert la.query(v, k) == u
+
+
+# ---------------------------------------------------------------------------
+# path validity (§8) on random scenes
+# ---------------------------------------------------------------------------
+class TestPathProperties:
+    @SLOW
+    @given(generated_scene(max_rects=8), st.integers(0, 100))
+    def test_reported_paths_are_shortest_and_clear(self, rects, pick):
+        from repro.core.pathreport import PathReporter
+
+        idx = SequentialEngine(rects).build()
+        rep = PathReporter(rects, idx, PRAM())
+        pts = idx.points
+        p = pts[pick % len(pts)]
+        q = pts[(pick * 7 + 3) % len(pts)]
+        path = rep.path(p, q)
+        assert path[0] == p and path[-1] == q
+        assert path_is_clear(path, rects)
+        assert path_length(path) == idx.length(p, q)

@@ -1,0 +1,141 @@
+"""Validation of §6.4 arbitrary-point queries and §8 path reporting."""
+
+import pytest
+
+from repro.core.allpairs import ParallelEngine
+from repro.core.baseline import GridOracle, path_is_clear, path_length
+from repro.core.pathreport import PathReporter
+from repro.core.query import QueryStructure
+from repro.core.sequential import SequentialEngine
+from repro.errors import QueryError
+from repro.geometry.primitives import Rect
+from repro.pram import PRAM
+from repro.workloads.generators import random_disjoint_rects, random_free_points
+
+
+def build_setup(n, seed, extra=0):
+    rects = random_disjoint_rects(n, seed=seed)
+    idx = SequentialEngine(rects).build()
+    return rects, idx
+
+
+class TestQueryStructure:
+    def test_vertex_pairs_are_matrix_lookups(self):
+        rects, idx = build_setup(12, 1)
+        qs = QueryStructure(rects, idx, PRAM())
+        for r in rects[:4]:
+            for r2 in rects[4:8]:
+                assert qs.length(r.sw, r2.ne) == idx.length(r.sw, r2.ne)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_arbitrary_pairs_match_oracle(self, seed):
+        rects = random_disjoint_rects(15, seed=seed)
+        idx = SequentialEngine(rects).build()
+        qs = QueryStructure(rects, idx, PRAM())
+        free = random_free_points(rects, 14, seed=seed + 31)
+        oracle = GridOracle(rects, free)
+        for i in range(0, len(free), 2):
+            p, q = free[i], free[i + 1]
+            assert qs.length(p, q) == oracle.dist(p, q), (p, q)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_vertex_to_arbitrary(self, seed):
+        rects = random_disjoint_rects(14, seed=seed + 7)
+        idx = SequentialEngine(rects).build()
+        qs = QueryStructure(rects, idx, PRAM())
+        free = random_free_points(rects, 8, seed=seed + 3)
+        oracle = GridOracle(rects, free + idx.points)
+        for p in free[:4]:
+            for r in rects[:5]:
+                assert qs.length(p, r.ne) == oracle.dist(p, r.ne), (p, r.ne)
+                assert qs.length(r.sw, p) == oracle.dist(r.sw, p), (r.sw, p)
+
+    def test_identical_points(self):
+        rects, idx = build_setup(6, 2)
+        qs = QueryStructure(rects, idx, PRAM())
+        assert qs.length((500, 500), (500, 500)) == 0
+
+    def test_point_inside_obstacle_rejected(self):
+        rects = [Rect(0, 0, 4, 4)]
+        idx = SequentialEngine(rects).build()
+        qs = QueryStructure(rects, idx, PRAM())
+        with pytest.raises(QueryError):
+            qs.length((2, 2), (10, 10))
+
+    def test_aligned_pairs(self):
+        # vertically aligned pair separated by an obstacle
+        rects = [Rect(-3, 4, 3, 6)]
+        idx = SequentialEngine(rects).build()
+        qs = QueryStructure(rects, idx, PRAM())
+        oracle = GridOracle(rects, [(0, 0), (0, 10)])
+        assert qs.length((0, 0), (0, 10)) == oracle.dist((0, 0), (0, 10)) == 16
+        # horizontally aligned, clear view
+        assert qs.length((5, 0), (9, 0)) == 4
+
+
+class TestPathReporter:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_paths_valid_and_shortest(self, seed):
+        rects = random_disjoint_rects(14, seed=seed + 11)
+        idx = SequentialEngine(rects).build()
+        rep = PathReporter(rects, idx, PRAM())
+        pts = idx.points
+        for i in range(0, len(pts) - 5, 7):
+            p, q = pts[i], pts[i + 5]
+            path = rep.path(p, q)
+            assert path[0] == p and path[-1] == q
+            assert path_is_clear(path, rects), (p, q, path)
+            assert path_length(path) == idx.length(p, q), (p, q, path)
+
+    def test_trivial_path(self):
+        rects, idx = build_setup(5, 3)
+        rep = PathReporter(rects, idx, PRAM())
+        v = idx.points[0]
+        assert rep.path(v, v) == [v]
+
+    def test_segment_count_upper_bounds_path(self):
+        rects = random_disjoint_rects(16, seed=4)
+        idx = SequentialEngine(rects).build()
+        rep = PathReporter(rects, idx, PRAM())
+        pts = idx.points
+        for i in range(0, len(pts) - 3, 9):
+            p, q = pts[i], pts[i + 3]
+            path = rep.path(p, q)
+            assert len(path) - 1 <= rep.segment_count(p, q)
+
+    def test_unknown_root_rejected(self):
+        rects, idx = build_setup(5, 5)
+        rep = PathReporter(rects, idx, PRAM())
+        with pytest.raises(QueryError):
+            rep.path((999, 999), idx.points[0])
+
+    def test_tree_reuse_is_cached(self):
+        rects, idx = build_setup(8, 6)
+        rep = PathReporter(rects, idx, PRAM())
+        t1 = rep.tree(idx.points[0])
+        t2 = rep.tree(idx.points[0])
+        assert t1 is t2
+
+    def test_metered_reporting_cost(self):
+        rects = random_disjoint_rects(20, seed=9)
+        idx = SequentialEngine(rects).build()
+        pram = PRAM()
+        rep = PathReporter(rects, idx, pram)
+        p, q = idx.points[0], idx.points[-1]
+        before = pram.snapshot()
+        rep.path(p, q)
+        dt, dw = pram.since(before)
+        assert dt > 0 and dw > 0
+
+
+class TestCrossValidationAllPairsEngines:
+    def test_paths_against_parallel_engine_lengths(self):
+        rects = random_disjoint_rects(18, seed=21)
+        par = ParallelEngine(rects, [], PRAM(), leaf_size=4).build()
+        rep = PathReporter(rects, par, PRAM())
+        pts = [r.sw for r in rects[:6]]
+        for p in pts[:3]:
+            for q in pts[3:]:
+                path = rep.path(p, q)
+                assert path_length(path) == par.length(p, q)
+                assert path_is_clear(path, rects)

@@ -1,0 +1,103 @@
+"""Tests for the Staircase Separator Theorem (Theorem 2)."""
+
+import pytest
+
+from repro.core.separator import Separator, staircase_separator
+from repro.errors import GeometryError
+from repro.geometry.primitives import Rect
+from repro.pram import PRAM
+from repro.workloads.generators import WORKLOAD_MODES, random_disjoint_rects
+
+
+def check_separator(rects, sep: Separator):
+    n = len(rects)
+    # property 1: clear
+    assert sep.staircase.is_clear(rects)
+    # property 2 (for n >= 8): both sides at most 7n/8 (small slack for the
+    # nudge cases, see Separator.balanced)
+    assert len(sep.upper) + len(sep.lower) == n
+    if n >= 16:
+        assert sep.balanced, (
+            f"unbalanced: {len(sep.upper)}/{len(sep.lower)} via {sep.branch}"
+        )
+    # property 3: O(n) segments
+    assert sep.staircase.num_segments <= 2 * n + 4
+    # sides are真 sides: every obstacle's corners weakly on its side
+    for idx in sep.upper:
+        for v in rects[idx].vertices:
+            assert sep.staircase.side_of(v) >= 0, (idx, v)
+    for idx in sep.lower:
+        for v in rects[idx].vertices:
+            assert sep.staircase.side_of(v) <= 0, (idx, v)
+
+
+class TestSeparatorSmall:
+    def test_two_rects(self):
+        rects = [Rect(0, 0, 2, 2), Rect(10, 10, 12, 12)]
+        sep = staircase_separator(rects, PRAM())
+        check_separator(rects, sep)
+        assert len(sep.upper) == 1 and len(sep.lower) == 1
+
+    def test_single_rect_rejected(self):
+        with pytest.raises(GeometryError):
+            staircase_separator([Rect(0, 0, 1, 1)], PRAM())
+
+    def test_vertical_stack_uses_vertical_branch(self):
+        # tall rects all crossing the median vertical line
+        rects = [Rect(0, 10 * i, 20, 10 * i + 5) for i in range(8)]
+        sep = staircase_separator(rects, PRAM())
+        check_separator(rects, sep)
+        assert sep.branch == "vertical"
+        assert min(len(sep.upper), len(sep.lower)) >= 4
+
+    def test_horizontal_stack(self):
+        rects = [Rect(10 * i, 0, 10 * i + 5, 20) for i in range(8)]
+        sep = staircase_separator(rects, PRAM())
+        check_separator(rects, sep)
+        assert sep.branch == "horizontal"
+        assert min(len(sep.upper), len(sep.lower)) >= 4
+
+    def test_quadrant_case(self):
+        # scattered small rects, none crossing the medians
+        rects = [
+            Rect(0, 0, 1, 1), Rect(2, 2, 3, 3), Rect(20, 2, 21, 3),
+            Rect(22, 0, 23, 1), Rect(0, 20, 1, 21), Rect(2, 22, 3, 23),
+            Rect(20, 20, 21, 21), Rect(22, 22, 23, 23),
+        ]
+        sep = staircase_separator(rects, PRAM())
+        check_separator(rects, sep)
+
+    def test_origin_inside_obstacle_nudged(self):
+        # one big rect centred on both medians plus scattered corners
+        rects = [
+            Rect(9, 9, 16, 16),
+            Rect(0, 0, 2, 2), Rect(4, 4, 6, 6),
+            Rect(19, 0, 21, 2), Rect(23, 4, 25, 6),
+            Rect(0, 19, 2, 21), Rect(4, 23, 6, 25),
+            Rect(19, 19, 21, 21), Rect(23, 23, 25, 26),
+        ]
+        sep = staircase_separator(rects, PRAM())
+        check_separator(rects, sep)
+
+
+class TestSeparatorRandom:
+    @pytest.mark.parametrize("mode", WORKLOAD_MODES)
+    @pytest.mark.parametrize("n", [16, 64, 160])
+    def test_all_workloads(self, mode, n):
+        rects = random_disjoint_rects(n, seed=5, mode=mode)
+        sep = staircase_separator(rects, PRAM())
+        check_separator(rects, sep)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_many_seeds(self, seed):
+        rects = random_disjoint_rects(48, seed=seed)
+        sep = staircase_separator(rects, PRAM())
+        check_separator(rects, sep)
+
+    def test_metering(self):
+        pram = PRAM()
+        rects = random_disjoint_rects(64, seed=1)
+        staircase_separator(rects, pram)
+        assert pram.time > 0 and pram.work > 0
+        # near-linear work: generous envelope to catch regressions
+        assert pram.work <= 600 * 64

@@ -1,0 +1,112 @@
+"""Validation of the §9 sequential engine against the oracle and the
+parallel engine (three-way agreement)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allpairs import ParallelEngine
+from repro.core.baseline import GridOracle
+from repro.core.sequential import SequentialEngine, build_sequential_index
+from repro.errors import GeometryError
+from repro.geometry.primitives import Rect, dist
+from repro.pram import PRAM
+from repro.workloads.generators import (
+    WORKLOAD_MODES,
+    random_disjoint_rects,
+    random_free_points,
+)
+
+
+def assert_seq_matches_oracle(rects, extra=()):
+    engine = SequentialEngine(rects, extra)
+    idx = engine.build()
+    oracle = GridOracle(rects, idx.points)
+    want = oracle.dist_matrix(idx.points)
+    got = idx.matrix
+    bad = np.argwhere(got != want)
+    assert bad.size == 0, (
+        f"{len(bad)} mismatches; first: {idx.points[bad[0][0]]}->"
+        f"{idx.points[bad[0][1]]} got {got[tuple(bad[0])]} want {want[tuple(bad[0])]}"
+    )
+    return idx
+
+
+class TestSequentialSmall:
+    def test_single_rect(self):
+        idx = assert_seq_matches_oracle([Rect(0, 0, 4, 6)])
+        assert idx.length((0, 0), (4, 6)) == 10
+        assert idx.length((0, 0), (4, 0)) == 4
+
+    def test_detour_around_wall(self):
+        rects = [Rect(4, -10, 6, 10)]
+        idx = assert_seq_matches_oracle(rects, extra=[(0, 0), (10, 0)])
+        assert idx.length((0, 0), (10, 0)) == 10 + 20
+
+    def test_two_walls_maze(self):
+        rects = [Rect(2, -12, 4, 8), Rect(8, -8, 10, 12)]
+        assert_seq_matches_oracle(rects, extra=[(0, 0), (14, 0)])
+
+    def test_extra_point_inside_rejected(self):
+        with pytest.raises(GeometryError):
+            SequentialEngine([Rect(0, 0, 4, 4)], [(1, 1)])
+
+    def test_single_source_profile(self):
+        rects = random_disjoint_rects(15, seed=4)
+        engine = SequentialEngine(rects)
+        src = rects[0].sw
+        d = engine.single_source(src)
+        oracle = GridOracle(rects, engine.points)
+        for i, p in enumerate(engine.points):
+            assert d[i] == oracle.dist(src, p), p
+
+
+class TestSequentialRandom:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_uniform(self, seed):
+        rects = random_disjoint_rects(18, seed=seed)
+        assert_seq_matches_oracle(rects)
+
+    @pytest.mark.parametrize("mode", WORKLOAD_MODES)
+    def test_workloads(self, mode):
+        rects = random_disjoint_rects(20, seed=7, mode=mode)
+        assert_seq_matches_oracle(rects)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_extra_points(self, seed):
+        rects = random_disjoint_rects(14, seed=seed)
+        extra = random_free_points(rects, 8, seed=seed + 9)
+        assert_seq_matches_oracle(rects, extra=extra)
+
+
+class TestThreeWayAgreement:
+    """§9 engine == §5/§6 engine == oracle, exactly."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_engines_agree(self, seed):
+        rects = random_disjoint_rects(22, seed=seed + 50)
+        seq = SequentialEngine(rects).build()
+        par = ParallelEngine(rects, [], PRAM(), leaf_size=4).build()
+        pts = seq.points
+        sub = par.submatrix(pts)
+        assert (sub == seq.matrix).all()
+
+    def test_convenience_wrapper(self):
+        rects = random_disjoint_rects(8, seed=1)
+        idx = build_sequential_index(rects)
+        v = rects[0].ne
+        assert idx.length(v, v) == 0
+
+
+class TestMonotoneDagProperties:
+    def test_lower_bound(self):
+        rects = random_disjoint_rects(16, seed=12)
+        idx = SequentialEngine(rects).build()
+        for i, p in enumerate(idx.points):
+            for j, q in enumerate(idx.points):
+                assert idx.matrix[i, j] >= dist(p, q)
+
+    def test_all_finite(self):
+        # disjoint rectangles never disconnect the plane
+        rects = random_disjoint_rects(25, seed=3)
+        idx = SequentialEngine(rects).build()
+        assert np.isfinite(idx.matrix).all()

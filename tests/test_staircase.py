@@ -1,0 +1,200 @@
+"""Unit tests for repro.geometry.staircase."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import ALL_TRANSFORMS, Rect
+from repro.geometry.staircase import Staircase
+
+
+def inc_chain():
+    # ramp: (0,0) -> (4,0) -> (4,3) -> (8,3) -> (8,6)
+    return Staircase(((0, 0), (4, 0), (4, 3), (8, 3), (8, 6)), increasing=True,
+                     left_dir="W", right_dir="N")
+
+
+def dec_chain():
+    return Staircase(((0, 9), (3, 9), (3, 5), (7, 5), (7, 1)), increasing=False,
+                     left_dir="W", right_dir="S")
+
+
+class TestConstruction:
+    def test_collinear_points_dropped(self):
+        s = Staircase(((0, 0), (2, 0), (5, 0), (5, 3)), increasing=True)
+        assert s.pts == ((0, 0), (5, 0), (5, 3))
+
+    def test_duplicate_points_dropped(self):
+        s = Staircase(((0, 0), (0, 0), (3, 0)), increasing=True)
+        assert s.pts == ((0, 0), (3, 0))
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(GeometryError):
+            Staircase(((0, 0), (1, 1)))
+
+    def test_rejects_x_backtrack(self):
+        with pytest.raises(GeometryError):
+            Staircase(((2, 0), (0, 0)))
+
+    def test_rejects_y_backtrack_increasing(self):
+        with pytest.raises(GeometryError):
+            Staircase(((0, 0), (0, 5), (3, 5), (3, 2)), increasing=True)
+
+    def test_rejects_bad_ray(self):
+        with pytest.raises(GeometryError):
+            Staircase(((0, 0), (3, 0)), increasing=True, left_dir="N")
+
+    def test_num_segments(self):
+        assert inc_chain().num_segments == 6  # 4 finite + 2 rays
+
+
+class TestRanges:
+    def test_y_range_on_horizontal_run(self):
+        s = inc_chain()
+        assert s.y_range_at_x(2) == (0, 0)
+        assert s.y_range_at_x(6) == (3, 3)
+
+    def test_y_range_on_vertical_segment(self):
+        s = inc_chain()
+        assert s.y_range_at_x(4) == (0, 3)
+
+    def test_y_range_on_west_ray(self):
+        s = inc_chain()
+        assert s.y_range_at_x(-100) == (0, 0)
+
+    def test_y_range_on_north_ray_end(self):
+        s = inc_chain()
+        assert s.y_range_at_x(8) == (3, math.inf)
+
+    def test_y_range_beyond_north_ray(self):
+        assert inc_chain().y_range_at_x(9) is None
+
+    def test_x_range_simple(self):
+        s = inc_chain()
+        assert s.x_range_at_y(0) == (-math.inf, 4)
+        assert s.x_range_at_y(3) == (4, 8)
+        assert s.x_range_at_y(100) == (8, 8)  # the north ray
+        assert s.x_range_at_y(-1) is None
+
+    def test_x_range_decreasing(self):
+        s = dec_chain()
+        assert s.x_range_at_y(9) == (-math.inf, 3)
+        assert s.x_range_at_y(5) == (3, 7)
+        assert s.x_range_at_y(0) == (7, 7)
+
+
+class TestSides:
+    def test_sides_increasing(self):
+        s = inc_chain()
+        assert s.side_of((2, 5)) == 1  # above
+        assert s.side_of((2, -5)) == -1
+        assert s.side_of((2, 0)) == 0
+        assert s.side_of((4, 2)) == 0  # on vertical segment
+        assert s.side_of((-50, 1)) == 1
+        assert s.side_of((-50, -1)) == -1
+        assert s.side_of((50, 0)) == -1  # east of the north ray
+        assert s.side_of((8, 1000)) == 0  # on the north ray
+
+    def test_sides_decreasing(self):
+        s = dec_chain()
+        assert s.side_of((0, 20)) == 1  # NE side
+        assert s.side_of((5, 20)) == 1
+        assert s.side_of((1, 0)) == -1  # SW side
+        assert s.side_of((100, 5)) == 1  # east of the south ray is the NE side
+        assert s.side_of((7, -100)) == 0
+
+    def test_side_requires_unbounded(self):
+        s = Staircase(((0, 0), (3, 0)), increasing=True)
+        with pytest.raises(GeometryError):
+            s.side_of((1, 1))
+
+    def test_side_of_rect(self):
+        s = inc_chain()
+        assert s.side_of_rect(Rect(1, 1, 3, 4)) == 1
+        assert s.side_of_rect(Rect(5, -4, 7, -1)) == -1
+
+    def test_vertical_line_staircase(self):
+        s = Staircase(((5, 0),), increasing=True, left_dir="S", right_dir="N")
+        assert s.side_of((4, 100)) == 1
+        assert s.side_of((6, -100)) == -1
+        assert s.side_of((5, 42)) == 0
+
+
+class TestClearance:
+    def test_clear_when_no_obstacle(self):
+        assert inc_chain().is_clear([Rect(10, 10, 12, 12)])
+
+    def test_not_clear_when_crossing_interior(self):
+        assert not inc_chain().is_clear([Rect(1, -1, 3, 1)])
+
+    def test_boundary_contact_is_clear(self):
+        # chain runs along the rect top edge
+        assert inc_chain().is_clear([Rect(1, -1, 3, 0)])
+
+    def test_ray_blocked(self):
+        # west ray at y=0 passes through a rect interior at y=0
+        assert not inc_chain().is_clear([Rect(-10, -1, -5, 1)])
+
+
+class TestCrossings:
+    def test_crossings_with_vline(self):
+        s = inc_chain()
+        assert s.crossings_with_vline(4) == [(4, 0), (4, 3)]
+        assert s.crossings_with_vline(2) == [(2, 0)]
+        assert s.crossings_with_vline(9) == []
+
+    def test_crossings_with_hline(self):
+        s = inc_chain()
+        assert s.crossings_with_hline(3) == [(4, 3), (8, 3)]
+        assert s.crossings_with_hline(1) == [(4, 1)]
+
+    def test_clip_points_to_bbox(self):
+        s = inc_chain()
+        assert s.clip_points_to_bbox(3, -1, 8, 4) == [(4, 0), (4, 3), (8, 3)]
+
+
+class TestChainOps:
+    def test_arc_dist_is_l1(self):
+        s = inc_chain()
+        assert s.arc_dist((0, 0), (8, 6)) == 14
+        assert s.arc_dist((4, 2), (8, 3)) == 5
+
+    def test_subchain(self):
+        s = inc_chain()
+        sub = s.subchain((2, 0), (8, 4))
+        assert sub[0] == (2, 0)
+        assert sub[-1] == (8, 4)
+        assert (4, 0) in sub and (4, 3) in sub
+
+    def test_subchain_reversed_order(self):
+        s = inc_chain()
+        sub = s.subchain((8, 4), (2, 0))
+        assert sub[0] == (8, 4) and sub[-1] == (2, 0)
+
+
+class TestTransform:
+    def test_transform_roundtrip(self):
+        s = inc_chain()
+        for t in ALL_TRANSFORMS:
+            back = s.transform(t).transform(t.inverse())
+            assert back.pts == s.pts
+            assert back.left_dir == s.left_dir
+            assert back.right_dir == s.right_dir
+            assert back.increasing == s.increasing
+
+    def test_transform_preserves_sides(self):
+        s = inc_chain()
+        probes = [(2, 5), (2, -5), (9, 100), (-3, -3), (6, 3)]
+        for t in ALL_TRANSFORMS:
+            ts = s.transform(t)
+            for p in probes:
+                assert ts.side_of(t.apply(p)) in (s.side_of(p), -s.side_of(p), 0) \
+                    if s.side_of(p) == 0 else True
+                if s.side_of(p) == 0:
+                    assert ts.side_of(t.apply(p)) == 0
+
+    def test_flip_x_changes_monotonicity(self):
+        s = inc_chain()
+        t = [t for t in ALL_TRANSFORMS if t.sx == -1 and t.sy == 1 and not t.swap][0]
+        assert s.transform(t).increasing is False

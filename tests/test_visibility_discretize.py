@@ -1,0 +1,133 @@
+"""Tests for B(Q) extraction (Definition 1) and the Discretization Lemma."""
+
+import pytest
+
+from repro.core.discretize import DiscretizedBoundary
+from repro.core.baseline import GridOracle
+from repro.core.sequential import SequentialEngine
+from repro.errors import QueryError
+from repro.geometry.envelope import envelope
+from repro.geometry.polygon import rect_polygon
+from repro.geometry.primitives import Rect, bbox_of_rects
+from repro.geometry.visibility import boundary_points
+from repro.workloads.generators import random_disjoint_rects
+
+
+class TestBoundarySet:
+    def test_square_region_no_obstacles(self):
+        poly = rect_polygon(0, 0, 10, 10)
+        bset = boundary_points(poly, [])
+        # just the 4 polygon vertices
+        assert set(bset.points) == {(0, 0), (10, 0), (10, 10), (0, 10)}
+        assert bset.perimeter == 40
+
+    def test_single_obstacle_projections(self):
+        poly = rect_polygon(0, 0, 10, 10)
+        rects = [Rect(4, 4, 6, 6)]
+        bset = boundary_points(poly, rects)
+        # each obstacle corner projects horizontally and vertically
+        assert (4, 0) in bset.points and (6, 0) in bset.points
+        assert (4, 10) in bset.points and (6, 10) in bset.points
+        assert (0, 4) in bset.points and (0, 6) in bset.points
+        assert (10, 4) in bset.points and (10, 6) in bset.points
+
+    def test_blocked_projection_absent(self):
+        poly = rect_polygon(0, 0, 20, 10)
+        # the wall hides the small block from the west boundary
+        rects = [Rect(4, 2, 6, 8), Rect(10, 4, 12, 6)]
+        bset = boundary_points(poly, rects)
+        assert (0, 2) in bset.points  # wall's own projection
+        # block's westward view at y=4..6 is blocked by the wall: the only
+        # (0, 5)-ish points must come from the wall, not the block
+        assert (0, 5) not in bset.points
+
+    def test_linear_size_bound(self):
+        rects = random_disjoint_rects(20, seed=3)
+        env = envelope(rects)
+        bset = boundary_points(env, rects)
+        assert len(bset) <= 8 * len(rects) + 2 * len(env.vertices_loop())
+
+    def test_circular_ordering_is_sorted(self):
+        rects = random_disjoint_rects(12, seed=4)
+        env = envelope(rects)
+        bset = boundary_points(env, rects)
+        assert bset.positions == sorted(bset.positions)
+        assert len(set(bset.positions)) == len(bset.positions)
+
+    def test_neighbors_of_member_is_itself(self):
+        poly = rect_polygon(0, 0, 10, 10)
+        bset = boundary_points(poly, [Rect(4, 4, 6, 6)])
+        assert bset.neighbors((4, 0)) == ((4, 0), (4, 0))
+
+    def test_neighbors_of_gap_point(self):
+        poly = rect_polygon(0, 0, 10, 10)
+        bset = boundary_points(poly, [Rect(4, 4, 6, 6)])
+        v, w = bset.neighbors((5, 0))
+        assert bset.boundary_pos(v) is not None
+        assert v != (5, 0) and w != (5, 0)
+        assert v[1] == 0 and w[1] == 0
+
+    def test_non_boundary_point_raises(self):
+        poly = rect_polygon(0, 0, 10, 10)
+        bset = boundary_points(poly, [])
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError):
+            bset.neighbors((5, 5))
+
+
+class TestDiscretization:
+    def build(self, rects, poly):
+        bset = boundary_points(poly, rects)
+        pockets = []
+        from repro.geometry.polygon import pockets_to_rects
+
+        pockets = pockets_to_rects(poly)
+        idx = SequentialEngine(rects + pockets, extra_points=bset.points).build()
+        return bset, DiscretizedBoundary(bset, idx)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_oracle_on_boundary_pairs(self, seed):
+        rects = random_disjoint_rects(8, seed=seed)
+        xlo, ylo, xhi, yhi = bbox_of_rects(rects)
+        poly = rect_polygon(xlo - 5, ylo - 5, xhi + 5, yhi + 5)
+        bset, disc = self.build(rects, poly)
+        # arbitrary (non-B) boundary points: edge midpoints of the container
+        probes = [
+            ((xlo - 5 + xhi + 5) // 2, ylo - 5),
+            ((xlo - 5 + xhi + 5) // 2, yhi + 5),
+            (xlo - 5, (ylo - 5 + yhi + 5) // 2),
+            (xhi + 5, (ylo - 5 + yhi + 5) // 2),
+        ] + bset.points[::5]
+        oracle = GridOracle(rects, probes)
+        for i, p in enumerate(probes):
+            for q in probes[i + 1 :: 2]:
+                assert disc.length(p, q) == oracle.dist(p, q), (p, q)
+
+    def test_same_point(self):
+        rects = [Rect(2, 2, 4, 4)]
+        poly = rect_polygon(0, 0, 6, 6)
+        _, disc = self.build(rects, poly)
+        assert disc.length((3, 0), (3, 0)) == 0
+
+    def test_visible_pair_is_l1(self):
+        rects = [Rect(2, 2, 4, 4)]
+        poly = rect_polygon(0, 0, 10, 10)
+        _, disc = self.build(rects, poly)
+        # east and west boundary see each other above the obstacle
+        assert disc.length((0, 7), (10, 8)) == 11
+
+    def test_off_boundary_raises(self):
+        rects = [Rect(2, 2, 4, 4)]
+        poly = rect_polygon(0, 0, 6, 6)
+        _, disc = self.build(rects, poly)
+        with pytest.raises(QueryError):
+            disc.length((3, 3), (0, 0))
+
+    def test_index_missing_points_rejected(self):
+        rects = [Rect(2, 2, 4, 4)]
+        poly = rect_polygon(0, 0, 6, 6)
+        bset = boundary_points(poly, rects)
+        idx = SequentialEngine(rects).build()  # lacks the B(Q) points
+        with pytest.raises(QueryError):
+            DiscretizedBoundary(bset, idx)

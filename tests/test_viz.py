@@ -1,0 +1,67 @@
+"""Tests for the ASCII renderer and figure regeneration."""
+
+import pytest
+
+from repro.geometry.primitives import Rect
+from repro.viz.ascii import Canvas, render_scene
+from repro.viz.figures import ALL_FIGURES, figure_text, render_all
+
+
+class TestCanvas:
+    def test_rect_drawn(self):
+        c = Canvas((0, 0, 10, 10), width=20, height=10)
+        c.rect(Rect(2, 2, 8, 8), fill="#")
+        out = c.render()
+        assert "#" in out
+
+    def test_label(self):
+        c = Canvas((0, 0, 10, 10), width=30, height=10)
+        c.label((5, 5), "hello")
+        assert "hello" in c.render()
+
+    def test_polyline_corners(self):
+        c = Canvas((0, 0, 10, 10), width=20, height=10)
+        c.polyline([(0, 0), (5, 0), (5, 5)])
+        out = c.render()
+        assert "+" in out and "-" in out and "|" in out
+
+    def test_render_scene_smoke(self):
+        out = render_scene(
+            [Rect(0, 0, 4, 4)],
+            paths=[[(5, 0), (9, 0), (9, 6)]],
+            points=[((5, 5), "X")],
+            title="demo",
+        )
+        assert out.startswith("demo")
+        assert "X" in out and "*" in out
+
+    def test_clipping_out_of_range(self):
+        c = Canvas((0, 0, 10, 10), width=12, height=6)
+        c.put((100, 100), "Z")  # clamped, must not raise
+        assert "Z" in c.render()
+
+
+class TestFigures:
+    @pytest.mark.parametrize("which", ALL_FIGURES)
+    def test_each_figure_renders(self, which):
+        out = figure_text(which)
+        assert f"Fig. {which}" in out
+        assert len(out.splitlines()) >= 3
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            figure_text(99)
+
+    def test_render_all(self):
+        figs = render_all()
+        assert set(figs) == set(ALL_FIGURES)
+
+    def test_fig4_shows_monge_contrast(self):
+        out = figure_text(4)
+        assert "is_monge = True" in out
+
+    def test_fig2_flags_degeneracy(self):
+        assert "degenerate" in figure_text(2)
+
+    def test_figures_deterministic(self):
+        assert figure_text(6) == figure_text(6)
