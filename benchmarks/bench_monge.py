@@ -2,9 +2,12 @@
 
 Paper claims: two Monge matrices multiply with O(αβ) work (vs naive αβγ)
 in O(log γ) time.  Measured: charged work ratio grows linearly with the
-inner dimension; wall-clock crossover between the vectorised naive product
-and the SMAWK product is reported (pure-Python SMAWK has bigger constants,
-which is exactly the kind of fact a reproduction should record).
+inner dimension, and — since the batched array SMAWK kernel
+(``smawk_row_minima_array``) replaced the per-row callable recursion —
+the SMAWK product also wins on wall clock well before the naive product's
+cubic temporary becomes the bottleneck.  ``SEED_SMAWK_MS`` records the
+pre-vectorization wall times so the speedup stays visible in the table
+and in ``BENCH_monge.json``.
 """
 
 import time
@@ -12,11 +15,15 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.common import emit, fit_loglog, format_table
+from benchmarks.common import SEED_ASSERT, SMOKE, emit, emit_json, fit_loglog, format_table
 from repro.monge.multiply import minplus_monge, minplus_naive
 from repro.pram import PRAM
 
-SIZES = [32, 64, 128, 256]
+SIZES = [32, 64] if SMOKE else [32, 64, 128, 256]
+
+#: wall-clock ms of the per-row callable-SMAWK product at the seed commit
+#: (same sweep, same seeds) — the "before" column of the vectorization PR
+SEED_SMAWK_MS = {32: 3.72, 64: 15.87, 128: 54.19, 256: 213.37}
 
 
 def random_monge(rows, cols, seed):
@@ -29,6 +36,7 @@ def random_monge(rows, cols, seed):
 def test_e8_monge_multiply(benchmark):
     rows = []
     ns, fast_works = [], []
+    json_rows = []
     for m in SIZES:
         a = random_monge(m, m, 1)
         b = random_monge(m, m, 2)
@@ -42,19 +50,34 @@ def test_e8_monge_multiply(benchmark):
         assert (fast == slow).all()
         ns.append(m)
         fast_works.append(p_fast.work)
+        seed_ms = SEED_SMAWK_MS.get(m)
+        speedup = round(seed_ms / (t_fast * 1e3), 1) if seed_ms else None
         rows.append(
             [
                 m,
                 p_fast.work,
                 p_slow.work,
                 round(p_slow.work / p_fast.work, 1),
-                round(t_fast * 1e3, 1),
+                round(t_fast * 1e3, 2),
+                seed_ms if seed_ms is not None else float("nan"),
                 round(t_slow * 1e3, 1),
             ]
         )
+        json_rows.append(
+            {
+                "m": m,
+                "smawk_work": p_fast.work,
+                "naive_work": p_slow.work,
+                "smawk_ms": round(t_fast * 1e3, 3),
+                "seed_smawk_ms": seed_ms,
+                "naive_ms": round(t_slow * 1e3, 3),
+                "speedup_vs_seed": speedup,
+            }
+        )
     w_slope = fit_loglog(ns, fast_works)
     text = format_table(
-        ["m", "SMAWK work", "naive work", "work ratio", "SMAWK ms", "naive(np) ms"],
+        ["m", "SMAWK work", "naive work", "work ratio", "SMAWK ms",
+         "seed SMAWK ms", "naive(np) ms"],
         rows,
         title=(
             "E8  Lemma 3 Monge (min,+) product, m×m×m\n"
@@ -63,9 +86,46 @@ def test_e8_monge_multiply(benchmark):
         ),
     )
     emit("E8_monge", text)
-    assert w_slope < 2.4
-    ratios = [r[3] for r in rows]
-    assert ratios[-1] > 3 * ratios[0]
+    emit_json(
+        "monge",
+        {
+            "bench": "E8 Monge (min,+) product",
+            "kernel": "smawk_row_minima_array (batched array SMAWK)",
+            "work_slope": round(w_slope, 3),
+            "rows": json_rows,
+        },
+    )
+    if not SMOKE:
+        assert w_slope < 2.4
+        ratios = [r[3] for r in rows]
+        assert ratios[-1] > 3 * ratios[0]
+        # same-machine check (portable): the array engine vs the seed's
+        # callable engine on the largest sweep point, best of 3 each so a
+        # single scheduling stall cannot fail the assertion
+        m = SIZES[-1]
+        a = random_monge(m, m, 1)
+        b = random_monge(m, m, 2)
+        t_callable = t_array = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            minplus_monge(a, b, PRAM(), check=False, engine="callable")
+            t_callable = min(t_callable, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            minplus_monge(a, b, PRAM(), check=False, engine="array")
+            t_array = min(t_array, time.perf_counter() - t0)
+        assert t_callable >= 3 * t_array, (
+            f"array SMAWK must be ≥3× the callable SMAWK at m={m}: "
+            f"{t_callable * 1e3:.1f}ms vs {t_array * 1e3:.1f}ms"
+        )
+        if SEED_ASSERT:
+            largest = json_rows[-1]
+            assert largest["speedup_vs_seed"] >= 3, (
+                f"array SMAWK must be ≥3× the seed callable SMAWK at "
+                f"m={largest['m']}: got {largest['speedup_vs_seed']}× "
+                "(baselines were recorded on the PR machine — on much "
+                "slower hardware set BENCH_SEED_ASSERT=0 to skip this "
+                "comparison)"
+            )
     a = random_monge(128, 128, 1)
     b = random_monge(128, 128, 2)
     benchmark(lambda: minplus_monge(a, b, PRAM(), check=False))

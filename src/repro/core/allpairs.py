@@ -37,13 +37,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.baseline import GridOracle
+from repro.core.baseline import GridOracle, corner_graph_matrix
 from repro.core.separator import staircase_separator
 from repro.errors import GeometryError, QueryError
 from repro.geometry.primitives import Point, Rect, bbox_of_points, dist, validate_disjoint
 from repro.geometry.rayshoot import RayShooter
 from repro.geometry.staircase import Staircase
-from repro.monge.matrix import is_monge
+from repro.monge.matrix import MongeFlag
 from repro.monge.multiply import minplus_auto, minplus_monge, minplus_naive
 from repro.pram.machine import PRAM, ambient
 
@@ -93,9 +93,27 @@ class DistanceIndex:
     def has_point(self, p: Point) -> bool:
         return p in self.index
 
-    def submatrix(self, pts: Sequence[Point]) -> np.ndarray:
-        ids = [self.index[p] for p in pts]
-        return self.matrix[np.ix_(ids, ids)]
+    def ids(self, pts: Sequence[Point]) -> np.ndarray:
+        """Row/column ids of the given indexed points."""
+        try:
+            return np.array([self.index[p] for p in pts], dtype=np.intp)
+        except KeyError as exc:
+            raise QueryError(f"{exc.args[0]} is not an indexed point") from None
+
+    def lengths(self, ps: Sequence[Point], qs: Sequence[Point]) -> np.ndarray:
+        """Pairwise lengths ``d(ps[i], qs[i])`` as one vectorized gather."""
+        if len(ps) != len(qs):
+            raise QueryError(f"pair arrays differ in length: {len(ps)} vs {len(qs)}")
+        return self.matrix[self.ids(ps), self.ids(qs)]
+
+    def submatrix(
+        self, pts: Sequence[Point], cols: Optional[Sequence[Point]] = None
+    ) -> np.ndarray:
+        """Distance block ``pts × cols`` (``pts × pts`` when ``cols`` is
+        omitted) in one fancy-indexing gather."""
+        ids = self.ids(pts)
+        cids = ids if cols is None else self.ids(cols)
+        return self.matrix[np.ix_(ids, cids)]
 
     def __len__(self) -> int:
         return len(self.points)
@@ -223,14 +241,17 @@ class ParallelEngine:
     ) -> tuple[list[Point], np.ndarray]:
         """Base case: solve the few-obstacle subproblem directly.
 
-        Uses the §9 monotone-DAG engine (quadratic in the point count and
-        independently validated); charged as the honest PRAM equivalent:
-        one independent single-pair computation per point pair, each a
-        [11]-style sweep over the ``c`` leaf obstacles — time
-        ``O(log m + c log c)``, work ``O(m² · c log c)``.  With the
-        constant leaf size this keeps the global Θ(log² n) time; with
-        ``c = n`` (no recursion) it exposes the Θ(n³)-work/Θ(n log n)-time
-        flat solve the paper's recursion exists to avoid (ablation E11).
+        Brute-forces the leaf with the vectorized corner graph
+        (:func:`repro.core.baseline.corner_graph_matrix`): one batched
+        multi-source Dijkstra on the corner-only Hanan grid plus array
+        L-path sweeps build the whole ``m × m`` block — no per-pair Python.
+        Charged as the honest PRAM equivalent: one independent single-pair
+        computation per point pair, each a [11]-style sweep over the ``c``
+        leaf obstacles — time ``O(log m + c log c)``, work
+        ``O(m² · c log c)``.  With the constant leaf size this keeps the
+        global Θ(log² n) time; with ``c = n`` (no recursion) it exposes
+        the Θ(n³)-work/Θ(n log n)-time flat solve the paper's recursion
+        exists to avoid (ablation E11).
         """
         self.stats.leaves += 1
         sub = [self.rects[i] for i in rect_idx]
@@ -242,23 +263,7 @@ class ParallelEngine:
                     mat[i, j] = dist(p, q)
             pram.step(m * m)
             return pts, mat
-        # local import to avoid a module cycle (sequential builds on the
-        # DistanceIndex defined here)
-        from repro.core.sequential import SequentialEngine
-        from repro.pram.machine import pram_scope
-
-        corner_set = {v for r in sub for v in r.vertices}
-        extras = [p for p in pts if p not in corner_set]
-        with pram_scope(PRAM("leaf-scratch")):
-            # the sequential solver's internal metering is *not* the cost a
-            # PRAM would pay here; the summary charge below is
-            leaf_index = SequentialEngine(sub, extras, validate=False).build()
-        mat = leaf_index.matrix[
-            np.ix_(
-                [leaf_index.index[p] for p in pts],
-                [leaf_index.index[p] for p in pts],
-            )
-        ]
+        mat = corner_graph_matrix(sub, pts)
         lg = pram.log2ceil(m or 1)
         c = len(sub)
         clogc = max(1, c * max(1, (max(c - 1, 1)).bit_length()))
@@ -381,12 +386,15 @@ class ParallelEngine:
 
         def group_job(idxs: list[int]):
             def run(m: PRAM):
-                block = DL[:, idxs]
-                m.charge(time=1, work=block.size, width=block.size)  # certify
-                if is_monge(block):
+                # certify once via the flag; minplus_monge's own check
+                # then reads the memoised verdict instead of re-paying
+                # the O(|Z|·|g|) certification
+                block = MongeFlag(DL[:, idxs])
+                m.charge(time=1, work=block.array.size, width=block.array.size)
+                if block.monge():
                     self.stats.monge_fast_blocks += 1
-                    return idxs, minplus_monge(DU, block, m, check=False)
-                return idxs, minplus_naive(DU, block, m)
+                    return idxs, minplus_monge(DU, block, m)
+                return idxs, minplus_naive(DU, block.array, m)
 
             return run
 

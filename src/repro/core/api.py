@@ -10,13 +10,21 @@ from __future__ import annotations
 
 from typing import Literal, Optional, Sequence
 
+import numpy as np
+
 from repro.core.allpairs import DistanceIndex, ParallelEngine
 from repro.core.pathreport import PathReporter
 from repro.core.query import QueryStructure
 from repro.core.sequential import SequentialEngine
 from repro.errors import QueryError
 from repro.geometry.polygon import RectilinearPolygon, pockets_to_rects
-from repro.geometry.primitives import Point, Rect, validate_disjoint
+from repro.geometry.primitives import (
+    Point,
+    Rect,
+    points_in_any_interior,
+    rect_coord_array,
+    validate_disjoint,
+)
 from repro.pram.machine import PRAM
 
 Engine = Literal["parallel", "sequential"]
@@ -52,6 +60,7 @@ class ShortestPathIndex:
         self.engine = engine
         self._query: Optional[QueryStructure] = None
         self._reporter: Optional[PathReporter] = None
+        self._rect_arr = rect_coord_array(self.rects)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -112,6 +121,29 @@ class ShortestPathIndex:
             return self.index.length(p, q)
         return self.query.length(p, q)
 
+    def lengths(self, pairs: Sequence[tuple[Point, Point]]) -> np.ndarray:
+        """Batched :meth:`length` over ``(p, q)`` pairs.
+
+        A batch whose endpoints are all indexed is always answered with a
+        single matrix gather — indexed points are obstacle vertices or
+        build-validated extras, never obstacle interiors, so no further
+        validation (and no §6.4 structure) is needed.  Batches containing
+        arbitrary endpoints go through :meth:`QueryStructure.lengths`,
+        whose one vectorized containment test validates every endpoint.
+        """
+        if not pairs:
+            return np.empty(0)
+        flat: list[Point] = [pt for pair in pairs for pt in pair]
+        if self.container is not None:
+            for pt in flat:
+                if not self.container.contains(pt):
+                    raise QueryError(f"{pt} lies outside the container polygon")
+        if all(self.index.has_point(pt) for pt in flat):
+            return self.index.lengths(
+                [p for p, _ in pairs], [q for _, q in pairs]
+            )
+        return self.query.lengths(pairs)
+
     def shortest_path(self, p: Point, q: Point) -> list[Point]:
         """An actual shortest path polyline (§8).
 
@@ -135,9 +167,8 @@ class ShortestPathIndex:
     def _check_inside(self, p: Point) -> None:
         if self.container is not None and not self.container.contains(p):
             raise QueryError(f"{p} lies outside the container polygon")
-        for r in self.rects:
-            if r.contains_interior(p):
-                raise QueryError(f"{p} lies inside an obstacle")
+        if points_in_any_interior(self._rect_arr, [p])[0]:
+            raise QueryError(f"{p} lies inside an obstacle")
 
     def _arbitrary_path(self, p: Point, q: Point) -> list[Point]:
         """Assemble a path for arbitrary endpoints: try every (anchor p,

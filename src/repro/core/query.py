@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.allpairs import DistanceIndex
 from repro.core.tracing import TraceForests, _resume_corner
 from repro.errors import QueryError
@@ -32,6 +34,8 @@ from repro.geometry.primitives import (
     Rect,
     Transform,
     dist,
+    points_in_any_interior,
+    rect_coord_array,
 )
 from repro.geometry.rayshoot import RayShooter
 from repro.pram.machine import PRAM, ambient
@@ -127,6 +131,7 @@ class QueryStructure:
     ) -> None:
         pram = pram or ambient()
         self.rects = list(rects)
+        self._rect_arr = rect_coord_array(self.rects)
         self.index = index
         n = len(self.rects)
         self.worlds = {
@@ -145,6 +150,35 @@ class QueryStructure:
         if self.index.has_point(p) and self.index.has_point(q):
             return self.index.length(p, q)
         return self._length_arbitrary(p, q)
+
+    def lengths(self, pairs: Sequence[tuple[Point, Point]]) -> np.ndarray:
+        """Batched :meth:`length`: one vectorized containment check for
+        every endpoint, one matrix gather for all indexed pairs, and only
+        the genuinely arbitrary pairs walk the §6.4 machinery."""
+        out = np.empty(len(pairs))
+        if not pairs:
+            return out
+        flat: list[Point] = [pt for pair in pairs for pt in pair]
+        bad = points_in_any_interior(self._rect_arr, flat)
+        if bad.any():
+            raise QueryError(
+                f"query point {flat[int(np.flatnonzero(bad)[0])]} inside "
+                "an obstacle"
+            )
+        pos: list[int] = []
+        fast: list[tuple[Point, Point]] = []
+        for n, (p, q) in enumerate(pairs):
+            if self.index.has_point(p) and self.index.has_point(q):
+                pos.append(n)
+                fast.append((p, q))
+            else:
+                # already validated above — skip length()'s per-rect loop
+                out[n] = self._length_arbitrary(p, q)
+        if pos:
+            out[np.array(pos, dtype=np.intp)] = self.index.lengths(
+                [p for p, _ in fast], [q for _, q in fast]
+            )
+        return out
 
     # ------------------------------------------------------------------
     def _length_arbitrary(self, p: Point, q: Point) -> float:

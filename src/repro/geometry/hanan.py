@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -37,6 +37,9 @@ class HananGraph:
     block_v: np.ndarray
     _xindex: dict[int, int] = field(default_factory=dict, repr=False)
     _yindex: dict[int, int] = field(default_factory=dict, repr=False)
+    _csr: Optional[tuple[np.ndarray, np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self._xindex = {x: i for i, x in enumerate(self.xs)}
@@ -71,6 +74,41 @@ class HananGraph:
             yield nid + w, ys[yi + 1] - ys[yi]
         if yi > 0 and not self.block_v[yi - 1, xi]:
             yield nid - w, ys[yi] - ys[yi - 1]
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The grid graph as CSR ``(indptr, indices, weights)`` arrays.
+
+        Built lazily from the blocked-edge masks with pure array
+        arithmetic — both directions of every open edge are materialised,
+        so the graph is a symmetric directed CSR ready for batched
+        multi-source Dijkstra (:class:`repro.core.baseline.GridOracle`).
+        """
+        if self._csr is None:
+            nx = len(self.xs)
+            n = self.num_nodes
+            dx = np.diff(np.asarray(self.xs, dtype=np.int64))
+            dy = np.diff(np.asarray(self.ys, dtype=np.int64))
+            srcs, dsts, wts = [], [], []
+            yi, xi = np.nonzero(~self.block_h)  # open horizontal edges
+            u = yi * nx + xi
+            w = dx[xi]
+            srcs += [u, u + 1]
+            dsts += [u + 1, u]
+            wts += [w, w]
+            yi, xi = np.nonzero(~self.block_v)  # open vertical edges
+            u = yi * nx + xi
+            w = dy[yi]
+            srcs += [u, u + nx]
+            dsts += [u + nx, u]
+            wts += [w, w]
+            src = np.concatenate(srcs)
+            order = np.argsort(src, kind="stable")
+            indices = np.concatenate(dsts)[order]
+            weights = np.concatenate(wts)[order].astype(np.float64)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+            self._csr = (indptr, indices, weights)
+        return self._csr
 
 
 def hanan_graph(rects: Sequence[Rect], extra_points: Iterable[Point] = ()) -> HananGraph:

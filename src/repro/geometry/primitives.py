@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import DisjointnessError, GeometryError
 
 Point = Tuple[int, int]
@@ -205,6 +207,41 @@ def bbox_of_rects(rects: Sequence[Rect]) -> Tuple[int, int, int, int]:
         max(r.xhi for r in rects),
         max(r.yhi for r in rects),
     )
+
+
+def rect_coord_array(rects: Sequence[Rect]) -> np.ndarray:
+    """``(n, 4)`` array of ``(xlo, ylo, xhi, yhi)`` rows — the vectorized
+    view the batched containment tests below gather against."""
+    return np.array(
+        [(r.xlo, r.ylo, r.xhi, r.yhi) for r in rects], dtype=np.float64
+    ).reshape(-1, 4)
+
+
+def points_in_any_interior(
+    rect_arr: np.ndarray, points: Sequence[Point], chunk: int = 1 << 20
+) -> np.ndarray:
+    """Boolean mask: does each point lie strictly inside *some* rectangle?
+
+    One broadcasted comparison instead of a Python loop over rectangles —
+    the batched-query APIs validate whole point sets with this.  ``chunk``
+    caps the temporary point×rect matrix.
+    """
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    out = np.zeros(len(pts), dtype=bool)
+    if rect_arr.size == 0 or pts.size == 0:
+        return out
+    step = max(1, chunk // len(rect_arr))
+    for lo in range(0, len(pts), step):
+        x = pts[lo : lo + step, 0][:, None]
+        y = pts[lo : lo + step, 1][:, None]
+        inside = (
+            (rect_arr[None, :, 0] < x)
+            & (x < rect_arr[None, :, 2])
+            & (rect_arr[None, :, 1] < y)
+            & (y < rect_arr[None, :, 3])
+        )
+        out[lo : lo + step] = inside.any(axis=1)
+    return out
 
 
 def validate_disjoint(rects: Sequence[Rect]) -> None:

@@ -2,11 +2,12 @@
 
 from repro.monge.matrix import (
     INF,
+    MongeFlag,
     as_matrix,
     is_monge,
     pad_matrix,
 )
-from repro.monge.smawk import smawk_row_minima
+from repro.monge.smawk import smawk_row_minima, smawk_row_minima_array
 from repro.monge.multiply import (
     minplus_naive,
     minplus_monge,
@@ -15,10 +16,12 @@ from repro.monge.multiply import (
 
 __all__ = [
     "INF",
+    "MongeFlag",
     "as_matrix",
     "is_monge",
     "pad_matrix",
     "smawk_row_minima",
+    "smawk_row_minima_array",
     "minplus_naive",
     "minplus_monge",
     "minplus_auto",

@@ -15,17 +15,51 @@ conquer steps to certify a block before the SMAWK fast path is taken.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 INF = float("inf")
 
-MatrixLike = Union[np.ndarray, Sequence[Sequence[float]]]
+MatrixLike = Union[np.ndarray, Sequence[Sequence[float]], "MongeFlag"]
+
+
+class MongeFlag:
+    """An array bundled with its (memoised) Monge certification.
+
+    The conquer engines re-multiply the same blocks; wrapping a block once
+    makes every later :func:`is_monge` / ``minplus_auto`` call on it a
+    cached O(1) flag read instead of an O(βγ) re-certification.  The
+    wrapped array must not be mutated afterwards.
+    """
+
+    __slots__ = ("array", "_monge")
+
+    def __init__(self, array: MatrixLike, monge: Optional[bool] = None) -> None:
+        self.array = (
+            array.array if isinstance(array, MongeFlag) else as_matrix(array)
+        )
+        self._monge = monge
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.array.shape
+
+    @property
+    def T(self) -> np.ndarray:
+        return self.array.T
+
+    def monge(self) -> bool:
+        """Certify once, answer from the flag ever after."""
+        if self._monge is None:
+            self._monge = is_monge(self.array)
+        return self._monge
 
 
 def as_matrix(m: MatrixLike) -> np.ndarray:
-    """Normalise to a 2-D float64 array."""
+    """Normalise to a 2-D float64 array (unwrapping :class:`MongeFlag`)."""
+    if isinstance(m, MongeFlag):
+        return m.array
     a = np.asarray(m, dtype=np.float64)
     if a.ndim != 2:
         raise ValueError(f"matrix must be 2-D, got shape {a.shape}")
@@ -35,14 +69,41 @@ def as_matrix(m: MatrixLike) -> np.ndarray:
 def is_monge(m: MatrixLike, strict_finite: bool = False) -> bool:
     """Check the Monge (quadrangle) inequality on every adjacent 2×2.
 
-    ``+∞`` entries are allowed (Lemma 4's padding); ``∞ ≤ ∞`` counts as
-    satisfied, matching the padded-matrix semantics of the paper.
+    ``+∞`` entries are allowed as whole rows/columns (vacuously Monge)
+    and in Lemma 4's padding shape: after dropping all-∞ rows and
+    columns, the remaining ∞ set must be closed under moving down and
+    right (bottom rows / right columns / their staircase union).
+    Scattered ∞ entries make the adjacent-2×2 check unsound — ``∞ ≤ ∞``
+    windows certify nothing about non-adjacent quadruples — so such
+    matrices are rejected rather than mis-certified.  With the closure
+    requirement, adjacent Monge provably implies the full quadrangle
+    inequality in extended arithmetic: any ∞ region corner inside a
+    finite-cornered rectangle shows up as an adjacent window with three
+    finite entries, which the check fails; reinserting all-∞ rows and
+    columns preserves the inequality (either side containing them is ∞).
     """
+    if isinstance(m, MongeFlag) and not strict_finite:
+        return m.monge()
     a = as_matrix(m)
     if a.shape[0] < 2 or a.shape[1] < 2:
         return True
-    if strict_finite and not np.isfinite(a).all():
-        return False
+    inf_mask = np.isinf(a)
+    if inf_mask.any():
+        if strict_finite:
+            return False
+        # all-∞ rows/columns are vacuous: certify the reduced matrix
+        keep_r = ~inf_mask.all(axis=1)
+        keep_c = ~inf_mask.all(axis=0)
+        a = a[np.ix_(keep_r, keep_c)]
+        if a.shape[0] < 2 or a.shape[1] < 2:
+            return True
+        inf_mask = inf_mask[np.ix_(keep_r, keep_c)]
+        down_right_closed = (
+            not (inf_mask[:-1, :] & ~inf_mask[1:, :]).any()
+            and not (inf_mask[:, :-1] & ~inf_mask[:, 1:]).any()
+        )
+        if not down_right_closed:
+            return False
     lhs = a[:-1, :-1] + a[1:, 1:]
     rhs = a[:-1, 1:] + a[1:, :-1]
     # both inf -> vacuously fine (inf <= inf is True in numpy)

@@ -31,8 +31,8 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import MongeError
-from repro.monge.matrix import INF, as_matrix, is_monge
-from repro.monge.smawk import smawk_row_minima
+from repro.monge.matrix import INF, MongeFlag, as_matrix, is_monge
+from repro.monge.smawk import smawk_row_minima, smawk_row_minima_array
 from repro.pram.machine import PRAM, ambient
 
 # Cap the temporary broadcast tensor at ~32M float64 (256 MB) per chunk.
@@ -66,22 +66,42 @@ def minplus_naive(a, b, pram: Optional[PRAM] = None) -> np.ndarray:
     return out
 
 
-def minplus_monge(a, b, pram: Optional[PRAM] = None, check: bool = True) -> np.ndarray:
-    """Lemma 3: (min,+) product with a Monge right factor via SMAWK."""
+def minplus_monge(
+    a,
+    b,
+    pram: Optional[PRAM] = None,
+    check: bool = True,
+    engine: str = "array",
+) -> np.ndarray:
+    """Lemma 3: (min,+) product with a Monge right factor via SMAWK.
+
+    ``engine="array"`` (the default) solves all output rows in one batched
+    :func:`smawk_row_minima_array` call; ``engine="callable"`` keeps the
+    original per-row recursive SMAWK — the generic fallback and the
+    differential-test reference for the array kernel.
+    """
     pram = pram or ambient()
+    flag = b if isinstance(b, MongeFlag) else None
     a = as_matrix(a)
     b = as_matrix(b)
     al, inner = a.shape
     inner2, bc = b.shape
     if inner != inner2:
         raise ValueError(f"inner dimensions differ: {a.shape} vs {b.shape}")
-    if check and not is_monge(b):
+    if check and not is_monge(flag if flag is not None else b):
         raise MongeError("right factor is not Monge; use minplus_auto")
+    if engine not in ("array", "callable"):
+        raise ValueError(f"unknown SMAWK engine {engine!r}")
     pram.charge(time=_log2(max(bc, 1)) + _log2(max(inner, 1)),
                 work=al * (inner + bc), width=al * max(inner, bc))
-    out = np.full((al, bc), INF)
     if inner == 0 or bc == 0 or al == 0:
-        return out
+        return np.full((al, bc), INF)
+    if engine == "array":
+        arg = smawk_row_minima_array(a, b)
+        rows = np.arange(al)[:, None]
+        cols = np.arange(bc)[None, :]
+        return a[rows, arg] + b[arg, cols]
+    out = np.full((al, bc), INF)
     ks = list(range(inner))
     js = list(range(bc))
     for i in range(al):
@@ -106,15 +126,18 @@ def minplus_auto(a, b, pram: Optional[PRAM] = None) -> np.ndarray:
     dominates, while scattered blocks silently fall back.
     """
     pram = pram or ambient()
+    # MongeFlag operands certify once and answer from the flag thereafter
+    a_flag = a if isinstance(a, MongeFlag) else None
+    b_flag = b if isinstance(b, MongeFlag) else None
     a = as_matrix(a)
     b = as_matrix(b)
     if min(a.shape + b.shape) == 0:
         return np.full((a.shape[0], b.shape[1]), INF)
     pram.charge(time=1, work=b.size, width=b.size)
-    if is_monge(b):
+    if is_monge(b_flag if b_flag is not None else b):
         return minplus_monge(a, b, pram, check=False)
     pram.charge(time=1, work=a.size, width=a.size)
-    if is_monge(a):
+    if is_monge(a_flag if a_flag is not None else a):
         # C = min_k A[i,k]+B[k,j]; transpose: Cᵀ[j,i] = min_k Bᵀ[j,k]+Aᵀ[k,i]
         return minplus_monge(b.T, a.T, pram, check=False).T
     return minplus_naive(a, b, pram)

@@ -1,0 +1,267 @@
+"""Differential tests for the vectorized fast paths.
+
+Every numpy kernel added by the vectorization PR is pinned to its slow,
+independently validated reference: the array SMAWK against the callable
+recursive SMAWK, the batched CSR Dijkstra and the corner-graph leaf
+solver against the per-source heapq Dijkstra, and the batched query APIs
+against their scalar counterparts — all on randomized scenes from
+``workloads.generators``.
+"""
+
+from heapq import heappop, heappush
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allpairs import ParallelEngine
+from repro.core.api import ShortestPathIndex
+from repro.core.baseline import GridOracle, clear_l1_block, corner_graph_matrix
+from repro.errors import MongeError
+from repro.monge.matrix import MongeFlag, is_monge
+from repro.monge.multiply import minplus_auto, minplus_monge, minplus_naive
+from repro.monge.smawk import smawk_row_minima, smawk_row_minima_array
+from repro.pram import PRAM
+from repro.workloads.generators import random_disjoint_rects, random_free_points
+
+FAST = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _reference_sssp(graph, src_id):
+    """The seed's per-source heapq Dijkstra over ``neighbors()``."""
+    dist = np.full(graph.num_nodes, np.inf)
+    dist[src_id] = 0
+    heap = [(0, src_id)]
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in graph.neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    return dist
+
+
+def _random_monge(rows, cols, rng):
+    xs = np.sort(rng.integers(0, 4 * max(rows, 2), rows))
+    ys = np.sort(rng.integers(0, 4 * max(cols, 2), cols))
+    return np.abs(xs[:, None] - ys[None, :]).astype(float)
+
+
+class TestArraySmawk:
+    @given(
+        st.integers(1, 8),  # offset rows
+        st.integers(1, 9),  # inner
+        st.integers(1, 9),  # output cols
+        st.integers(0, 10**6),
+    )
+    @FAST
+    def test_matches_callable_smawk(self, al, inner, bc, seed):
+        rng = np.random.default_rng(seed)
+        b = _random_monge(inner, bc, rng)
+        a = rng.integers(0, 50, (al, inner)).astype(float)
+        # Lemma 4 padding: the inner dimension pads consistently (∞ suffix
+        # columns of a matched by ∞ suffix rows of b), the output columns
+        # pad on the right of b, and whole a-rows may be padding rows
+        if rng.random() < 0.4:
+            k0 = int(rng.integers(0, inner))
+            a[:, k0:] = np.inf
+            b[k0:, :] = np.inf
+        right_padded = rng.random() < 0.4
+        if right_padded:
+            b[:, int(rng.integers(0, bc)):] = np.inf
+        if rng.random() < 0.4:
+            a[int(rng.integers(0, al)), :] = np.inf
+        arg = smawk_row_minima_array(a, b)
+        assert arg.shape == (al, bc)
+        # ground truth: the array kernel must find the true minima for
+        # every padding shape
+        dense = a[:, None, :] + b.T[None, :, :]
+        assert np.array_equal(
+            np.take_along_axis(dense, arg[:, :, None], axis=2)[:, :, 0],
+            dense.min(axis=2),
+        )
+        if right_padded:
+            # all-∞ output rows break total monotonicity; the recursive
+            # callable SMAWK is only a valid reference without them (the
+            # array kernel stays exact — see the brute-force check above)
+            return
+        for i in range(al):
+            arow = a[i]
+            ref = smawk_row_minima(
+                list(range(bc)), list(range(inner)), lambda j, k: arow[k] + b[k, j]
+            )
+            for j in range(bc):
+                assert arow[arg[i, j]] + b[arg[i, j], j] == arow[ref[j]] + b[ref[j], j]
+
+    def test_rejects_empty_inner(self):
+        with pytest.raises(ValueError):
+            smawk_row_minima_array(np.zeros((2, 0)), np.zeros((0, 3)))
+
+    def test_empty_rows_or_cols(self):
+        assert smawk_row_minima_array(np.zeros((0, 2)), np.zeros((2, 3))).shape == (0, 3)
+        assert smawk_row_minima_array(np.zeros((2, 2)), np.zeros((2, 0))).shape == (2, 0)
+
+    @given(st.integers(1, 40), st.integers(0, 10**6))
+    @FAST
+    def test_minplus_engines_agree(self, m, seed):
+        rng = np.random.default_rng(seed)
+        a = _random_monge(m, m, rng)
+        b = _random_monge(m, m, rng)
+        arr = minplus_monge(a, b, PRAM(), check=False, engine="array")
+        call = minplus_monge(a, b, PRAM(), check=False, engine="callable")
+        naive = minplus_naive(a, b, PRAM())
+        assert (arr == call).all()
+        assert (arr == naive).all()
+
+
+class TestMongeFlag:
+    def test_certifies_once(self, monkeypatch):
+        import repro.monge.matrix as matrix_mod
+
+        b = _random_monge(8, 8, np.random.default_rng(0))
+        flag = MongeFlag(b)
+        calls = []
+        real = matrix_mod.is_monge
+
+        def spy(m, strict_finite=False):
+            calls.append(1)
+            return real(m, strict_finite)
+
+        monkeypatch.setattr(matrix_mod, "is_monge", spy)
+        assert flag.monge()
+        assert flag.monge()
+        assert len(calls) == 1  # second call answered from the flag
+
+    def test_auto_uses_flag(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 30, (6, 6)).astype(float)
+        b = MongeFlag(_random_monge(6, 6, rng))
+        got = minplus_auto(a, b, PRAM())
+        want = minplus_naive(a, b.array, PRAM())
+        assert (got == want).all()
+        assert b._monge is True  # certification memoised on the wrapper
+
+    def test_flag_can_be_preset(self):
+        b = _random_monge(5, 5, np.random.default_rng(1))
+        assert MongeFlag(b, monge=True).monge()
+        assert is_monge(MongeFlag(b))
+        with pytest.raises(MongeError):
+            # a preset False flag routes minplus_monge's check to failure
+            minplus_monge(np.zeros((2, 5)), MongeFlag(b, monge=False), PRAM())
+
+
+class TestBatchedDijkstra:
+    @given(st.integers(1, 10), st.integers(0, 10**6))
+    @FAST
+    def test_block_matches_heapq_reference(self, n, seed):
+        rects = random_disjoint_rects(n, seed=seed % 997)
+        pts = random_free_points(rects, 6, seed=seed % 991)
+        oracle = GridOracle(rects, pts)
+        ids = [oracle.graph.node_id(p) for p in pts]
+        block = oracle._sssp_block(ids)
+        for row, pid in zip(block, ids):
+            assert np.array_equal(row, _reference_sssp(oracle.graph, pid))
+
+    def test_dist_matrix_rectangular_block(self):
+        rects = random_disjoint_rects(5, seed=11)
+        pts = random_free_points(rects, 8, seed=12)
+        oracle = GridOracle(rects, pts)
+        full = oracle.dist_matrix(pts)
+        block = oracle.dist_matrix(pts[:3], pts[3:])
+        assert np.array_equal(block, full[:3, 3:])
+
+    def test_csr_roundtrip_neighbors(self):
+        rects = random_disjoint_rects(6, seed=5)
+        g = GridOracle(rects).graph
+        indptr, indices, weights = g.csr()
+        assert indptr[-1] == len(indices) == len(weights)
+        for u in range(g.num_nodes):
+            want = sorted(g.neighbors(u))
+            got = sorted(
+                zip(indices[indptr[u]:indptr[u + 1]], weights[indptr[u]:indptr[u + 1]])
+            )
+            assert [(v, w) for v, w in want] == [(int(v), int(w)) for v, w in got]
+
+    def test_lru_cache_is_bounded(self):
+        rects = random_disjoint_rects(4, seed=7)
+        pts = random_free_points(rects, 9, seed=8)
+        oracle = GridOracle(rects, pts, cache_cap=3)
+        want = GridOracle(rects, pts).dist_matrix(pts)
+        for i, p in enumerate(pts):
+            for j, q in enumerate(pts):
+                assert oracle.dist(p, q) == want[i, j]
+            assert len(oracle._dist_cache) <= 3
+
+
+class TestCornerGraphLeaf:
+    @given(st.integers(1, 8), st.integers(0, 10**6))
+    @FAST
+    def test_matches_grid_oracle(self, c, seed):
+        rects = random_disjoint_rects(c, seed=seed % 983)
+        pts = list(
+            dict.fromkeys(
+                [v for r in rects for v in r.vertices]
+                + random_free_points(rects, 10, seed=seed % 977, margin=25)
+            )
+        )
+        want = GridOracle(rects, pts).dist_matrix(pts)
+        got = corner_graph_matrix(rects, pts)
+        assert np.array_equal(got, want)
+
+    def test_no_obstacles_is_l1(self):
+        pts = [(0, 0), (3, 5), (10, 1)]
+        got = corner_graph_matrix([], pts)
+        assert got[0, 1] == 8 and got[1, 2] == 11 and got[0, 2] == 11
+
+    def test_clear_l1_block_blocked_pair(self):
+        # a wall between the two points blocks both extreme L-paths
+        rects = random_disjoint_rects(1, seed=0)
+        r = rects[0]
+        left = (r.xlo - 2, (r.ylo + r.yhi) // 2)
+        right = (r.xhi + 2, (r.ylo + r.yhi) // 2)
+        block = clear_l1_block([left], [right], rects)
+        if r.yhi - r.ylo >= 2:  # the wall really separates the midline
+            assert np.isinf(block[0, 0])
+        assert clear_l1_block([left], [left], rects)[0, 0] == 0
+
+
+class TestBatchedQueries:
+    def _index(self, n=10, seed=3):
+        rects = random_disjoint_rects(n, seed=seed)
+        return ShortestPathIndex.build(rects), rects
+
+    def test_lengths_matches_scalar(self):
+        idx, rects = self._index()
+        verts = idx.vertices()
+        free = random_free_points(rects, 6, seed=4)
+        pairs = (
+            [(verts[i], verts[-1 - i]) for i in range(4)]
+            + [(free[0], verts[0]), (free[1], free[2])]
+        )
+        got = idx.lengths(pairs)
+        want = [idx.length(p, q) for p, q in pairs]
+        assert got.tolist() == want
+
+    def test_lengths_empty(self):
+        idx, _ = self._index(n=4)
+        assert idx.lengths([]).shape == (0,)
+
+    def test_distance_index_batched_gathers(self):
+        rects = random_disjoint_rects(8, seed=9)
+        engine = ParallelEngine(rects, [], PRAM(), leaf_size=4)
+        index = engine.build()
+        pts = index.points[:6]
+        sub = index.submatrix(pts)
+        rect_block = index.submatrix(pts[:2], pts[2:])
+        assert np.array_equal(rect_block, sub[:2, 2:])
+        pairwise = index.lengths(pts[:3], pts[3:6])
+        for k in range(3):
+            assert pairwise[k] == index.length(pts[k], pts[3 + k])
