@@ -14,8 +14,9 @@ High-level entry point::
 Sub-packages: :mod:`repro.geometry` (exact rectilinear geometry),
 :mod:`repro.pram` (metered CREW-PRAM simulator), :mod:`repro.monge`
 (Monge (min,+) machinery), :mod:`repro.core` (the paper's algorithms),
-:mod:`repro.workloads` (scene generators), :mod:`repro.viz` (ASCII
-renderings, including the paper's figures).
+:mod:`repro.workloads` (scene generators), :mod:`repro.serve` (snapshot
+persistence, multi-scene store, batching query server), :mod:`repro.viz`
+(ASCII renderings, including the paper's figures).
 """
 
 __version__ = "1.0.0"
@@ -29,6 +30,7 @@ from repro.errors import (
     PRAMError,
     QueryError,
     ReproError,
+    SnapshotError,
 )
 from repro.geometry.primitives import Point, Rect, dist
 
@@ -45,6 +47,7 @@ __all__ = [
     "ConcurrentWriteError",
     "MongeError",
     "QueryError",
+    "SnapshotError",
 ]
 
 
@@ -62,4 +65,12 @@ def __getattr__(name: str):
         from repro.pram.machine import PRAM
 
         return PRAM
+    if name == "SceneStore":
+        from repro.serve.store import SceneStore
+
+        return SceneStore
+    if name == "QueryServer":
+        from repro.serve.server import QueryServer
+
+        return QueryServer
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

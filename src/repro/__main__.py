@@ -3,22 +3,30 @@
 Commands
 --------
 ``demo``                        build + query + render on a random scene
-``query SCENE.json P Q``        length/path between two points
+``query SCENE P Q``             length/path between two points; SCENE is a
+                                JSON scene or a ``.rsp`` snapshot
+``snapshot SCENE.json OUT.rsp`` build once, persist the index
+``serve-bench SCENE [...]``     replay a request workload through the
+                                batching server (per-request vs coalesced)
 ``figures [N]``                 print paper figure(s)
 ``bench-info SCENE.json``       build and report simulated PRAM costs
 
 Scene files are JSON: ``{"rects": [[xlo, ylo, xhi, yhi], ...]}``; points
-are given as ``x,y``.
+are given as ``x,y``.  Snapshot artifacts are produced by ``snapshot``
+(or :func:`repro.serve.save`) and load in milliseconds.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
+import time
 from typing import Sequence
 
 from repro import Rect, ShortestPathIndex
+from repro.errors import GeometryError, SnapshotError
 from repro.pram import PRAM, speedup_table
 from repro.viz.ascii import render_scene
 from repro.workloads.generators import random_disjoint_rects
@@ -28,9 +36,18 @@ def _load_scene(path: str) -> list[Rect]:
     with open(path) as fh:
         data = json.load(fh)
     try:
-        return [Rect(*map(int, row)) for row in data["rects"]]
-    except (KeyError, TypeError) as exc:
+        rects = [Rect(*map(int, row)) for row in data["rects"]]
+    except GeometryError as exc:
+        raise SystemExit(f"{path}: invalid scene: {exc}")
+    except (KeyError, TypeError, ValueError) as exc:
         raise SystemExit(f"{path}: expected {{'rects': [[xlo,ylo,xhi,yhi],...]}}: {exc}")
+    from repro.geometry.primitives import validate_disjoint
+
+    try:
+        validate_disjoint(rects)
+    except GeometryError as exc:  # DisjointnessError names the offending pair
+        raise SystemExit(f"{path}: invalid scene: {exc}")
+    return rects
 
 
 def _parse_point(text: str) -> tuple[int, int]:
@@ -39,6 +56,12 @@ def _parse_point(text: str) -> tuple[int, int]:
         return (int(x), int(y))
     except ValueError:
         raise SystemExit(f"bad point {text!r}: expected 'x,y'")
+
+
+def _looks_like_snapshot(path: str) -> bool:
+    from repro.serve.snapshot import SNAPSHOT_SUFFIX, is_snapshot
+
+    return path.endswith(SNAPSHOT_SUFFIX) or is_snapshot(path)
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -56,16 +79,123 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    rects = _load_scene(args.scene)
     p = _parse_point(args.p)
     q = _parse_point(args.q)
-    idx = ShortestPathIndex.build(rects, extra_points=[p, q], engine=args.engine)
+    if _looks_like_snapshot(args.scene):
+        from repro.serve.snapshot import load
+
+        try:
+            idx = load(args.scene)
+        except (SnapshotError, OSError) as exc:
+            raise SystemExit(str(exc))
+        rects = idx.rects
+    else:
+        rects = _load_scene(args.scene)
+        print(
+            f"note: rebuilding the index from {args.scene}; snapshot it once "
+            f"with `python -m repro snapshot {args.scene} "
+            f"{pathlib.Path(args.scene).stem}.rsp` to skip this on every query",
+            file=sys.stderr,
+        )
+        idx = ShortestPathIndex.build(rects, extra_points=[p, q], engine=args.engine)
     print(f"length = {idx.length(p, q)}")
     if args.path:
         path = idx.shortest_path(p, q)
         print("path   =", " -> ".join(map(str, path)))
         if args.render:
             print(render_scene(rects, paths=[path], points=[(p, 'A'), (q, 'B')]))
+    return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.serve.snapshot import save
+
+    rects = _load_scene(args.scene)
+    t0 = time.perf_counter()
+    idx = ShortestPathIndex.build(rects, engine=args.engine)
+    build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    out = save(idx, args.out, include_query=not args.no_query)
+    save_s = time.perf_counter() - t0
+    size = out.stat().st_size
+    print(
+        f"{args.scene}: n={len(rects)} built in {build_s:.3f}s "
+        f"({args.engine} engine), snapshot {out} ({size:,} bytes) "
+        f"written in {save_s:.3f}s"
+    )
+    return 0
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.server import QueryServer, Request
+    from repro.serve.store import SceneStore
+    from repro.workloads.requests import random_request_stream, scene_endpoints
+
+    store = SceneStore()
+    names: list[str] = []
+    for i, scene in enumerate(args.scenes):
+        # stable names (the file stem) so a recorded workload replays
+        # against the same scene set regardless of argument order
+        name = pathlib.Path(scene).stem
+        if name in store:
+            name = f"{name}#{i}"
+        names.append(name)
+        if _looks_like_snapshot(scene):
+            store.add_snapshot(name, scene)
+        else:
+            store.add_scene(name, _load_scene(scene), engine=args.engine)
+    t0 = time.perf_counter()
+    try:
+        endpoints = {n: scene_endpoints(store.get(n), seed=args.seed) for n in names}
+    except (SnapshotError, OSError) as exc:
+        raise SystemExit(str(exc))
+    warm_s = time.perf_counter() - t0
+    if args.workload:
+        with open(args.workload) as fh:
+            reqs = [
+                Request(r["scene"], tuple(r["p"]), tuple(r["q"]), r.get("op", "length"))
+                for r in json.load(fh)["requests"]
+            ]
+    else:
+        reqs = random_request_stream(
+            endpoints, args.requests, seed=args.seed, mix=(args.arbitrary, args.paths)
+        )
+    if args.record:
+        payload = {
+            "requests": [
+                {"scene": r.scene, "op": r.op, "p": list(r.p), "q": list(r.q)}
+                for r in reqs
+            ]
+        }
+        pathlib.Path(args.record).write_text(json.dumps(payload))
+        print(f"recorded {len(reqs)} requests to {args.record}")
+    server = QueryServer(store)
+    from repro.errors import QueryError
+
+    try:
+        # untimed warm pass: lazy §6.4/§8 structures are built here so
+        # neither timed phase pays one-time construction costs
+        server.submit(reqs)
+        t0 = time.perf_counter()
+        for r in reqs:
+            server.submit([r])
+        per_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for k in range(0, len(reqs), args.batch):
+            server.submit(reqs[k : k + args.batch])
+        co_s = time.perf_counter() - t0
+    except QueryError as exc:  # e.g. a workload naming an unknown scene
+        raise SystemExit(str(exc))
+    n = len(reqs)
+    print(
+        f"{len(names)} scene(s), {n} requests (warm-up {warm_s:.3f}s); "
+        f"batch size {args.batch}"
+    )
+    print(f"per-request: {per_s:.3f}s  ({n / per_s:,.0f} req/s)")
+    print(f"coalesced:   {co_s:.3f}s  ({n / co_s:,.0f} req/s)  "
+          f"speedup {per_s / co_s:.1f}x")
+    print(f"store: {store.stats()}")
+    print(f"server: {server.stats()}")
     return 0
 
 
@@ -104,14 +234,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     d.add_argument("--engine", choices=["parallel", "sequential"], default="parallel")
     d.set_defaults(fn=cmd_demo)
 
-    q = sub.add_parser("query", help="query a scene file")
-    q.add_argument("scene")
+    q = sub.add_parser("query", help="query a scene file or snapshot")
+    q.add_argument("scene", help="JSON scene or .rsp snapshot")
     q.add_argument("p")
     q.add_argument("q")
     q.add_argument("--path", action="store_true")
     q.add_argument("--render", action="store_true")
     q.add_argument("--engine", choices=["parallel", "sequential"], default="sequential")
     q.set_defaults(fn=cmd_query)
+
+    s = sub.add_parser("snapshot", help="build a scene once and persist it")
+    s.add_argument("scene", help="JSON scene file")
+    s.add_argument("out", help="output .rsp artifact")
+    s.add_argument("--engine", choices=["parallel", "sequential"], default="parallel")
+    s.add_argument("--no-query", action="store_true",
+                   help="skip persisting the arbitrary-point query structure")
+    s.set_defaults(fn=cmd_snapshot)
+
+    sb = sub.add_parser("serve-bench", help="replay a workload through the server")
+    sb.add_argument("scenes", nargs="+", help="JSON scenes and/or .rsp snapshots")
+    sb.add_argument("--requests", type=int, default=2000)
+    sb.add_argument("--batch", type=int, default=256)
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument("--arbitrary", type=float, default=0.2,
+                    help="fraction of arbitrary-point length requests")
+    sb.add_argument("--paths", type=float, default=0.02,
+                    help="fraction of path-report requests")
+    sb.add_argument("--engine", choices=["parallel", "sequential"], default="parallel")
+    sb.add_argument("--record", help="write the generated workload to this JSON file")
+    sb.add_argument("--workload", help="replay a recorded workload JSON file")
+    sb.set_defaults(fn=cmd_serve_bench)
 
     f = sub.add_parser("figures", help="print paper figure(s)")
     f.add_argument("n", nargs="?", type=int)

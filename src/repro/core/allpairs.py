@@ -115,6 +115,29 @@ class DistanceIndex:
         cids = ids if cols is None else self.ids(cols)
         return self.matrix[np.ix_(ids, cids)]
 
+    # -- persistence hooks (repro.serve.snapshot) ------------------------
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The index as plain arrays: vertex order ``(n, 2)`` plus the
+        matrix.  Together with :meth:`from_arrays` this is the whole
+        persistence contract — row/column ``i`` belongs to ``points[i]``."""
+        pts = np.array(self.points, dtype=np.int64).reshape(len(self.points), 2)
+        return {"points": pts, "matrix": self.matrix}
+
+    @classmethod
+    def from_arrays(cls, points: np.ndarray, matrix: np.ndarray) -> "DistanceIndex":
+        """Rebuild an index from :meth:`export_arrays` output (no solving)."""
+        pts_arr = np.asarray(points)
+        mat = np.asarray(matrix, dtype=float)
+        if pts_arr.ndim != 2 or pts_arr.shape[1] != 2:
+            raise QueryError(f"points array must be (n, 2), got {pts_arr.shape}")
+        n = pts_arr.shape[0]
+        if mat.shape != (n, n):
+            raise QueryError(
+                f"matrix shape {mat.shape} does not match {n} points"
+            )
+        pts = [(x, y) for x, y in pts_arr.tolist()]
+        return cls(pts, mat)
+
     def __len__(self) -> int:
         return len(self.points)
 

@@ -8,6 +8,7 @@ container support (``P`` of the paper) via pocket decomposition.
 
 from __future__ import annotations
 
+import threading
 from typing import Literal, Optional, Sequence
 
 import numpy as np
@@ -52,6 +53,7 @@ class ShortestPathIndex:
         pram: PRAM,
         container: Optional[RectilinearPolygon] = None,
         engine: str = "parallel",
+        query_parents: Optional[np.ndarray] = None,
     ) -> None:
         self.rects = list(rects)
         self.index = index
@@ -59,8 +61,12 @@ class ShortestPathIndex:
         self.container = container
         self.engine = engine
         self._query: Optional[QueryStructure] = None
+        self._query_parents = query_parents  # persisted §6.4 forests, if any
         self._reporter: Optional[PathReporter] = None
         self._rect_arr = rect_coord_array(self.rects)
+        # the lazy substructures are built at most once even when a
+        # QueryServer drives this index from many threads
+        self._lazy_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -102,14 +108,39 @@ class ShortestPathIndex:
     @property
     def query(self) -> QueryStructure:
         if self._query is None:
-            self._query = QueryStructure(self.rects, self.index, self.pram)
+            with self._lazy_lock:
+                if self._query is None:
+                    self._query = QueryStructure(
+                        self.rects,
+                        self.index,
+                        self.pram,
+                        world_parents=self._query_parents,
+                    )
         return self._query
 
     @property
     def reporter(self) -> PathReporter:
         if self._reporter is None:
-            self._reporter = PathReporter(self.rects, self.index, self.pram)
+            with self._lazy_lock:
+                if self._reporter is None:
+                    self._reporter = PathReporter(self.rects, self.index, self.pram)
         return self._reporter
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist this fully built index as a ``.rsp`` snapshot artifact
+        (see :mod:`repro.serve.snapshot`); reload with :meth:`load`."""
+        from repro.serve.snapshot import save as _save
+
+        _save(self, path)
+
+    @classmethod
+    def load(cls, path) -> "ShortestPathIndex":
+        """Reload a snapshot saved by :meth:`save` — milliseconds instead
+        of re-running the parallel build."""
+        from repro.serve.snapshot import load as _load
+
+        return _load(path)
 
     # ------------------------------------------------------------------
     def length(self, p: Point, q: Point) -> float:

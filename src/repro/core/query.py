@@ -49,6 +49,9 @@ _QUADRANT_WORLD = {
     (-1, -1): Transform(sx=-1, sy=-1),
 }
 
+#: fixed world order for the persistence hooks (rows of the parents array)
+_WORLD_ORDER: tuple[tuple[int, int], ...] = ((1, 1), (-1, 1), (1, -1), (-1, -1))
+
 
 class _ImplicitPath:
     """O(log n)-searchable view of the canonical NE(q) path in one world.
@@ -98,13 +101,23 @@ class _ImplicitPath:
 
 
 class _QueryWorld:
-    def __init__(self, t: Transform, rects: Sequence[Rect]):
+    def __init__(
+        self,
+        t: Transform,
+        rects: Sequence[Rect],
+        ne_parents: Optional[Sequence[Optional[int]]] = None,
+    ):
         self.t = t
         self.inv = t.inverse()
         self.rects = t.apply_rects(list(rects))
         self.shooter = RayShooter(self.rects)
-        self.forests = TraceForests(self.rects)
-        self.parents = self.forests.parents("NE")
+        if ne_parents is None:
+            # derive the NE forest by tracing (the expensive path)
+            self.parents = TraceForests(self.rects).parents("NE")
+        else:
+            # snapshot fast path: the forest was persisted, only the ray
+            # shooter (cheap, shared with the forests anyway) is rebuilt
+            self.parents = list(ne_parents)
 
     def ne_chain(self, q: Point, nmax: int) -> _ImplicitPath:
         chain: list[Rect] = []
@@ -128,18 +141,55 @@ class QueryStructure:
         rects: Sequence[Rect],
         index: DistanceIndex,
         pram: Optional[PRAM] = None,
+        world_parents: Optional[np.ndarray] = None,
     ) -> None:
+        """``world_parents`` — optional ``(4, n)`` array of persisted NE
+        tracing-forest parents (one row per world of :data:`_WORLD_ORDER`,
+        ``-1`` for "escapes to infinity"), as produced by
+        :meth:`export_world_parents`; skips re-tracing the forests."""
         pram = pram or ambient()
         self.rects = list(rects)
         self._rect_arr = rect_coord_array(self.rects)
         self.index = index
         n = len(self.rects)
-        self.worlds = {
-            key: _QueryWorld(t, self.rects) for key, t in _QUADRANT_WORLD.items()
-        }
-        # forest + shooter construction, charged once (the paper's H₁/H₂
-        # and indicator pre-processing)
-        pram.charge(time=pram.log2ceil(n or 1), work=8 * n * pram.log2ceil(n or 1), width=4 * n)
+        if world_parents is not None:
+            arr = np.asarray(world_parents)
+            if arr.shape != (4, n):
+                raise QueryError(
+                    f"world_parents shape {arr.shape} does not match "
+                    f"(4, {n}) for {n} obstacles"
+                )
+            self.worlds = {
+                key: _QueryWorld(
+                    _QUADRANT_WORLD[key],
+                    self.rects,
+                    [None if v < 0 else int(v) for v in arr[k]],
+                )
+                for k, key in enumerate(_WORLD_ORDER)
+            }
+            # shooters only; the persisted forests cost nothing to reload
+            pram.charge(time=pram.log2ceil(n or 1), work=4 * n, width=4 * n)
+        else:
+            self.worlds = {
+                key: _QueryWorld(t, self.rects) for key, t in _QUADRANT_WORLD.items()
+            }
+            # forest + shooter construction, charged once (the paper's H₁/H₂
+            # and indicator pre-processing)
+            pram.charge(time=pram.log2ceil(n or 1), work=8 * n * pram.log2ceil(n or 1), width=4 * n)
+
+    # -- persistence hooks (repro.serve.snapshot) ------------------------
+    def export_world_parents(self) -> np.ndarray:
+        """The four worlds' NE tracing-forest parent arrays as one
+        ``(4, n)`` int array (``-1`` encodes None), in :data:`_WORLD_ORDER`
+        order — everything :class:`QueryStructure` derives from the scene
+        that is worth persisting (shooters are cheap to rebuild)."""
+        n = len(self.rects)
+        out = np.full((4, n), -1, dtype=np.int64)
+        for k, key in enumerate(_WORLD_ORDER):
+            for i, parent in enumerate(self.worlds[key].parents):
+                if parent is not None:
+                    out[k, i] = parent
+        return out
 
     # ------------------------------------------------------------------
     def length(self, p: Point, q: Point) -> float:

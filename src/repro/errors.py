@@ -37,3 +37,7 @@ class MongeError(ReproError):
 
 class QueryError(ReproError):
     """A query was made against a structure that cannot answer it."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot artifact is corrupt, truncated, or format-incompatible."""

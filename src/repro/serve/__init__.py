@@ -1,0 +1,43 @@
+"""Serving layer: snapshot persistence, a multi-scene store, batching.
+
+The build side of this library is the paper's contribution; this package
+is the *online* half an actual deployment needs:
+
+* :mod:`repro.serve.snapshot` — ``save``/``load`` a built
+  :class:`~repro.core.api.ShortestPathIndex` as one ``.rsp`` artifact, so
+  the expensive parallel build is paid once per scene;
+* :mod:`repro.serve.store` — :class:`SceneStore`, a thread-safe registry
+  of many named scenes with lazy materialization, build-or-load-once
+  locking, and LRU eviction bounded by resident bytes;
+* :mod:`repro.serve.server` — :class:`QueryServer`, the batching
+  front-end that coalesces same-scene length requests into single
+  vectorized matrix gathers.
+"""
+
+from repro.serve.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_SUFFIX,
+    SNAPSHOT_VERSION,
+    is_snapshot,
+    load,
+    read_header,
+    save,
+)
+from repro.serve.server import OP_LENGTH, OP_PATH, QueryServer, Request
+from repro.serve.store import SceneStore, resident_bytes
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_SUFFIX",
+    "SNAPSHOT_VERSION",
+    "is_snapshot",
+    "load",
+    "read_header",
+    "save",
+    "OP_LENGTH",
+    "OP_PATH",
+    "QueryServer",
+    "Request",
+    "SceneStore",
+    "resident_bytes",
+]

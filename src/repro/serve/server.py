@@ -1,0 +1,131 @@
+"""The batching query front-end over a :class:`SceneStore`.
+
+``QueryServer`` is the request-facing layer: callers hand it a mixed
+stream of requests (lengths and path reports, possibly spanning several
+scenes) and it answers them in request order while *coalescing* all
+same-scene length requests into one vectorized
+:meth:`ShortestPathIndex.lengths` call — one containment check and one
+matrix gather for the whole group instead of a Python round-trip per
+request.  That amortization is the serving-side twin of the paper's
+build-side batching, and ``BENCH_serve.json`` records the resulting
+throughput multiple.
+
+The API is an in-process, thread-safe one: ``submit`` may be called from
+many threads at once (the store's per-scene locks serialize
+materialization; the index's query paths are read-only after that).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.primitives import Point
+from repro.serve.store import SceneStore
+
+#: request kinds understood by :meth:`QueryServer.submit`
+OP_LENGTH = "length"
+OP_PATH = "path"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One query: ``op`` is ``"length"`` (default) or ``"path"``."""
+
+    scene: str
+    p: Point
+    q: Point
+    op: str = OP_LENGTH
+
+    def __post_init__(self) -> None:
+        if self.op not in (OP_LENGTH, OP_PATH):
+            raise QueryError(f"unknown request op {self.op!r}")
+
+
+RequestLike = Union[Request, tuple]
+
+
+def _coerce(req: RequestLike) -> Request:
+    if isinstance(req, Request):
+        return req
+    if isinstance(req, tuple) and len(req) in (3, 4):
+        return Request(*req)
+    raise QueryError(
+        f"cannot interpret {req!r} as a request "
+        "(want Request or (scene, p, q[, op]))"
+    )
+
+
+class QueryServer:
+    """Order-preserving batch answering with same-scene coalescing.
+
+    >>> server = QueryServer(store)                      # doctest: +SKIP
+    >>> server.submit([("a", p, q), ("b", r, s)])        # doctest: +SKIP
+    [7.0, 12.0]
+    """
+
+    def __init__(self, store: SceneStore) -> None:
+        self.store = store
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.batches = 0
+        self.coalesced_groups = 0
+        self.largest_group = 0
+
+    # -- single-call conveniences --------------------------------------
+    def length(self, scene: str, p: Point, q: Point) -> float:
+        return self.submit([Request(scene, p, q)])[0]
+
+    def lengths(self, scene: str, pairs: Sequence[tuple[Point, Point]]) -> np.ndarray:
+        """All-one-scene fast path: one coalesced call, array result."""
+        return np.asarray(self.store.get(scene).lengths(list(pairs)))
+
+    def shortest_path(self, scene: str, p: Point, q: Point) -> List[Point]:
+        return self.submit([Request(scene, p, q, op=OP_PATH)])[0]
+
+    # -- the batched entry point ---------------------------------------
+    def submit(self, requests: Iterable[RequestLike]) -> list:
+        """Answer a mixed batch, returning results in request order.
+
+        Length requests are grouped by scene and answered with one
+        vectorized call per scene; path reports are answered per request
+        (path assembly is inherently per-pair, §8).
+        """
+        reqs = [_coerce(r) for r in requests]
+        out: list = [None] * len(reqs)
+        groups: dict[str, list[int]] = {}
+        path_positions: list[int] = []
+        for i, r in enumerate(reqs):
+            if r.op == OP_LENGTH:
+                groups.setdefault(r.scene, []).append(i)
+            else:
+                path_positions.append(i)
+        for scene, positions in groups.items():
+            idx = self.store.get(scene)
+            vals = idx.lengths([(reqs[i].p, reqs[i].q) for i in positions])
+            for k, i in enumerate(positions):
+                out[i] = float(vals[k])
+        for i in path_positions:
+            r = reqs[i]
+            out[i] = self.store.get(r.scene).shortest_path(r.p, r.q)
+        with self._lock:
+            self.requests += len(reqs)
+            self.batches += 1
+            self.coalesced_groups += len(groups)
+            for positions in groups.values():
+                self.largest_group = max(self.largest_group, len(positions))
+        return out
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "coalesced_groups": self.coalesced_groups,
+                "largest_group": self.largest_group,
+            }

@@ -1,0 +1,203 @@
+"""Snapshot persistence for a built :class:`ShortestPathIndex`.
+
+The paper's structure is *build once expensively, query forever cheaply*
+(abstract: O(log² n) parallel build, O(1)/O(log n) queries), which makes
+the build output the natural unit of persistence.  A snapshot is a single
+``.rsp`` file — a NumPy ``.npz`` archive with a JSON header member — that
+captures everything the query side needs:
+
+``header``       JSON: format name + version, repro version, engine,
+                 element counts, simulated build cost, matrix checksum
+``points``       ``(n, 2)`` int64 — the vertex order of the matrix rows
+``matrix``       ``(n, n)`` float64 — all-pairs lengths (§6.3 output)
+``rects``        ``(m, 4)`` int64 — obstacles, pocket rects included
+``container``    ``(k, 2)`` int64 — container polygon loop (``k = 0``
+                 when the scene has no container)
+``qs_parents``   ``(4, m)`` int64 — the §6.4 query structure's four
+                 NE tracing forests (absent when not exported)
+
+Loading never re-runs an engine: the matrix is mapped back into a
+:class:`DistanceIndex`, the §6.4 forests (when present) are handed to
+:class:`QueryStructure`, and only the cheap ray shooters are rebuilt.
+Corrupt, truncated, or version-mismatched artifacts raise
+:class:`~repro.errors.SnapshotError` — never a deep traceback from NumPy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pathlib
+import tempfile
+import zipfile
+import zlib
+from typing import Union
+
+import numpy as np
+
+from repro import __version__
+from repro.core.allpairs import DistanceIndex
+from repro.core.api import ShortestPathIndex
+from repro.errors import SnapshotError
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.primitives import Rect
+from repro.pram.machine import PRAM
+
+PathLike = Union[str, pathlib.Path]
+
+#: snapshot format identity; bump ``SNAPSHOT_VERSION`` on layout changes
+SNAPSHOT_FORMAT = "repro-snapshot"
+SNAPSHOT_VERSION = 1
+
+#: conventional file extension (the CLI sniffs content, not the name)
+SNAPSHOT_SUFFIX = ".rsp"
+
+
+def _matrix_digest(matrix: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(matrix).tobytes()).hexdigest()
+
+
+def save(
+    idx: ShortestPathIndex, path: PathLike, include_query: bool = True
+) -> pathlib.Path:
+    """Serialize ``idx`` to ``path``; returns the path written.
+
+    ``include_query=True`` (default) also exports the §6.4 arbitrary-point
+    query structure — forcing its construction now if it was never queried
+    — so a loaded snapshot answers arbitrary-point queries without any
+    tracing work.
+    """
+    path = pathlib.Path(path)
+    arrays = idx.index.export_arrays()
+    arrays["rects"] = np.array(
+        [[r.xlo, r.ylo, r.xhi, r.yhi] for r in idx.rects], dtype=np.int64
+    ).reshape(len(idx.rects), 4)
+    if idx.container is not None:
+        arrays["container"] = np.array(idx.container.loop, dtype=np.int64)
+    else:
+        arrays["container"] = np.empty((0, 2), dtype=np.int64)
+    if include_query:
+        arrays["qs_parents"] = idx.query.export_world_parents()
+    header = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "repro_version": __version__,
+        "engine": idx.engine,
+        "n_points": len(idx.index),
+        "n_rects": len(idx.rects),
+        "has_container": idx.container is not None,
+        "has_query_structure": include_query,
+        "build_time": idx.pram.time,
+        "build_work": idx.pram.work,
+        "matrix_sha256": _matrix_digest(arrays["matrix"]),
+    }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    # atomic publish: a crash mid-write (or a concurrent saver of the
+    # same path) must never leave a truncated artifact where a
+    # SceneStore will try to load it — hence a unique temp sibling
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(buf.getvalue())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_header(path: PathLike) -> dict:
+    """The snapshot's JSON header alone (no array payloads are decoded)."""
+    with _open_archive(path) as npz:
+        return _parse_header(path, npz)
+
+
+def is_snapshot(path: PathLike) -> bool:
+    """Cheap content sniff: is this file a repro snapshot archive?"""
+    try:
+        read_header(path)
+        return True
+    except (SnapshotError, FileNotFoundError, IsADirectoryError):
+        return False
+
+
+def load(path: PathLike) -> ShortestPathIndex:
+    """Reconstruct a fully queryable :class:`ShortestPathIndex` from a
+    snapshot; raises :class:`SnapshotError` on any malformed artifact."""
+    with _open_archive(path) as npz:
+        header = _parse_header(path, npz)
+        try:
+            points = npz["points"]
+            matrix = npz["matrix"]
+            rect_arr = npz["rects"]
+            loop_arr = npz["container"]
+            parents = npz["qs_parents"] if "qs_parents" in npz.files else None
+        except (KeyError, ValueError, zipfile.BadZipFile, OSError, zlib.error) as exc:
+            raise SnapshotError(f"{path}: missing or corrupt array member: {exc}")
+    digest = _matrix_digest(np.asarray(matrix, dtype=float))
+    if digest != header.get("matrix_sha256"):
+        raise SnapshotError(
+            f"{path}: matrix checksum mismatch (corrupt or tampered artifact)"
+        )
+    try:
+        index = DistanceIndex.from_arrays(points, matrix)
+        rects = [Rect(*row) for row in rect_arr.tolist()]
+        container = None
+        if len(loop_arr):
+            container = RectilinearPolygon([(x, y) for x, y in loop_arr.tolist()])
+    except Exception as exc:  # noqa: BLE001 - any geometry rejection is corruption
+        raise SnapshotError(f"{path}: invalid snapshot payload: {exc}")
+    if parents is not None and parents.shape != (4, len(rects)):
+        raise SnapshotError(
+            f"{path}: query-structure parents shape {parents.shape} does not "
+            f"match {len(rects)} obstacles"
+        )
+    idx = ShortestPathIndex(
+        rects,
+        index,
+        PRAM("snapshot-load"),
+        container=container,
+        engine=str(header.get("engine", "parallel")),
+        query_parents=parents,
+    )
+    idx.snapshot_meta = header
+    return idx
+
+
+# ----------------------------------------------------------------------
+def _open_archive(path: PathLike):
+    try:
+        npz = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise SnapshotError(f"{path}: not a snapshot archive: {exc}")
+    if not hasattr(npz, "files"):  # a bare .npy loads as a plain array
+        raise SnapshotError(f"{path}: not a snapshot archive (single array)")
+    return npz
+
+
+def _parse_header(path: PathLike, npz) -> dict:
+    if "header" not in npz.files:
+        raise SnapshotError(f"{path}: no snapshot header member")
+    try:
+        header = json.loads(bytes(npz["header"].tobytes()).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError, zipfile.BadZipFile, OSError, zlib.error) as exc:
+        raise SnapshotError(f"{path}: unreadable snapshot header: {exc}")
+    if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"{path}: not a {SNAPSHOT_FORMAT} artifact")
+    if header.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path}: snapshot format version {header.get('version')!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}"
+        )
+    return header

@@ -1,0 +1,227 @@
+"""A registry of named scenes with lazy materialization and LRU eviction.
+
+``SceneStore`` is the resident-memory layer of the serving stack: it maps
+scene names to *sources* (a snapshot on disk, a rect list to build, or an
+arbitrary builder callable) and materializes each
+:class:`~repro.core.api.ShortestPathIndex` at most once, on first use,
+under a per-scene lock — concurrent callers for the same scene block on
+that one materialization instead of duplicating an expensive build.
+
+Residency is bounded by ``max_bytes`` (the distance matrix dominates, at
+8·n² bytes per scene): when an insert pushes the total over budget, the
+least-recently-used *other* scenes are dropped back to their sources.  An
+evicted scene is not an error — the next ``get`` simply re-materializes it
+(snapshot-backed scenes reload in milliseconds, which is the point of
+:mod:`repro.serve.snapshot`).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from repro.core.api import Engine, ShortestPathIndex
+from repro.errors import QueryError
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.primitives import Point, Rect
+from repro.serve.snapshot import load as load_snapshot
+
+Builder = Callable[[], ShortestPathIndex]
+
+
+def resident_bytes(idx: ShortestPathIndex) -> int:
+    """Estimated resident footprint of one materialized index.
+
+    The n×n matrix dominates; points, rects, and any persisted §6.4
+    forests are accounted with flat per-element costs.
+    """
+    n = len(idx.index)
+    total = idx.index.matrix.nbytes + 16 * n + 32 * len(idx.rects)
+    if idx._query_parents is not None:
+        total += idx._query_parents.nbytes
+    return total
+
+
+@dataclass
+class _Entry:
+    source: Builder
+    kind: str  # "snapshot" | "build" | "builder"
+    idx: Optional[ShortestPathIndex] = None
+    nbytes: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class SceneStore:
+    """Thread-safe name → index registry with bounded residency.
+
+    >>> store = SceneStore(max_bytes=64 << 20)
+    >>> store.add_snapshot("campus", "campus.rsp")   # doctest: +SKIP
+    >>> store.get("campus").length(p, q)             # doctest: +SKIP
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        self.max_bytes = max_bytes
+        self._entries: Dict[str, _Entry] = {}
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.loads = 0  # snapshot materializations
+        self.builds = 0  # engine-build materializations
+
+    # -- registration ---------------------------------------------------
+    def add_snapshot(self, name: str, path: Union[str, pathlib.Path]) -> None:
+        """Register a scene backed by a ``.rsp`` snapshot (lazy load)."""
+        p = pathlib.Path(path)
+        self._register(name, _Entry(source=lambda: load_snapshot(p), kind="snapshot"))
+
+    def add_scene(
+        self,
+        name: str,
+        rects: Sequence[Rect],
+        *,
+        engine: Engine = "parallel",
+        container: Optional[RectilinearPolygon] = None,
+        extra_points: Sequence[Point] = (),
+    ) -> None:
+        """Register a scene built from raw rects on first use."""
+        rects = list(rects)
+        extra_points = list(extra_points)
+
+        def build() -> ShortestPathIndex:
+            return ShortestPathIndex.build(
+                rects, extra_points=extra_points, engine=engine, container=container
+            )
+
+        self._register(name, _Entry(source=build, kind="build"))
+
+    def add_builder(self, name: str, builder: Builder) -> None:
+        """Register a scene produced by an arbitrary callable."""
+        self._register(name, _Entry(source=builder, kind="builder"))
+
+    def _register(self, name: str, entry: _Entry) -> None:
+        with self._lock:
+            if name in self._entries:
+                raise QueryError(f"scene {name!r} is already registered")
+            self._entries[name] = entry
+
+    # -- access ---------------------------------------------------------
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def get(self, name: str) -> ShortestPathIndex:
+        """The materialized index for ``name`` (loading/building at most
+        once across all threads); raises ``QueryError`` for unknown names."""
+        with self._lock:
+            try:
+                entry = self._entries[name]
+            except KeyError:
+                known = ", ".join(sorted(self._entries)) or "<none>"
+                raise QueryError(
+                    f"unknown scene {name!r} (registered: {known})"
+                ) from None
+            if entry.idx is not None:
+                self.hits += 1
+                self._lru.move_to_end(name)
+                return entry.idx
+        # materialize outside the registry lock so unrelated scenes stay
+        # responsive; the per-entry lock makes this build-or-load-once
+        with entry.lock:
+            if entry.idx is None:
+                idx = entry.source()
+                with self._lock:
+                    self.misses += 1
+                    if entry.kind == "snapshot":
+                        self.loads += 1
+                    else:
+                        self.builds += 1
+                    entry.idx = idx
+                    entry.nbytes = resident_bytes(idx)
+                    self._lru[name] = None
+                    self._lru.move_to_end(name)
+                    self._evict_over_budget(keep=name)
+                return idx
+            with self._lock:
+                self.hits += 1
+                if name in self._lru:
+                    self._lru.move_to_end(name)
+                # capture under the lock: a concurrent insert may evict
+                # this entry the moment the lock is released
+                idx = entry.idx
+            if idx is not None:
+                return idx
+        return self.get(name)  # evicted while we waited; re-materialize
+
+    # -- residency ------------------------------------------------------
+    def resident(self) -> dict[str, int]:
+        """Currently materialized scenes and their byte estimates."""
+        with self._lock:
+            return {
+                name: e.nbytes for name, e in self._entries.items() if e.idx is not None
+            }
+
+    def resident_total(self) -> int:
+        with self._lock:
+            return sum(e.nbytes for e in self._entries.values() if e.idx is not None)
+
+    def evict(self, name: str) -> bool:
+        """Drop one scene back to its source; True if it was resident."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.idx is None:
+                return False
+            self._drop(name, entry)
+            return True
+
+    def clear_resident(self) -> None:
+        """Drop every materialized scene (registrations are kept)."""
+        with self._lock:
+            for name, entry in self._entries.items():
+                if entry.idx is not None:
+                    self._drop(name, entry)
+
+    def _drop(self, name: str, entry: _Entry) -> None:
+        entry.idx = None
+        entry.nbytes = 0
+        self._lru.pop(name, None)
+        self.evictions += 1
+
+    def _evict_over_budget(self, keep: str) -> None:
+        """LRU-evict other scenes until back under ``max_bytes`` (the one
+        just materialized is never evicted, even if it alone overflows)."""
+        if self.max_bytes is None:
+            return
+        total = sum(e.nbytes for e in self._entries.values() if e.idx is not None)
+        for name in list(self._lru):
+            if total <= self.max_bytes:
+                break
+            if name == keep:
+                continue
+            entry = self._entries[name]
+            total -= entry.nbytes
+            self._drop(name, entry)
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "scenes": len(self._entries),
+                "resident": sum(1 for e in self._entries.values() if e.idx is not None),
+                "resident_bytes": sum(
+                    e.nbytes for e in self._entries.values() if e.idx is not None
+                ),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "loads": self.loads,
+                "builds": self.builds,
+            }

@@ -1,9 +1,10 @@
-"""Workload generators and deterministic fixture scenes."""
+"""Workload generators, deterministic fixture scenes, request streams."""
 
 from repro.workloads.generators import (
     random_disjoint_rects,
     random_container_polygon,
     random_free_points,
+    staircase_container,
     WORKLOAD_MODES,
 )
 from repro.workloads.fixtures import (
@@ -12,14 +13,23 @@ from repro.workloads.fixtures import (
     ring_of_rects,
     paper_figure_scene,
 )
+from repro.workloads.requests import (
+    DEFAULT_MIX,
+    random_request_stream,
+    scene_endpoints,
+)
 
 __all__ = [
     "random_disjoint_rects",
     "random_container_polygon",
     "random_free_points",
+    "staircase_container",
     "WORKLOAD_MODES",
     "two_clusters",
     "three_shelves",
     "ring_of_rects",
     "paper_figure_scene",
+    "DEFAULT_MIX",
+    "random_request_stream",
+    "scene_endpoints",
 ]

@@ -1,0 +1,75 @@
+"""Serving workloads: deterministic request streams over named scenes.
+
+Mirrors :mod:`repro.workloads.generators` for the online half of the
+system — where the generators produce *scenes*, this module produces the
+*traffic* replayed against them by ``python -m repro serve-bench`` and
+``benchmarks/bench_serve.py``.  Streams are fully deterministic given a
+seed, mix vertex-pair lookups (the O(1) path) with arbitrary-point
+queries (the O(log n) §6.4 path) and occasional path reports (§8), and
+spread requests across every registered scene.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.core.api import ShortestPathIndex
+from repro.geometry.primitives import Point
+from repro.serve.server import OP_LENGTH, OP_PATH, Request
+from repro.workloads.generators import random_free_points
+
+#: default request mix: (arbitrary-point length fraction, path fraction);
+#: the remainder are vertex-pair length lookups
+DEFAULT_MIX = (0.2, 0.05)
+
+
+def scene_endpoints(
+    idx: ShortestPathIndex, k_free: int = 32, seed: int = 0
+) -> tuple[list[Point], list[Point]]:
+    """Endpoint pools for one scene: its indexed vertices plus ``k_free``
+    obstacle-free sample points (the arbitrary-query population)."""
+    free = random_free_points(idx.rects, k_free, seed=seed)
+    if idx.container is not None:
+        free = [p for p in free if idx.container.contains(p)]
+    return idx.vertices(), free
+
+
+def random_request_stream(
+    endpoints: Mapping[str, tuple[Sequence[Point], Sequence[Point]]],
+    n_requests: int,
+    seed: int = 0,
+    mix: tuple[float, float] = DEFAULT_MIX,
+) -> list[Request]:
+    """``n_requests`` requests across the given scenes.
+
+    ``endpoints`` maps scene name to ``(vertices, free_points)`` pools
+    (see :func:`scene_endpoints`); ``mix`` is the (arbitrary, path)
+    fraction pair.  Scene choice, endpoint choice, and op choice are all
+    drawn from one seeded stream, so a stream is reproducible across
+    processes and machines.
+    """
+    arb_frac, path_frac = mix
+    rng = random.Random(f"req|{seed}|{n_requests}|{arb_frac}|{path_frac}")
+    names = sorted(endpoints)
+    if not names:
+        return []
+    pools = {n: (list(v), list(f)) for n, (v, f) in endpoints.items()}
+    out: list[Request] = []
+    for _ in range(n_requests):
+        name = names[rng.randrange(len(names))]
+        verts, free = pools[name]
+        roll = rng.random()
+        if roll < path_frac and len(verts) >= 2:
+            p, q = rng.sample(verts, 2)
+            out.append(Request(name, p, q, op=OP_PATH))
+        elif roll < path_frac + arb_frac and free and verts:
+            # one or both endpoints arbitrary: exercises §6.4
+            p = rng.choice(free)
+            q = rng.choice(free) if rng.random() < 0.5 and len(free) > 1 else rng.choice(verts)
+            out.append(Request(name, p, q, op=OP_LENGTH))
+        else:
+            p = rng.choice(verts)
+            q = rng.choice(verts)
+            out.append(Request(name, p, q, op=OP_LENGTH))
+    return out

@@ -1,0 +1,575 @@
+"""Tests for the serving subsystem: snapshots, the scene store, the
+batching query server, and their CLI entry points."""
+
+import io
+import json
+import threading
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.core.allpairs import DistanceIndex
+from repro.core.api import ShortestPathIndex
+from repro.core.query import QueryStructure
+from repro.errors import QueryError, SnapshotError
+from repro.pram import PRAM
+from repro.serve import (
+    QueryServer,
+    Request,
+    SceneStore,
+    is_snapshot,
+    load,
+    read_header,
+    save,
+)
+from repro.serve.snapshot import SNAPSHOT_VERSION
+from repro.workloads.generators import (
+    random_container_polygon,
+    random_disjoint_rects,
+    random_free_points,
+)
+from repro.workloads.requests import random_request_stream, scene_endpoints
+
+
+def _rewrite_member(path, name, value: bytes):
+    """Rewrite one member of an npz archive in place (corruption helper)."""
+    with zipfile.ZipFile(path) as zf:
+        members = {info.filename: zf.read(info.filename) for info in zf.infolist()}
+    members[name] = value
+    with zipfile.ZipFile(path, "w") as zf:
+        for fname, data in members.items():
+            zf.writestr(fname, data)
+
+
+def _npz_bytes(arr: np.ndarray) -> bytes:
+    buf = io.BytesIO()
+    np.lib.format.write_array(buf, arr, allow_pickle=False)
+    return buf.getvalue()
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("engine", ["parallel", "sequential"])
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_lengths_and_paths_survive(self, tmp_path, engine, seed):
+        rects = random_disjoint_rects(14, seed=seed)
+        idx = ShortestPathIndex.build(rects, engine=engine)
+        loaded = load(save(idx, tmp_path / "s.rsp"))
+        assert loaded.engine == engine
+        assert loaded.rects == idx.rects
+        vs = idx.vertices()
+        assert loaded.vertices() == vs
+        vpairs = [(vs[i], vs[-1 - i]) for i in range(0, len(vs), 3)]
+        free = random_free_points(rects, 8, seed=seed + 1)
+        apairs = [(free[i], free[-1 - i]) for i in range(4)]
+        mixed = [(free[0], vs[2]), (vs[3], free[1])]
+        for pairs in (vpairs, apairs, mixed):
+            assert np.array_equal(idx.lengths(pairs), loaded.lengths(pairs))
+        for p, q in vpairs[:4] + mixed:
+            got = loaded.shortest_path(p, q)
+            assert got == idx.shortest_path(p, q)
+            # the reported polyline really has the reported length
+            total = sum(
+                abs(a[0] - b[0]) + abs(a[1] - b[1]) for a, b in zip(got, got[1:])
+            )
+            assert total == idx.length(p, q)
+
+    def test_container_polygon_round_trip(self, tmp_path):
+        rects = random_disjoint_rects(8, seed=4)
+        poly = random_container_polygon(rects, seed=2)
+        idx = ShortestPathIndex.build(rects, container=poly)
+        loaded = load(save(idx, tmp_path / "c.rsp"))
+        assert loaded.container is not None
+        assert loaded.container.loop == idx.container.loop
+        # pocket-rect vertices sit outside P; only in-container vertices
+        # are legal query endpoints
+        vs = [v for v in idx.vertices() if poly.contains(v)]
+        pairs = [(vs[i], vs[-1 - i]) for i in range(0, len(vs), 5)]
+        assert np.array_equal(idx.lengths(pairs), loaded.lengths(pairs))
+        far = (10_000, 10_000)
+        with pytest.raises(QueryError):
+            loaded.length(vs[0], far)
+
+    def test_extra_points_round_trip(self, tmp_path):
+        rects = random_disjoint_rects(10, seed=6)
+        extra = random_free_points(rects, 3, seed=7)
+        idx = ShortestPathIndex.build(rects, extra_points=extra)
+        loaded = load(save(idx, tmp_path / "e.rsp"))
+        for p in extra:
+            assert loaded.index.has_point(p)
+        assert loaded.length(extra[0], extra[1]) == idx.length(extra[0], extra[1])
+
+    def test_snapshot_without_query_structure(self, tmp_path):
+        rects = random_disjoint_rects(9, seed=8)
+        idx = ShortestPathIndex.build(rects)
+        loaded = load(save(idx, tmp_path / "nq.rsp", include_query=False))
+        free = random_free_points(rects, 2, seed=9)
+        # §6.4 structure is rebuilt on demand rather than reloaded
+        assert loaded.length(free[0], free[1]) == idx.length(free[0], free[1])
+
+    def test_header_metadata(self, tmp_path):
+        rects = random_disjoint_rects(7, seed=3)
+        idx = ShortestPathIndex.build(rects)
+        path = save(idx, tmp_path / "h.rsp")
+        header = read_header(path)
+        assert header["version"] == SNAPSHOT_VERSION
+        assert header["engine"] == "parallel"
+        assert header["n_rects"] == 7
+        assert header["n_points"] == len(idx.index)
+        assert header["build_time"] == idx.pram.time
+        assert is_snapshot(path)
+        loaded = load(path)
+        assert loaded.snapshot_meta["matrix_sha256"] == header["matrix_sha256"]
+
+    def test_api_save_load_delegates(self, tmp_path):
+        rects = random_disjoint_rects(6, seed=11)
+        idx = ShortestPathIndex.build(rects)
+        idx.save(tmp_path / "d.rsp")
+        loaded = ShortestPathIndex.load(tmp_path / "d.rsp")
+        vs = idx.vertices()
+        assert loaded.length(vs[0], vs[-1]) == idx.length(vs[0], vs[-1])
+
+
+class TestSnapshotRejection:
+    @pytest.fixture()
+    def snap(self, tmp_path):
+        idx = ShortestPathIndex.build(random_disjoint_rects(6, seed=2))
+        return save(idx, tmp_path / "x.rsp")
+
+    def test_garbage_file(self, tmp_path):
+        bad = tmp_path / "junk.rsp"
+        bad.write_bytes(b"this is not an archive at all")
+        assert not is_snapshot(bad)
+        with pytest.raises(SnapshotError):
+            load(bad)
+
+    def test_truncated_archive(self, snap):
+        data = snap.read_bytes()
+        snap.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError):
+            load(snap)
+
+    def test_version_mismatch(self, snap):
+        header = read_header(snap)
+        header["version"] = SNAPSHOT_VERSION + 1
+        raw = json.dumps(header).encode()
+        _rewrite_member(
+            snap, "header.npy", _npz_bytes(np.frombuffer(raw, dtype=np.uint8))
+        )
+        with pytest.raises(SnapshotError, match="version"):
+            load(snap)
+
+    def test_wrong_format_name(self, snap):
+        header = read_header(snap)
+        header["format"] = "other-artifact"
+        raw = json.dumps(header).encode()
+        _rewrite_member(
+            snap, "header.npy", _npz_bytes(np.frombuffer(raw, dtype=np.uint8))
+        )
+        assert not is_snapshot(snap)
+        with pytest.raises(SnapshotError):
+            load(snap)
+
+    def test_tampered_matrix_fails_checksum(self, snap):
+        with np.load(snap) as npz:
+            matrix = npz["matrix"].copy()
+        matrix[0, -1] += 1
+        _rewrite_member(snap, "matrix.npy", _npz_bytes(matrix))
+        with pytest.raises(SnapshotError, match="checksum"):
+            load(snap)
+
+    def test_missing_header(self, tmp_path):
+        bad = tmp_path / "noheader.rsp"
+        np.savez_compressed(bad.open("wb"), matrix=np.zeros((2, 2)))
+        with pytest.raises(SnapshotError, match="header"):
+            load(bad)
+
+    def test_bit_rot_inside_compressed_member(self, snap):
+        # flip one byte of the matrix member's *compressed* stream: zlib
+        # fails mid-decompress, which must still surface as SnapshotError
+        with zipfile.ZipFile(snap) as zf:
+            zi = zf.getinfo("matrix.npy")
+            with snap.open("rb") as fh:
+                fh.seek(zi.header_offset)
+                hdr = fh.read(30)
+            name_len = int.from_bytes(hdr[26:28], "little")
+            extra_len = int.from_bytes(hdr[28:30], "little")
+            data_off = zi.header_offset + 30 + name_len + extra_len
+        raw = bytearray(snap.read_bytes())
+        raw[data_off + 12] ^= 0xFF
+        snap.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError):
+            load(snap)
+
+    def test_bare_npy_file(self, tmp_path):
+        bad = tmp_path / "plain.rsp"
+        np.save(bad.open("wb"), np.zeros((3, 3)))
+        assert not is_snapshot(bad)
+        with pytest.raises(SnapshotError):
+            load(bad)
+
+    def test_no_stale_tmp_after_save(self, tmp_path):
+        idx = ShortestPathIndex.build(random_disjoint_rects(4, seed=1))
+        save(idx, tmp_path / "a.rsp")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.rsp"]
+
+
+class TestExportImportHooks:
+    def test_distance_index_array_round_trip(self):
+        rects = random_disjoint_rects(8, seed=1)
+        idx = ShortestPathIndex.build(rects)
+        arrays = idx.index.export_arrays()
+        again = DistanceIndex.from_arrays(arrays["points"], arrays["matrix"])
+        assert again.points == idx.index.points
+        p, q = idx.index.points[0], idx.index.points[-1]
+        assert again.length(p, q) == idx.index.length(p, q)
+
+    def test_from_arrays_validates_shapes(self):
+        with pytest.raises(QueryError):
+            DistanceIndex.from_arrays(np.zeros((3, 3)), np.zeros((3, 3)))
+        with pytest.raises(QueryError):
+            DistanceIndex.from_arrays(np.zeros((3, 2)), np.zeros((2, 2)))
+
+    def test_query_structure_parents_round_trip(self):
+        rects = random_disjoint_rects(10, seed=2)
+        idx = ShortestPathIndex.build(rects)
+        qs = idx.query
+        parents = qs.export_world_parents()
+        assert parents.shape == (4, len(rects))
+        qs2 = QueryStructure(rects, idx.index, PRAM(), world_parents=parents)
+        free = random_free_points(rects, 6, seed=3)
+        for i in range(0, len(free) - 1, 2):
+            assert qs2.length(free[i], free[i + 1]) == qs.length(free[i], free[i + 1])
+
+    def test_query_structure_parents_shape_check(self):
+        rects = random_disjoint_rects(5, seed=2)
+        idx = ShortestPathIndex.build(rects)
+        with pytest.raises(QueryError):
+            QueryStructure(
+                rects, idx.index, PRAM(), world_parents=np.zeros((4, 99), dtype=int)
+            )
+
+
+class TestSceneStore:
+    def test_unknown_scene(self):
+        store = SceneStore()
+        with pytest.raises(QueryError, match="unknown scene"):
+            store.get("nope")
+
+    def test_duplicate_registration(self):
+        store = SceneStore()
+        store.add_scene("a", random_disjoint_rects(4, seed=1))
+        with pytest.raises(QueryError, match="already registered"):
+            store.add_scene("a", random_disjoint_rects(4, seed=2))
+
+    def test_lazy_build_and_hit_stats(self):
+        store = SceneStore()
+        store.add_scene("a", random_disjoint_rects(5, seed=1))
+        assert store.stats()["resident"] == 0
+        idx1 = store.get("a")
+        idx2 = store.get("a")
+        assert idx1 is idx2
+        s = store.stats()
+        assert (s["misses"], s["hits"], s["builds"]) == (1, 1, 1)
+
+    def test_snapshot_backed_scene(self, tmp_path):
+        rects = random_disjoint_rects(6, seed=4)
+        idx = ShortestPathIndex.build(rects)
+        path = save(idx, tmp_path / "s.rsp")
+        store = SceneStore()
+        store.add_snapshot("s", path)
+        got = store.get("s")
+        assert got.rects == rects
+        assert store.stats()["loads"] == 1
+
+    def test_lru_eviction_by_bytes(self, tmp_path):
+        store = SceneStore(max_bytes=1)  # every second scene overflows
+        store.add_scene("a", random_disjoint_rects(4, seed=1))
+        store.add_scene("b", random_disjoint_rects(4, seed=2))
+        a = store.get("a")
+        assert store.stats()["resident"] == 1
+        store.get("b")
+        # a was LRU and the budget is tiny: it must have been dropped
+        s = store.stats()
+        assert s["resident"] == 1
+        assert s["evictions"] == 1
+        assert "b" in store.resident() and "a" not in store.resident()
+        # re-materialization works and yields a fresh, equivalent index
+        a2 = store.get("a")
+        assert a2 is not a
+        assert a2.vertices() == a.vertices()
+
+    def test_recently_used_scene_survives(self):
+        store = SceneStore(max_bytes=1 << 30)
+        store.add_scene("a", random_disjoint_rects(4, seed=1))
+        store.add_scene("b", random_disjoint_rects(4, seed=2))
+        store.get("a")
+        store.get("b")
+        assert sorted(store.resident()) == ["a", "b"]
+
+    def test_explicit_evict_and_clear(self):
+        store = SceneStore()
+        store.add_scene("a", random_disjoint_rects(4, seed=1))
+        assert not store.evict("a")  # not resident yet
+        store.get("a")
+        assert store.evict("a")
+        store.get("a")
+        store.clear_resident()
+        assert store.stats()["resident"] == 0
+
+    def test_get_never_returns_none_under_eviction_pressure(self):
+        # a tiny budget forces every insert to evict the other scene;
+        # hammering get() from several threads must still always yield a
+        # real index (the lost-race branch re-materializes, never None)
+        store = SceneStore(max_bytes=1)
+        store.add_scene("a", random_disjoint_rects(3, seed=1))
+        store.add_scene("b", random_disjoint_rects(3, seed=2))
+        bad = []
+
+        def worker(name):
+            for _ in range(25):
+                if store.get(name) is None:  # pragma: no cover - the bug
+                    bad.append(name)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in ("a", "b") * 3
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not bad
+
+    def test_concurrent_get_builds_once(self):
+        calls = []
+        barrier = threading.Barrier(8)
+
+        def builder():
+            calls.append(1)
+            return ShortestPathIndex.build(random_disjoint_rects(6, seed=3))
+
+        store = SceneStore()
+        store.add_builder("shared", builder)
+        results = [None] * 8
+
+        def worker(k):
+            barrier.wait()
+            results[k] = store.get("shared")
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(r is results[0] for r in results)
+
+
+class TestQueryServer:
+    @pytest.fixture()
+    def served(self):
+        rects_a = random_disjoint_rects(8, seed=1)
+        rects_b = random_disjoint_rects(6, seed=2)
+        store = SceneStore()
+        store.add_scene("a", rects_a)
+        store.add_scene("b", rects_b)
+        return QueryServer(store), store
+
+    def test_mixed_batch_order_and_values(self, served):
+        server, store = served
+        ia, ib = store.get("a"), store.get("b")
+        va, vb = ia.vertices(), ib.vertices()
+        reqs = [
+            Request("a", va[0], va[-1]),
+            Request("b", vb[1], vb[-2]),
+            Request("a", va[2], va[-3], op="path"),
+            ("b", vb[0], vb[-1]),
+            ("a", va[1], va[-2], "length"),
+        ]
+        out = server.submit(reqs)
+        assert out[0] == ia.length(va[0], va[-1])
+        assert out[1] == ib.length(vb[1], vb[-2])
+        assert out[2] == ia.shortest_path(va[2], va[-3])
+        assert out[3] == ib.length(vb[0], vb[-1])
+        assert out[4] == ia.length(va[1], va[-2])
+        stats = server.stats()
+        assert stats["requests"] == 5
+        assert stats["batches"] == 1
+        assert stats["coalesced_groups"] == 2
+        assert stats["largest_group"] == 2
+
+    def test_coalesced_matches_per_request(self, served):
+        server, store = served
+        endpoints = {n: scene_endpoints(store.get(n), seed=4) for n in ("a", "b")}
+        reqs = random_request_stream(endpoints, 60, seed=9)
+        batched = server.submit(reqs)
+        singly = [server.submit([r])[0] for r in reqs]
+        assert batched == singly
+
+    def test_convenience_calls(self, served):
+        server, store = served
+        ia = store.get("a")
+        va = ia.vertices()
+        assert server.length("a", va[0], va[-1]) == ia.length(va[0], va[-1])
+        got = server.lengths("a", [(va[0], va[-1]), (va[1], va[-2])])
+        assert got.tolist() == [ia.length(va[0], va[-1]), ia.length(va[1], va[-2])]
+        assert server.shortest_path("a", va[0], va[-1]) == ia.shortest_path(
+            va[0], va[-1]
+        )
+
+    def test_bad_requests(self, served):
+        server, _ = served
+        with pytest.raises(QueryError):
+            server.submit([("a", (0, 0), (1, 1), "teleport")])
+        with pytest.raises(QueryError):
+            server.submit(["nonsense"])
+        with pytest.raises(QueryError, match="unknown scene"):
+            server.submit([("ghost", (0, 0), (1, 1))])
+
+    def test_empty_batch(self, served):
+        server, _ = served
+        assert server.submit([]) == []
+
+    def test_threaded_submissions(self, served):
+        server, store = served
+        ia = store.get("a")
+        va = ia.vertices()
+        want = ia.length(va[0], va[-1])
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    assert server.submit([("a", va[0], va[-1])]) == [want]
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert server.stats()["requests"] == 120
+
+
+class TestRequestStream:
+    def test_deterministic_and_well_formed(self):
+        rects = random_disjoint_rects(8, seed=1)
+        idx = ShortestPathIndex.build(rects)
+        endpoints = {"s": scene_endpoints(idx, seed=2)}
+        a = random_request_stream(endpoints, 100, seed=3)
+        b = random_request_stream(endpoints, 100, seed=3)
+        c = random_request_stream(endpoints, 100, seed=4)
+        assert a == b
+        assert a != c
+        assert len(a) == 100
+        assert {r.scene for r in a} == {"s"}
+        assert {r.op for r in a} <= {"length", "path"}
+        verts, free = endpoints["s"]
+        arb = [r for r in a if r.p in free or r.q in free]
+        assert arb  # the default mix exercises §6.4
+
+    def test_empty_inputs(self):
+        assert random_request_stream({}, 10) == []
+        rects = random_disjoint_rects(4, seed=1)
+        idx = ShortestPathIndex.build(rects)
+        assert random_request_stream({"s": scene_endpoints(idx)}, 0) == []
+
+
+class TestServeCLI:
+    @pytest.fixture()
+    def scene_file(self, tmp_path):
+        rects = random_disjoint_rects(8, seed=1)
+        path = tmp_path / "scene.json"
+        path.write_text(
+            json.dumps({"rects": [[r.xlo, r.ylo, r.xhi, r.yhi] for r in rects]})
+        )
+        free = random_free_points(rects, 2, seed=2)
+        return path, free
+
+    def test_snapshot_then_query(self, tmp_path, scene_file, capsys):
+        path, (p, q) = scene_file
+        rsp = tmp_path / "scene.rsp"
+        assert main(["snapshot", str(path), str(rsp)]) == 0
+        assert rsp.exists()
+        assert main(["query", str(rsp), f"{p[0]},{p[1]}", f"{q[0]},{q[1]}", "--path"]) == 0
+        out, err = capsys.readouterr()
+        assert "length = " in out
+        assert "path   =" in out
+        assert "rebuilding" not in err  # no rebuild hint on the snapshot path
+
+    def test_query_json_prints_rebuild_hint(self, scene_file, capsys):
+        path, (p, q) = scene_file
+        assert main(["query", str(path), f"{p[0]},{p[1]}", f"{q[0]},{q[1]}"]) == 0
+        out, err = capsys.readouterr()
+        assert "length = " in out
+        assert "snapshot" in err
+
+    def test_query_matches_between_json_and_snapshot(self, tmp_path, scene_file, capsys):
+        path, (p, q) = scene_file
+        rsp = tmp_path / "scene.rsp"
+        main(["snapshot", str(path), str(rsp)])
+        capsys.readouterr()
+        main(["query", str(path), f"{p[0]},{p[1]}", f"{q[0]},{q[1]}"])
+        from_json = capsys.readouterr().out
+        main(["query", str(rsp), f"{p[0]},{p[1]}", f"{q[0]},{q[1]}"])
+        from_snap = capsys.readouterr().out
+        assert from_json == from_snap
+
+    def test_overlapping_scene_one_line_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"rects": [[0, 0, 10, 10], [5, 5, 15, 15]]}))
+        with pytest.raises(SystemExit) as exc:
+            main(["query", str(bad), "0,0", "1,1"])
+        msg = str(exc.value)
+        assert "overlap" in msg
+        assert "\n" not in msg.strip()
+
+    def test_degenerate_rect_one_line_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"rects": [[0, 0, 0, 10]]}))
+        with pytest.raises(SystemExit, match="invalid scene"):
+            main(["bench-info", str(bad)])
+
+    def test_corrupt_snapshot_one_line_error(self, tmp_path):
+        bad = tmp_path / "bad.rsp"
+        bad.write_bytes(b"garbage")
+        with pytest.raises(SystemExit, match="snapshot"):
+            main(["query", str(bad), "0,0", "1,1"])
+
+    def test_missing_snapshot_one_line_error(self, tmp_path):
+        missing = str(tmp_path / "nope.rsp")
+        with pytest.raises(SystemExit, match="nope.rsp"):
+            main(["query", missing, "0,0", "1,1"])
+        with pytest.raises(SystemExit, match="nope.rsp"):
+            main(["serve-bench", missing, "--requests", "1"])
+
+    def test_serve_bench_record_and_replay(self, tmp_path, scene_file, capsys):
+        path, _ = scene_file
+        rsp = tmp_path / "scene.rsp"
+        main(["snapshot", str(path), str(rsp)])
+        wl = tmp_path / "wl.json"
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    str(rsp),
+                    str(path),
+                    "--requests",
+                    "50",
+                    "--batch",
+                    "16",
+                    "--record",
+                    str(wl),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "per-request:" in out and "coalesced:" in out
+        assert wl.exists()
+        assert main(["serve-bench", str(rsp), str(path), "--workload", str(wl)]) == 0
+        out = capsys.readouterr().out
+        assert "50 requests" in out
