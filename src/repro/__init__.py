@@ -38,6 +38,7 @@ __all__ = [
     "__version__",
     "Point",
     "Rect",
+    "RectilinearPolygon",
     "dist",
     "ReproError",
     "GeometryError",
@@ -53,6 +54,10 @@ __all__ = [
 
 def __getattr__(name: str):
     """Lazy top-level exports for the heavyweight subsystems."""
+    if name == "RectilinearPolygon":
+        from repro.geometry.polygon import RectilinearPolygon
+
+        return RectilinearPolygon
     if name == "ShortestPathIndex":
         from repro.core.api import ShortestPathIndex
 

@@ -8,12 +8,20 @@ Commands
 ``snapshot SCENE.json OUT.rsp`` build once, persist the index
 ``serve-bench SCENE [...]``     replay a request workload through the
                                 batching server (per-request vs coalesced)
+``fuzz``                        differential fuzz smoke: cross-check the
+                                parallel/sequential/baseline engines on
+                                random mixed rect+polygon scenes
 ``figures [N]``                 print paper figure(s)
 ``bench-info SCENE.json``       build and report simulated PRAM costs
 
-Scene files are JSON: ``{"rects": [[xlo, ylo, xhi, yhi], ...]}``; points
-are given as ``x,y``.  Snapshot artifacts are produced by ``snapshot``
-(or :func:`repro.serve.save`) and load in milliseconds.
+Scene files are JSON (schema v2, see :mod:`repro.workloads.scenefile`)::
+
+    {"version": 2, "rects": [[xlo, ylo, xhi, yhi], ...],
+     "polygons": [[[x, y], ...], ...], "container": [[x, y], ...]}
+
+The bare v1 form ``{"rects": [...]}`` is still accepted.  Points are given
+as ``x,y``.  Snapshot artifacts are produced by ``snapshot`` (or
+:func:`repro.serve.save`) and load in milliseconds.
 """
 
 from __future__ import annotations
@@ -23,31 +31,28 @@ import json
 import pathlib
 import sys
 import time
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro import Rect, ShortestPathIndex
+from repro import ShortestPathIndex
 from repro.errors import GeometryError, SnapshotError
+from repro.geometry.polygon import RectilinearPolygon
 from repro.pram import PRAM, speedup_table
 from repro.viz.ascii import render_scene
 from repro.workloads.generators import random_disjoint_rects
 
 
-def _load_scene(path: str) -> list[Rect]:
-    with open(path) as fh:
-        data = json.load(fh)
-    try:
-        rects = [Rect(*map(int, row)) for row in data["rects"]]
-    except GeometryError as exc:
-        raise SystemExit(f"{path}: invalid scene: {exc}")
-    except (KeyError, TypeError, ValueError) as exc:
-        raise SystemExit(f"{path}: expected {{'rects': [[xlo,ylo,xhi,yhi],...]}}: {exc}")
-    from repro.geometry.primitives import validate_disjoint
+def _load_scene(path: str):
+    """``(obstacles, container)`` of a v1/v2 JSON scene, CLI-validated."""
+    from repro.workloads.scenefile import load_scene, validate_scene
 
     try:
-        validate_disjoint(rects)
-    except GeometryError as exc:  # DisjointnessError names the offending pair
+        obstacles, container = load_scene(path)
+        validate_scene(obstacles, container)
+    except GeometryError as exc:
         raise SystemExit(f"{path}: invalid scene: {exc}")
-    return rects
+    except OSError as exc:
+        raise SystemExit(str(exc))
+    return obstacles, container
 
 
 def _parse_point(text: str) -> tuple[int, int]:
@@ -65,15 +70,25 @@ def _looks_like_snapshot(path: str) -> bool:
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    rects = random_disjoint_rects(args.n, seed=args.seed)
-    idx = ShortestPathIndex.build(rects, engine=args.engine)
+    if args.polygons:
+        from repro.workloads.generators import random_polygon_scene
+
+        obstacles = random_polygon_scene(
+            n_polygons=args.polygons, n_rects=args.n, seed=args.seed
+        )
+    else:
+        obstacles = random_disjoint_rects(args.n, seed=args.seed)
+    idx = ShortestPathIndex.build(obstacles, engine=args.engine)
     t, w = idx.build_stats()
     vs = idx.vertices()
     p, q = vs[0], vs[-1]
     path = idx.shortest_path(p, q)
-    print(f"n={args.n} obstacles, engine={args.engine}: simulated T={t}, W={w}")
+    print(
+        f"n={len(obstacles)} obstacles ({len(idx.rects)} rects after "
+        f"decomposition), engine={args.engine}: simulated T={t}, W={w}"
+    )
     print(f"length {p} -> {q} = {idx.length(p, q)}; path has {len(path)-1} segments")
-    print(render_scene(rects, paths=[path], points=[(p, 'A'), (q, 'B')],
+    print(render_scene(obstacles, paths=[path], points=[(p, 'A'), (q, 'B')],
                        title="demo scene"))
     return 0
 
@@ -88,38 +103,41 @@ def cmd_query(args: argparse.Namespace) -> int:
             idx = load(args.scene)
         except (SnapshotError, OSError) as exc:
             raise SystemExit(str(exc))
-        rects = idx.rects
+        scene_obs = list(idx.rects)
     else:
-        rects = _load_scene(args.scene)
+        obstacles, container = _load_scene(args.scene)
         print(
             f"note: rebuilding the index from {args.scene}; snapshot it once "
             f"with `python -m repro snapshot {args.scene} "
             f"{pathlib.Path(args.scene).stem}.rsp` to skip this on every query",
             file=sys.stderr,
         )
-        idx = ShortestPathIndex.build(rects, extra_points=[p, q], engine=args.engine)
+        idx = ShortestPathIndex.build(
+            obstacles, extra_points=[p, q], engine=args.engine, container=container
+        )
+        scene_obs = obstacles
     print(f"length = {idx.length(p, q)}")
     if args.path:
         path = idx.shortest_path(p, q)
         print("path   =", " -> ".join(map(str, path)))
         if args.render:
-            print(render_scene(rects, paths=[path], points=[(p, 'A'), (q, 'B')]))
+            print(render_scene(scene_obs, paths=[path], points=[(p, 'A'), (q, 'B')]))
     return 0
 
 
 def cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.serve.snapshot import save
 
-    rects = _load_scene(args.scene)
+    obstacles, container = _load_scene(args.scene)
     t0 = time.perf_counter()
-    idx = ShortestPathIndex.build(rects, engine=args.engine)
+    idx = ShortestPathIndex.build(obstacles, engine=args.engine, container=container)
     build_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     out = save(idx, args.out, include_query=not args.no_query)
     save_s = time.perf_counter() - t0
     size = out.stat().st_size
     print(
-        f"{args.scene}: n={len(rects)} built in {build_s:.3f}s "
+        f"{args.scene}: n={len(obstacles)} built in {build_s:.3f}s "
         f"({args.engine} engine), snapshot {out} ({size:,} bytes) "
         f"written in {save_s:.3f}s"
     )
@@ -143,7 +161,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         if _looks_like_snapshot(scene):
             store.add_snapshot(name, scene)
         else:
-            store.add_scene(name, _load_scene(scene), engine=args.engine)
+            obstacles, container = _load_scene(scene)
+            store.add_scene(name, obstacles, engine=args.engine, container=container)
     t0 = time.perf_counter()
     try:
         endpoints = {n: scene_endpoints(store.get(n), seed=args.seed) for n in names}
@@ -209,11 +228,57 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzz smoke: random mixed scenes, three engines."""
+    from repro.core.crosscheck import check_scene, shrink_scene
+    from repro.workloads.generators import (
+        random_container_polygon,
+        random_disjoint_rects,
+        random_polygon_scene,
+    )
+    from repro.workloads.scenefile import save_scene
+
+    failures = 0
+    for i in range(args.scenes):
+        seed = args.seed * 10007 + i
+        kind = i % 4
+        container: Optional[RectilinearPolygon] = None
+        if kind == 0:  # pure rectangles (the paper's model)
+            obstacles = list(random_disjoint_rects(8, seed=seed))
+        elif kind == 1:  # polygons + rects
+            obstacles = random_polygon_scene(2, 3, seed=seed)
+        elif kind == 2:  # polygons only
+            obstacles = random_polygon_scene(2, 0, seed=seed)
+        else:  # polygons + rects inside a convex container
+            obstacles = random_polygon_scene(1, 2, seed=seed)
+            from repro.core.api import split_obstacles
+
+            _, _, all_rects, _ = split_obstacles(obstacles)
+            container = random_container_polygon(all_rects, seed=seed)
+        problems = check_scene(obstacles, container, seed=seed)
+        label = ("rects", "mixed", "polygons", "container")[kind]
+        if not problems:
+            print(f"scene {i:3d} [{label:9s}] ok ({len(obstacles)} obstacles)")
+            continue
+        failures += 1
+        print(f"scene {i:3d} [{label:9s}] FAILED: {problems[0]}")
+        small, small_container = shrink_scene(
+            obstacles, container,
+            lambda obs, cont: bool(check_scene(obs, cont, seed=seed)),
+        )
+        out = pathlib.Path(args.out_dir) / f"fuzz_fail_{seed}.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        save_scene(out, small, small_container)
+        print(f"  shrunk to {len(small)} obstacles, replay scene: {out}")
+    print(f"{args.scenes} scenes checked, {failures} failure(s)")
+    return 1 if failures else 0
+
+
 def cmd_bench_info(args: argparse.Namespace) -> int:
-    rects = _load_scene(args.scene)
+    obstacles, container = _load_scene(args.scene)
     pram = PRAM("cli")
-    ShortestPathIndex.build(rects, engine="parallel", pram=pram)
-    print(f"n={len(rects)}: simulated parallel time T={pram.time}, work W={pram.work}")
+    ShortestPathIndex.build(obstacles, engine="parallel", pram=pram, container=container)
+    print(f"n={len(obstacles)}: simulated parallel time T={pram.time}, work W={pram.work}")
     print(f"{'p':>8} {'T_p':>12} {'speedup':>9}")
     for p_, tp, s, _ in speedup_table(pram.work, pram.time, [1, 16, 256, 4096]):
         print(f"{p_:>8} {tp:>12} {s:>9.1f}")
@@ -231,6 +296,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     d = sub.add_parser("demo", help="random scene demo")
     d.add_argument("-n", type=int, default=12)
     d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--polygons", type=int, default=0,
+                   help="also place this many random polygonal obstacles")
     d.add_argument("--engine", choices=["parallel", "sequential"], default="parallel")
     d.set_defaults(fn=cmd_demo)
 
@@ -264,6 +331,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     sb.add_argument("--record", help="write the generated workload to this JSON file")
     sb.add_argument("--workload", help="replay a recorded workload JSON file")
     sb.set_defaults(fn=cmd_serve_bench)
+
+    fz = sub.add_parser(
+        "fuzz", help="cross-check parallel/sequential/baseline on random scenes"
+    )
+    fz.add_argument("--scenes", type=int, default=25)
+    fz.add_argument("--seed", type=int, default=0)
+    fz.add_argument("--out-dir", default=".",
+                    help="directory for shrunk failing-scene JSON dumps")
+    fz.set_defaults(fn=cmd_fuzz)
 
     f = sub.add_parser("figures", help="print paper figure(s)")
     f.add_argument("n", nargs="?", type=int)

@@ -10,11 +10,13 @@ Module map (paper section → module):
 * §8 → :mod:`repro.core.pathreport`
 * §9 → :mod:`repro.core.sequential`
 * oracle/baselines → :mod:`repro.core.baseline`
+* cross-engine differential checking → :mod:`repro.core.crosscheck`
 * facade → :mod:`repro.core.api`
 """
 
 from repro.core.allpairs import DistanceIndex, ParallelEngine, build_vertex_index
-from repro.core.api import ShortestPathIndex
+from repro.core.api import ShortestPathIndex, split_obstacles
+from repro.core.crosscheck import check_scene, shrink_scene
 from repro.core.baseline import GridOracle, repeated_single_source_matrix
 from repro.core.discretize import DiscretizedBoundary
 from repro.core.implicit import ImplicitBoundaryStructure
@@ -29,6 +31,9 @@ __all__ = [
     "ParallelEngine",
     "build_vertex_index",
     "ShortestPathIndex",
+    "split_obstacles",
+    "check_scene",
+    "shrink_scene",
     "GridOracle",
     "repeated_single_source_matrix",
     "DiscretizedBoundary",

@@ -40,6 +40,10 @@ import numpy as np
 from repro.core.baseline import GridOracle, corner_graph_matrix
 from repro.core.separator import staircase_separator
 from repro.errors import GeometryError, QueryError
+from repro.geometry.decompose import (
+    seams_block_v_segment,
+    staircase_clear_of_seams,
+)
 from repro.geometry.primitives import Point, Rect, bbox_of_points, dist, validate_disjoint
 from repro.geometry.rayshoot import RayShooter
 from repro.geometry.staircase import Staircase
@@ -160,17 +164,24 @@ class ParallelEngine:
         validate: bool = True,
         extra_chains: Sequence[Sequence[Point]] = (),
         monge_dispatch: bool = True,
+        seams: Sequence = (),
     ) -> None:
         self.rects = list(rects)
         if validate:
             validate_disjoint(self.rects)
+        # interior seams of polygon-obstacle decompositions: global blockers
+        # threaded into every leaf solve, separator guard and visibility
+        # test so the computed metric treats each polygon as solid
+        self.seams = list(seams)
         self.extra_points = list(dict.fromkeys(extra_points))
         for chain in extra_chains:
             for p in chain:
                 if p not in self.extra_points:
                     self.extra_points.append(p)
         for p in self.extra_points:
-            if any(r.contains_interior(p) for r in self.rects):
+            if any(r.contains_interior(p) for r in self.rects) or any(
+                s.contains_open(p) for s in self.seams
+            ):
                 raise GeometryError(f"extra point {p} is inside an obstacle")
         self.pram = pram or ambient()
         self.leaf_size = max(2, leaf_size)
@@ -236,6 +247,12 @@ class ParallelEngine:
             self.stats.separator_fallbacks += 1
             return self._leaf(rect_idx, pts, pram)
         chain = sep.staircase
+        if self.seams and not staircase_clear_of_seams(chain, self.seams):
+            # a separator running along a seam would place crossing
+            # candidates inside a polygon and slide paths through it;
+            # the exact leaf solve is always sound
+            self.stats.separator_fallbacks += 1
+            return self._leaf(rect_idx, pts, pram)
         zs = self._crossing_candidates(chain, sub_rects, pts, pram)
         if not zs:
             self.stats.separator_fallbacks += 1
@@ -286,7 +303,7 @@ class ParallelEngine:
                     mat[i, j] = dist(p, q)
             pram.step(m * m)
             return pts, mat
-        mat = corner_graph_matrix(sub, pts)
+        mat = corner_graph_matrix(sub, pts, seams=self.seams)
         lg = pram.log2ceil(m or 1)
         c = len(sub)
         clogc = max(1, c * max(1, (max(c - 1, 1)).bit_length()))
@@ -306,8 +323,16 @@ class ParallelEngine:
         xlo, ylo, xhi, yhi = bbox_of_points(
             [v for r in sub_rects for v in (r.sw, r.ne)] + list(pts)
         )
-        xs = sorted({r.xlo for r in sub_rects} | {r.xhi for r in sub_rects})
-        ys = sorted({r.ylo for r in sub_rects} | {r.yhi for r in sub_rects})
+        xs_set = {r.xlo for r in sub_rects} | {r.xhi for r in sub_rects}
+        ys_set = {r.ylo for r in sub_rects} | {r.yhi for r in sub_rects}
+        for s in self.seams:
+            # seam endpoints are reflex corners of polygon obstacles: their
+            # grid lines carry the extra kinks of the seam-aware distance-
+            # to-separator functions, so they must be candidate generators
+            xs_set.add(s.x)
+            ys_set.update((s.ylo, s.yhi))
+        xs = sorted(xs_set)
+        ys = sorted(ys_set)
         out: dict[Point, None] = {}
         for x in xs:
             for p in chain.crossings_with_vline(x):
@@ -451,8 +476,8 @@ class ParallelEngine:
         """Per-pair candidates (c): each endpoint's own visible grid-line
         projections onto the separator (see module docstring)."""
         shooter = RayShooter(sub_rects)
-        su = _projection_table(rows_u, chain, shooter, toward=-1)
-        sl = _projection_table(rows_l, chain, shooter, toward=+1)
+        su = _projection_table(rows_u, chain, shooter, toward=-1, seams=self.seams)
+        sl = _projection_table(rows_l, chain, shooter, toward=+1, seams=self.seams)
         pram.step(2 * (len(rows_u) + len(rows_l)))
         nz = len(zs)
         # (i) upper special -> neighbouring core z -> lower point
@@ -497,13 +522,20 @@ class _Specials:
 
 
 def _projection_table(
-    points: list[Point], chain: Staircase, shooter: RayShooter, toward: int
+    points: list[Point],
+    chain: Staircase,
+    shooter: RayShooter,
+    toward: int,
+    seams: Sequence = (),
 ) -> _Specials:
     """For each point: its vertical and horizontal grid-line crossings with
     the separator, with straight L1 distance when the view is clear.
 
     ``toward=-1`` means the points are on the chain's +1 side and look
     toward it (down for the vertical projection of an upper point, etc.).
+    A vertical view must additionally clear the polygon seams — it could
+    run straight along one (horizontal views can only cross seams, which
+    the rectangle shooter already blocks via the flanking tiles).
     """
     m = len(points)
     tarr = np.full((m, 2), 0.0)
@@ -521,6 +553,10 @@ def _projection_table(
             d = dist(p, z)
             if d == 0:
                 varr[i, k] = 0.0
+                continue
+            if k == 0 and seams and seams_block_v_segment(
+                seams, p[0], p[1], z[1]
+            ):
                 continue
             direction = _dir_toward(p, z)
             hit = shooter.shoot(p, direction)

@@ -4,20 +4,33 @@
 the simulated PRAM, or §9 sequential), the arbitrary-point query structure
 (§6.4) and the path reporter (§8), with optional rectilinear-convex
 container support (``P`` of the paper) via pocket decomposition.
+
+Obstacles may be plain :class:`Rect` objects or general simple
+:class:`RectilinearPolygon` obstacles.  Polygons are decomposed into
+disjoint maximal rectangles plus interior :class:`Seam` records
+(:mod:`repro.geometry.decompose`); the rectangles feed the paper's
+engines while the seams are threaded through every blocking-sensitive
+primitive, so the computed metric treats each polygon as one solid
+obstacle.  Tracing-based structures (§6.4 queries, §8 path reports)
+assume rectangle obstacles, so polygon scenes answer arbitrary-point
+queries and report paths through the exact corner-graph machinery
+instead (see :class:`_SolidQuery`).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Literal, Optional, Sequence
+from typing import Literal, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.allpairs import DistanceIndex, ParallelEngine
+from repro.core.baseline import clear_l1_block, path_is_clear
 from repro.core.pathreport import PathReporter
 from repro.core.query import QueryStructure
 from repro.core.sequential import SequentialEngine
-from repro.errors import QueryError
+from repro.errors import GeometryError, QueryError
+from repro.geometry.decompose import Seam
 from repro.geometry.polygon import RectilinearPolygon, pockets_to_rects
 from repro.geometry.primitives import (
     Point,
@@ -29,6 +42,35 @@ from repro.geometry.primitives import (
 from repro.pram.machine import PRAM
 
 Engine = Literal["parallel", "sequential"]
+
+#: what ``ShortestPathIndex.build`` accepts as one obstacle
+Obstacle = Union[Rect, RectilinearPolygon]
+
+
+def split_obstacles(
+    obstacles: Sequence[Obstacle],
+) -> tuple[list[Rect], list[RectilinearPolygon], list[Rect], list[Seam]]:
+    """``(plain rects, polygons, all engine rects, seams)`` of a mixed
+    obstacle list.  ``all engine rects`` preserves the input order, with
+    each polygon expanded in place into its decomposition tiles."""
+    plain: list[Rect] = []
+    polys: list[RectilinearPolygon] = []
+    all_rects: list[Rect] = []
+    seams: list[Seam] = []
+    for obs in obstacles:
+        if isinstance(obs, Rect):
+            plain.append(obs)
+            all_rects.append(obs)
+        elif isinstance(obs, RectilinearPolygon):
+            polys.append(obs)
+            prects, pseams = obs.decomposition()
+            all_rects.extend(prects)
+            seams.extend(pseams)
+        else:
+            raise GeometryError(
+                f"obstacle must be a Rect or RectilinearPolygon, got {obs!r}"
+            )
+    return plain, polys, all_rects, seams
 
 
 class ShortestPathIndex:
@@ -54,16 +96,23 @@ class ShortestPathIndex:
         container: Optional[RectilinearPolygon] = None,
         engine: str = "parallel",
         query_parents: Optional[np.ndarray] = None,
+        polygons: Sequence[RectilinearPolygon] = (),
+        seams: Sequence[Seam] = (),
     ) -> None:
         self.rects = list(rects)
         self.index = index
         self.pram = pram
         self.container = container
         self.engine = engine
-        self._query: Optional[QueryStructure] = None
+        self.polygons = list(polygons)
+        self.seams = list(seams)
+        self._query: Optional[object] = None
         self._query_parents = query_parents  # persisted §6.4 forests, if any
         self._reporter: Optional[PathReporter] = None
         self._rect_arr = rect_coord_array(self.rects)
+        self._seam_arr = np.array(
+            [(s.x, s.ylo, s.yhi) for s in self.seams], dtype=np.float64
+        ).reshape(-1, 3)
         # the lazy substructures are built at most once even when a
         # QueryServer drives this index from many threads
         self._lazy_lock = threading.Lock()
@@ -72,54 +121,84 @@ class ShortestPathIndex:
     @classmethod
     def build(
         cls,
-        rects: Sequence[Rect],
+        obstacles: Sequence[Obstacle],
         extra_points: Sequence[Point] = (),
         engine: Engine = "parallel",
         container: Optional[RectilinearPolygon] = None,
         pram: Optional[PRAM] = None,
         leaf_size: int = 6,
     ) -> "ShortestPathIndex":
-        """Build the index.
+        """Build the index over a mix of ``Rect`` and ``RectilinearPolygon``
+        obstacles.
 
-        ``container``: a rectilinear convex polygon ``P``; its pockets are
-        decomposed into rectangles and added as obstacles, so the metric
-        becomes "inside P" exactly as in the paper (§1).
+        Polygons are decomposed into disjoint maximal rectangles plus
+        interior seams, and the metric treats each polygon as one solid
+        obstacle (a point strictly inside a polygon — seam points included
+        — is rejected by every query).  ``container``: a rectilinear convex
+        polygon ``P``; its pockets are decomposed into rectangles and added
+        as obstacles, so the metric becomes "inside P" exactly as in the
+        paper (§1).
         """
         pram = pram or PRAM("build")
-        rects = list(rects)
-        validate_disjoint(rects)
-        all_rects = list(rects)
+        _plain, polygons, all_rects, seams = split_obstacles(obstacles)
+        validate_disjoint(all_rects)
         if container is not None:
-            for r in rects:
-                if not container.contains_rect(r):
-                    raise QueryError(f"obstacle {r} is not inside the container")
-            all_rects += pockets_to_rects(container)
+            for obs, rs in zip(obstacles, _obstacle_rect_groups(obstacles)):
+                for r in rs:
+                    if not container.contains_rect(r):
+                        raise QueryError(
+                            f"obstacle {obs} is not inside the container"
+                        )
+            all_rects = all_rects + pockets_to_rects(container)
         if engine == "parallel":
             idx = ParallelEngine(
-                all_rects, extra_points, pram, leaf_size=leaf_size, validate=False
+                all_rects,
+                extra_points,
+                pram,
+                leaf_size=leaf_size,
+                validate=False,
+                seams=seams,
             ).build()
         elif engine == "sequential":
-            idx = SequentialEngine(all_rects, extra_points, validate=False).build(pram)
+            idx = SequentialEngine(
+                all_rects, extra_points, validate=False, seams=seams
+            ).build(pram)
         else:
             raise ValueError(f"unknown engine {engine!r}")
-        return cls(all_rects, idx, pram, container, engine)
+        return cls(
+            all_rects, idx, pram, container, engine, polygons=polygons, seams=seams
+        )
 
     # ------------------------------------------------------------------
     @property
-    def query(self) -> QueryStructure:
+    def query(self):
+        """Arbitrary-point query structure: §6.4 for rectangle scenes, the
+        exact corner-graph substitute for polygon scenes (the §6.4 tracing
+        subdivisions assume rectangle obstacles)."""
         if self._query is None:
             with self._lazy_lock:
                 if self._query is None:
-                    self._query = QueryStructure(
-                        self.rects,
-                        self.index,
-                        self.pram,
-                        world_parents=self._query_parents,
-                    )
+                    if self.seams:
+                        self._query = _SolidQuery(self)
+                    else:
+                        self._query = QueryStructure(
+                            self.rects,
+                            self.index,
+                            self.pram,
+                            world_parents=self._query_parents,
+                        )
         return self._query
 
     @property
     def reporter(self) -> PathReporter:
+        if self.seams:
+            # the §8 tracing reporter assumes rectangle obstacles and would
+            # happily route straight through polygon-interior seams; polygon
+            # scenes report paths via shortest_path's corner-hop assembly
+            raise QueryError(
+                "the §8 path reporter is rectangle-only; use shortest_path() "
+                "on scenes with polygon obstacles"
+            )
         if self._reporter is None:
             with self._lazy_lock:
                 if self._reporter is None:
@@ -173,16 +252,22 @@ class ShortestPathIndex:
             return self.index.lengths(
                 [p for p, _ in pairs], [q for _, q in pairs]
             )
+        # both query backends validate the endpoints themselves (one
+        # vectorized containment pass each) — no pre-check here
         return self.query.lengths(pairs)
 
     def shortest_path(self, p: Point, q: Point) -> list[Point]:
         """An actual shortest path polyline (§8).
 
         Arbitrary endpoints are attached to the vertex trees with the
-        two-candidate rule of §6.4.
+        two-candidate rule of §6.4.  Polygon scenes assemble the polyline
+        from clear L-legs and corner-graph hops instead (the §8 tracing
+        reporter assumes rectangle obstacles).
         """
         self._check_inside(p)
         self._check_inside(q)
+        if self.seams:
+            return self._solid_path(p, q)
         if self.index.has_point(p) and self.index.has_point(q):
             return self.reporter.path(p, q)
         return self._arbitrary_path(p, q)
@@ -199,6 +284,27 @@ class ShortestPathIndex:
         if self.container is not None and not self.container.contains(p):
             raise QueryError(f"{p} lies outside the container polygon")
         if points_in_any_interior(self._rect_arr, [p])[0]:
+            raise QueryError(f"{p} lies inside an obstacle")
+        # a point on a decomposition seam is strictly inside its polygon
+        # even though it touches no rectangle interior
+        for s in self.seams:
+            if s.contains_open(p):
+                raise QueryError(f"{p} lies inside a polygon obstacle")
+
+    def _check_points_free(self, pts: Sequence[Point]) -> None:
+        """Vectorized obstacle-interior rejection for a point batch (rect
+        interiors plus polygon seam interiors)."""
+        bad = points_in_any_interior(self._rect_arr, pts)
+        if self._seam_arr.size:
+            arr = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
+            on_seam = (
+                (arr[:, 0][:, None] == self._seam_arr[None, :, 0])
+                & (arr[:, 1][:, None] > self._seam_arr[None, :, 1])
+                & (arr[:, 1][:, None] < self._seam_arr[None, :, 2])
+            ).any(axis=1)
+            bad = bad | on_seam
+        if bad.any():
+            p = list(pts)[int(np.argmax(bad))]
             raise QueryError(f"{p} lies inside an obstacle")
 
     def _arbitrary_path(self, p: Point, q: Point) -> list[Point]:
@@ -246,6 +352,102 @@ class ShortestPathIndex:
         # dedupe preserving order
         return list(dict.fromkeys(out)) or []
 
+    # -- polygon-scene (solid) path assembly ----------------------------
+    def _clear_lpath(self, a: Point, b: Point) -> Optional[list[Point]]:
+        """A clear extreme L-path a→b (one of the two), or None.
+
+        Matches :func:`repro.core.baseline.clear_l1_block`'s notion of
+        clearance, seams included.  With a container the leg must also stay
+        inside ``P``: a rect-clear L can graze along pocket-pocket seams
+        strictly outside ``P``.  ``P`` is rectilinear convex, so checking
+        the bend point (the endpoints are already inside) confines the
+        whole leg."""
+        for mid in ((b[0], a[1]), (a[0], b[1])):
+            if self.container is not None and not self.container.contains(mid):
+                continue
+            cand = _dedupe_polyline([a, mid, b])
+            if path_is_clear(cand, self.rects, seams=self.seams):
+                return cand
+        return None
+
+    def _clear_row(self, p: Point) -> np.ndarray:
+        """Clear-L-path distances from ``p`` to every indexed vertex."""
+        return clear_l1_block([p], self.index.points, self.rects, seams=self.seams)[0]
+
+    def _solid_vertex_path(self, u: Point, v: Point) -> list[Point]:
+        """Vertex-to-vertex polyline on polygon scenes: greedy corner-graph
+        descent — every shortest path splits as ``clear L-leg + shorter
+        suffix`` at some indexed corner (the leaf-solve argument of
+        :func:`corner_graph_matrix`, which also covers polygon seams since
+        seam endpoints are tile corners)."""
+        mat = self.index.matrix
+        pts = self.index.points
+        j = self.index.index[v]
+        out: list[Point] = [u]
+        cur = u
+        remaining = float(mat[self.index.index[u], j])
+        if not np.isfinite(remaining):
+            raise QueryError(f"{u} and {v} are disconnected")
+        guard = 0
+        while cur != v:
+            guard += 1
+            if guard > len(pts) + 1:  # pragma: no cover - broken matrix
+                raise QueryError("solid path reconstruction did not converge")
+            row = self._clear_row(cur)
+            if row[j] == remaining:
+                leg = self._clear_lpath(cur, v)
+                if leg is not None:
+                    out.extend(leg[1:])
+                    break
+            suffix = row + mat[:, j]
+            cand = np.where(
+                (suffix == remaining) & (mat[:, j] < remaining)
+            )[0]
+            for k in cand:
+                if self.container is not None and not self.container.contains(
+                    pts[k]
+                ):
+                    continue  # pocket corner strictly outside P
+                leg = self._clear_lpath(cur, pts[k])
+                if leg is not None:
+                    out.extend(leg[1:])
+                    cur = pts[k]
+                    remaining = float(mat[k, j])
+                    break
+            else:  # pragma: no cover - contradicts the leaf-solve argument
+                raise QueryError(f"no clear hop from {cur} toward {v}")
+        return _dedupe_polyline(out)
+
+    def _solid_path(self, p: Point, q: Point) -> list[Point]:
+        """Shortest polyline on a polygon scene, arbitrary endpoints."""
+        if self.index.has_point(p) and self.index.has_point(q):
+            return self._solid_vertex_path(p, q)
+        total = self.length(p, q)
+        direct = clear_l1_block([p], [q], self.rects, seams=self.seams)[0, 0]
+        if direct == total:
+            leg = self._clear_lpath(p, q)
+            if leg is not None:
+                return leg
+        cp = self._clear_row(p)
+        cq = self._clear_row(q)
+        via = cp[:, None] + self.index.matrix + cq[None, :]
+        hits = np.argwhere(via == total)
+        pts = self.index.points
+        for i, j in hits:
+            if self.container is not None and not (
+                self.container.contains(pts[i]) and self.container.contains(pts[j])
+            ):
+                continue
+            head = self._clear_lpath(p, pts[i])
+            tail = self._clear_lpath(pts[j], q)
+            if head is None or tail is None:  # pragma: no cover - defensive
+                continue
+            middle = self._solid_vertex_path(pts[i], pts[j])
+            return _dedupe_polyline(head[:-1] + middle + tail[1:])
+        raise QueryError(  # pragma: no cover - contradicts exactness argument
+            f"could not assemble a polygon-scene path {p} -> {q}"
+        )
+
     def _staircase_between(self, a: Point, b: Point) -> Optional[list[Point]]:
         """A clear monotone staircase a→b of length d(a,b), or None.
 
@@ -281,6 +483,80 @@ class ShortestPathIndex:
         except Exception:  # noqa: BLE001 - fall through to None
             return None
         return None
+
+
+def _obstacle_rect_groups(obstacles: Sequence[Obstacle]) -> list[list[Rect]]:
+    """Per-obstacle rectangle lists (one rect, or a polygon's tiles)."""
+    out: list[list[Rect]] = []
+    for obs in obstacles:
+        if isinstance(obs, Rect):
+            out.append([obs])
+        else:
+            out.append(list(obs.decomposition()[0]))
+    return out
+
+
+class _SolidQuery:
+    """Exact arbitrary-point queries for polygon scenes.
+
+    The §6.4 structure walks tracing subdivisions that only exist for
+    rectangle obstacles.  For polygon scenes the same answers come from
+    the corner-graph identity the engines' leaves already rely on::
+
+        d(p, q) = min( clear(p, q),
+                       min_{u,v ∈ V} clear(p, u) + D(u, v) + clear(v, q) )
+
+    where ``clear`` is the seam-aware single-L-path distance and ``V`` the
+    indexed vertex set (every tile corner — seam endpoints included — so
+    the taut-path decomposition argument applies verbatim).  O(|V|²) per
+    pair, vectorized; exactness is cross-checked against the grid-Dijkstra
+    baseline by the differential fuzz suite.
+    """
+
+    def __init__(self, owner: ShortestPathIndex) -> None:
+        self._owner = owner
+
+    def length(self, p: Point, q: Point) -> float:
+        v = self.lengths([(p, q)])[0]
+        return int(v) if np.isfinite(v) else float(v)
+
+    def lengths(self, pairs: Sequence[tuple[Point, Point]]) -> np.ndarray:
+        owner = self._owner
+        if not pairs:
+            return np.empty(0)
+        flat = [pt for pair in pairs for pt in pair]
+        owner._check_points_free(flat)
+        uniq = list(dict.fromkeys(flat))
+        pos = {pt: i for i, pt in enumerate(uniq)}
+        clear_uv = clear_l1_block(
+            uniq, owner.index.points, owner.rects, seams=owner.seams
+        )
+        clear_uu = clear_l1_block(uniq, uniq, owner.rects, seams=owner.seams)
+        mat = owner.index.matrix
+        # g[i][v] = min_u clear(p_i, u) + D(u, v): one O(n²) min-plus row
+        # per distinct left endpoint, so a coalesced batch that repeats
+        # endpoints pays O(n) per pair instead of a fresh n×n reduction
+        g_rows: dict[int, np.ndarray] = {}
+
+        def g(i: int) -> np.ndarray:
+            row = g_rows.get(i)
+            if row is None:
+                row = np.min(clear_uv[i][:, None] + mat, axis=0)
+                g_rows[i] = row
+            return row
+
+        out = np.empty(len(pairs))
+        for k, (p, q) in enumerate(pairs):
+            if p == q:
+                out[k] = 0.0
+                continue
+            i, j = pos[p], pos[q]
+            if owner.index.has_point(p) and owner.index.has_point(q):
+                out[k] = owner.index.length(p, q)
+                continue
+            via = np.min(g(i) + clear_uv[j])
+            out[k] = min(clear_uu[i, j], via)
+        return out
 
 
 def _dedupe_polyline(pts: list[Point]) -> list[Point]:

@@ -69,10 +69,12 @@ class GridOracle:
         rects: Sequence[Rect],
         points: Iterable[Point] = (),
         cache_cap: int = DEFAULT_CACHE_CAP,
+        seams: Sequence = (),
     ) -> None:
         self.rects = list(rects)
         self.extra = list(points)
-        self.graph: HananGraph = hanan_graph(self.rects, self.extra)
+        self.seams = list(seams)
+        self.graph: HananGraph = hanan_graph(self.rects, self.extra, seams=self.seams)
         self.cache_cap = max(1, cache_cap)
         self._dist_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
 
@@ -193,13 +195,17 @@ def clear_l1_block(
     pts_b: Sequence[Point],
     rects: Sequence[Rect],
     chunk: int = 1 << 22,
+    seams: Sequence = (),
 ) -> np.ndarray:
     """``L1(a, b)`` where one of the two extreme L-paths a→b is clear of
     every obstacle interior, ``+∞`` otherwise — fully vectorized.
 
     The two candidate paths are horizontal-then-vertical and
     vertical-then-horizontal; a degenerate (zero-length) segment never
-    blocks.  Chunked over rows so the temporaries stay bounded.
+    blocks.  ``seams`` (interior edges of polygon decompositions) block a
+    *vertical* leg that overlaps them collinearly — horizontal legs can
+    only cross a seam, which the rectangle tests already catch.  Chunked
+    over rows so the temporaries stay bounded.
     """
     a = np.asarray(pts_a, dtype=np.float64).reshape(-1, 2)
     b = np.asarray(pts_b, dtype=np.float64).reshape(-1, 2)
@@ -228,6 +234,11 @@ def clear_l1_block(
             vh_blocked |= ((r.xlo < ax) & (ax < r.xhi) & y_span) | (
                 (r.ylo < by) & (by < r.yhi) & x_span
             )
+        for s in seams:
+            y_overlap = (ymin < s.yhi) & (s.ylo < ymax)
+            # hv: vertical leg at x = bx; vh: vertical leg at x = ax
+            hv_blocked |= (bx == s.x) & y_overlap
+            vh_blocked |= (ax == s.x) & y_overlap
         block = np.where(
             hv_blocked & vh_blocked, INF, (xmax - xmin) + (ymax - ymin)
         )
@@ -235,7 +246,9 @@ def clear_l1_block(
     return out
 
 
-def corner_graph_matrix(rects: Sequence[Rect], points: Sequence[Point]) -> np.ndarray:
+def corner_graph_matrix(
+    rects: Sequence[Rect], points: Sequence[Point], seams: Sequence = ()
+) -> np.ndarray:
     """Exact all-pairs rectilinear distances among ``points`` avoiding
     ``rects``, via the corner graph.
 
@@ -254,15 +267,24 @@ def corner_graph_matrix(rects: Sequence[Rect], points: Sequence[Point]) -> np.nd
 
     pts = list(points)
     m = len(pts)
-    if not rects:
+    if not rects and not seams:
         a = np.asarray(pts, dtype=np.float64).reshape(-1, 2)
         return np.abs(a[:, None, :] - a[None, :, :]).sum(axis=2)
-    corners = list(dict.fromkeys(v for r in rects for v in r.vertices))
-    d_c = GridOracle(rects, []).dist_matrix(corners)
-    w = clear_l1_block(pts, corners, rects)
+    # seam endpoints join the corner set: a taut path around a seam bends
+    # there, and foreign seams (other polygons' interiors, threaded in by
+    # the parallel engine's leaves) contribute corners the local rectangle
+    # set does not know about
+    corners = list(
+        dict.fromkeys(
+            [v for r in rects for v in r.vertices]
+            + [e for s in seams for e in s.endpoints]
+        )
+    )
+    d_c = GridOracle(rects, corners, seams=seams).dist_matrix(corners)
+    w = clear_l1_block(pts, corners, rects, seams=seams)
     scratch = PRAM("leaf-scratch")
     via = minplus_naive(minplus_naive(w, d_c, scratch), w.T, scratch)
-    out = np.minimum(clear_l1_block(pts, pts, rects), via)
+    out = np.minimum(clear_l1_block(pts, pts, rects, seams=seams), via)
     np.minimum(out, out.T, out=out)
     if m:
         np.fill_diagonal(out, 0.0)
@@ -270,7 +292,10 @@ def corner_graph_matrix(rects: Sequence[Rect], points: Sequence[Point]) -> np.nd
 
 
 def repeated_single_source_matrix(
-    rects: Sequence[Rect], points: Sequence[Point], oracle: Optional[GridOracle] = None
+    rects: Sequence[Rect],
+    points: Sequence[Point],
+    oracle: Optional[GridOracle] = None,
+    seams: Sequence = (),
 ) -> np.ndarray:
     """The E6 comparison baseline: one Dijkstra per source point.
 
@@ -279,7 +304,7 @@ def repeated_single_source_matrix(
     implementation detail: use :meth:`GridOracle.dist_matrix` for the
     batched fast path.
     """
-    oracle = oracle or GridOracle(rects, points)
+    oracle = oracle or GridOracle(rects, points, seams=seams)
     ids = [oracle.graph.node_id(p) for p in points]
     if not ids:
         return np.empty((0, 0))
@@ -299,8 +324,15 @@ def path_length(path: Sequence[Point]) -> int:
     return total
 
 
-def path_is_clear(path: Sequence[Point], rects: Sequence[Rect]) -> bool:
-    """True when no polyline segment crosses an obstacle interior."""
+def path_is_clear(
+    path: Sequence[Point], rects: Sequence[Rect], seams: Sequence = ()
+) -> bool:
+    """True when no polyline segment crosses an obstacle interior.
+
+    With ``seams`` the test is exact for polygonal obstacles too: the
+    rectangle interiors plus the open seam segments are precisely the
+    polygons' interiors.
+    """
     for a, b in zip(path, path[1:]):
         for r in rects:
             if a[1] == b[1]:
@@ -308,5 +340,9 @@ def path_is_clear(path: Sequence[Point], rects: Sequence[Rect]) -> bool:
                     return False
             else:
                 if r.blocks_v_segment(a[0], a[1], b[1]):
+                    return False
+        if a[0] == b[0]:
+            for s in seams:
+                if s.blocks_v_segment(a[0], a[1], b[1]):
                     return False
     return True

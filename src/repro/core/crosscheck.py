@@ -1,0 +1,222 @@
+"""Cross-engine differential checking: the safety net behind polygon
+obstacles (and every later change to the engines).
+
+One scene is solved three independent ways —
+
+* ``parallel``   — the §5/§6 divide-and-conquer on staircase separators,
+* ``sequential`` — the §9 monotone-DAG sweeps (pure-rect scenes) or the
+  [11]-style per-source Dijkstra (polygon scenes),
+* ``baseline``   — batched multi-source Dijkstra on the seam-aware Hanan
+  grid (:class:`~repro.core.baseline.GridOracle`),
+
+and the three vertex matrices must agree entry-for-entry.  A sample of
+reported polylines must additionally be *valid*: rectilinear, endpoint-
+correct, clear of every obstacle interior (polygon interiors included,
+via their decomposition rects + seams), inside the container, and exactly
+as long as the reported length.
+
+:func:`check_scene` returns a list of human-readable problems (empty =
+agreement); :func:`shrink_scene` greedily drops obstacles while the check
+still fails, so a 200-scene fuzz run hands back a minimal replayable JSON
+counterexample instead of a haystack.  ``python -m repro fuzz`` and
+``tests/test_fuzz_polygons.py`` both drive these entry points.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.api import Obstacle, ShortestPathIndex, split_obstacles
+from repro.core.baseline import GridOracle, path_is_clear, path_length
+from repro.errors import ReproError
+from repro.geometry.polygon import RectilinearPolygon
+
+__all__ = ["check_scene", "shrink_scene", "validate_path"]
+
+
+def validate_path(
+    idx: ShortestPathIndex, path: Sequence, p, q, expected_len: float
+) -> list[str]:
+    """Problems with one reported polyline (empty list = valid)."""
+    problems: list[str] = []
+    if not path or path[0] != tuple(p) or path[-1] != tuple(q):
+        problems.append(f"path endpoints {path[:1]}...{path[-1:]} != ({p}, {q})")
+        return problems
+    for a, b in zip(path, path[1:]):
+        if a[0] != b[0] and a[1] != b[1]:
+            problems.append(f"non-rectilinear path segment {a} -> {b}")
+            return problems
+    if not path_is_clear(path, idx.rects, seams=idx.seams):
+        problems.append(f"path {p} -> {q} crosses an obstacle interior")
+    if idx.container is not None and any(
+        not idx.container.contains(pt) for pt in path
+    ):
+        problems.append(f"path {p} -> {q} leaves the container")
+    got = path_length(path)
+    if got != expected_len:
+        problems.append(
+            f"path {p} -> {q} has length {got}, reported {expected_len}"
+        )
+    return problems
+
+
+def _matrix_diff(name_a: str, ma, pts_a, name_b: str, mb, pts_b) -> list[str]:
+    """Compare two vertex matrices over possibly differently-ordered points."""
+    if set(pts_a) != set(pts_b):
+        only_a = sorted(set(pts_a) - set(pts_b))[:3]
+        only_b = sorted(set(pts_b) - set(pts_a))[:3]
+        return [
+            f"{name_a}/{name_b} vertex sets differ "
+            f"({name_a} extra {only_a}, {name_b} extra {only_b})"
+        ]
+    order = [pts_b.index(p) for p in pts_a]
+    mb2 = np.asarray(mb)[np.ix_(order, order)]
+    ma = np.asarray(ma)
+    both_inf = np.isinf(ma) & np.isinf(mb2)
+    mismatch = ~both_inf & (ma != mb2)
+    if not mismatch.any():
+        return []
+    i, j = map(int, np.argwhere(mismatch)[0])
+    return [
+        f"{name_a} vs {name_b}: d({pts_a[i]}, {pts_a[j]}) = "
+        f"{ma[i, j]} vs {mb2[i, j]} ({int(mismatch.sum())} mismatching pairs)"
+    ]
+
+
+def check_scene(
+    obstacles: Sequence[Obstacle],
+    container: Optional[RectilinearPolygon] = None,
+    extra_points: Sequence = (),
+    n_paths: int = 6,
+    n_arbitrary: int = 4,
+    seed: int = 0,
+) -> list[str]:
+    """Differentially check one scene; returns problems (empty = agree)."""
+    rng = random.Random(f"xcheck|{seed}")
+    try:
+        idx_par = ShortestPathIndex.build(
+            obstacles, extra_points=extra_points, engine="parallel",
+            container=container,
+        )
+        idx_seq = ShortestPathIndex.build(
+            obstacles, extra_points=extra_points, engine="sequential",
+            container=container,
+        )
+    except ReproError as exc:
+        return [f"build failed: {exc}"]
+    pts = idx_par.index.points
+    problems = _matrix_diff(
+        "parallel", idx_par.index.matrix, pts,
+        "sequential", idx_seq.index.matrix, idx_seq.index.points,
+    )
+    _, _, _, seams = split_obstacles(obstacles)
+    oracle = GridOracle(idx_par.rects, pts, seams=seams)
+    base = oracle.dist_matrix(pts)
+    problems += _matrix_diff(
+        "parallel", idx_par.index.matrix, pts, "baseline", base, pts
+    )
+    if problems:
+        return problems
+    # sampled path reports must realise the agreed lengths exactly; only
+    # queryable vertices qualify (container-pocket corners sit outside P)
+    def queryable(p) -> bool:
+        try:
+            idx_par._check_inside(p)
+        except ReproError:
+            return False
+        return True
+
+    qpts = [i for i in range(len(pts)) if queryable(pts[i])]
+    finite_pairs = [
+        (pts[i], pts[j])
+        for i in qpts
+        for j in qpts
+        if i < j and np.isfinite(base[i, j])
+    ]
+    rng.shuffle(finite_pairs)
+    for p, q in finite_pairs[:n_paths]:
+        for name, idx in (("parallel", idx_par), ("sequential", idx_seq)):
+            try:
+                path = idx.shortest_path(p, q)
+            except ReproError as exc:
+                problems.append(f"{name} path {p} -> {q} failed: {exc}")
+                continue
+            problems += [
+                f"{name}: {msg}"
+                for msg in validate_path(idx, path, p, q, idx.length(p, q))
+            ]
+    # arbitrary-point queries against the oracle
+    free = _free_points(idx_par, n_arbitrary, rng)
+    if free and qpts:
+        arb_oracle = GridOracle(idx_par.rects, list(pts) + free, seams=seams)
+        for p in free:
+            q = pts[qpts[rng.randrange(len(qpts))]]
+            want = arb_oracle.dist(p, q)
+            try:
+                got = idx_par.length(p, q)
+            except ReproError as exc:
+                problems.append(f"arbitrary length {p} -> {q} failed: {exc}")
+                continue
+            if got != want:
+                problems.append(
+                    f"arbitrary query d({p}, {q}) = {got}, oracle says {want}"
+                )
+    return problems
+
+
+def _free_points(idx: ShortestPathIndex, k: int, rng: random.Random) -> list:
+    xlo = min(r.xlo for r in idx.rects) - 2
+    ylo = min(r.ylo for r in idx.rects) - 2
+    xhi = max(r.xhi for r in idx.rects) + 2
+    yhi = max(r.yhi for r in idx.rects) + 2
+    out: list = []
+    for _ in range(40 * (k + 1)):
+        if len(out) >= k:
+            break
+        p = (rng.randint(xlo, xhi), rng.randint(ylo, yhi))
+        try:
+            idx._check_inside(p)
+        except ReproError:
+            continue
+        if p not in out:
+            out.append(p)
+    return out
+
+
+def shrink_scene(
+    obstacles: Sequence[Obstacle],
+    container: Optional[RectilinearPolygon],
+    fails: Callable[[Sequence[Obstacle], Optional[RectilinearPolygon]], bool],
+    budget: int = 40,
+) -> tuple[list[Obstacle], Optional[RectilinearPolygon]]:
+    """Greedy delta-shrink: drop obstacles (then the container) while the
+    scene keeps failing; ``budget`` caps the number of re-checks."""
+    cur = list(obstacles)
+    cur_container = container
+    spent = 0
+    changed = True
+    while changed and spent < budget:
+        changed = False
+        for i in range(len(cur) - 1, -1, -1):
+            if len(cur) <= 1 or spent >= budget:
+                break
+            cand = cur[:i] + cur[i + 1 :]
+            spent += 1
+            try:
+                if fails(cand, cur_container):
+                    cur = cand
+                    changed = True
+            except ReproError:
+                continue
+        if cur_container is not None and spent < budget:
+            spent += 1
+            try:
+                if fails(cur, None):
+                    cur_container = None
+                    changed = True
+            except ReproError:
+                pass
+    return cur, cur_container

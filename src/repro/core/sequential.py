@@ -161,24 +161,52 @@ class SequentialEngine:
         rects: Sequence[Rect],
         extra_points: Sequence[Point] = (),
         validate: bool = True,
+        seams: Sequence = (),
     ) -> None:
         self.rects = list(rects)
         if validate:
             validate_disjoint(self.rects)
+        self.seams = list(seams)
         pts: dict[Point, None] = {}
         for r in self.rects:
             for v in r.vertices:
                 pts.setdefault(v, None)
         for p in extra_points:
-            if any(r.contains_interior(p) for r in self.rects):
+            if any(r.contains_interior(p) for r in self.rects) or any(
+                s.contains_open(p) for s in self.seams
+            ):
                 raise GeometryError(f"extra point {p} is inside an obstacle")
             pts.setdefault(p, None)
         self.points: list[Point] = list(pts)
-        self.worlds = [_World(t, self.points, self.rects) for t in _WORLD_TRANSFORMS]
+        self._point_set = frozenset(self.points)
+        # The four-world monotone-DAG machinery is specified for disjoint
+        # *rectangles* only: its hop and straight-shot realisability
+        # arguments run paths along whole obstacle edges, which may overlap
+        # the interior seams of a decomposed polygon.  With seams present
+        # we substitute the [11]-style repeated single-source sweep over
+        # the seam-aware Hanan grid — the sequential comparator the paper's
+        # §1 credits — and keep the DAG for pure-rectangle scenes.
+        self.worlds = (
+            []
+            if self.seams
+            else [_World(t, self.points, self.rects) for t in _WORLD_TRANSFORMS]
+        )
+        self._oracle: Optional["GridOracle"] = None
 
     # ------------------------------------------------------------------
+    def _seam_oracle(self) -> "GridOracle":
+        from repro.core.baseline import GridOracle
+
+        if self._oracle is None:
+            self._oracle = GridOracle(self.rects, self.points, seams=self.seams)
+        return self._oracle
+
     def single_source(self, source: Point) -> np.ndarray:
         """Distances from one registered point to all points (O(n))."""
+        if source not in self._point_set:
+            raise GeometryError(f"{source} is not a registered point")
+        if self.seams:
+            return self._seam_oracle().dist_matrix([source], self.points)[0]
         out = np.full(len(self.points), INF)
         for world in self.worlds:
             vid = world.point_id.get(world.t.apply(source))
@@ -189,15 +217,23 @@ class SequentialEngine:
         return out
 
     def build(self, pram: Optional[PRAM] = None) -> DistanceIndex:
-        """All-pairs matrix (one DAG sweep per source per world)."""
+        """All-pairs matrix (one DAG sweep per source per world, or one
+        seam-aware Dijkstra per source on polygon scenes)."""
         n = len(self.points)
-        mat = np.full((n, n), INF)
-        for i, p in enumerate(self.points):
-            mat[i, :] = self.single_source(p)
-        # the metric is symmetric; keep the smaller direction (the two are
-        # equal for exact sweeps, but this also hardens against region
-        # edge-cases at zero cost)
-        np.minimum(mat, mat.T, out=mat)
+        if self.seams:
+            from repro.core.baseline import repeated_single_source_matrix
+
+            mat = repeated_single_source_matrix(
+                self.rects, self.points, oracle=self._seam_oracle()
+            )
+        else:
+            mat = np.full((n, n), INF)
+            for i, p in enumerate(self.points):
+                mat[i, :] = self.single_source(p)
+            # the metric is symmetric; keep the smaller direction (the two
+            # are equal for exact sweeps, but this also hardens against
+            # region edge-cases at zero cost)
+            np.minimum(mat, mat.T, out=mat)
         if pram is not None:
             pram.charge(time=n, work=n * n, width=n)
         return DistanceIndex(self.points, mat)

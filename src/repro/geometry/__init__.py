@@ -23,7 +23,12 @@ from repro.geometry.frontier import (
     all_max_staircases,
 )
 from repro.geometry.envelope import Envelope, envelope, rectilinear_hull_exists
-from repro.geometry.polygon import RectilinearPolygon, pockets_to_rects
+from repro.geometry.decompose import (
+    Seam,
+    decompose_loop,
+    polygon_seams,
+)
+from repro.geometry.polygon import RectilinearPolygon, pockets_to_rects, rect_polygon
 from repro.geometry.rayshoot import RayShooter
 from repro.geometry.trapezoid import trapezoidal_decomposition, hit_sets
 from repro.geometry.visibility import boundary_points, BoundarySet
@@ -48,6 +53,10 @@ __all__ = [
     "rectilinear_hull_exists",
     "RectilinearPolygon",
     "pockets_to_rects",
+    "rect_polygon",
+    "Seam",
+    "decompose_loop",
+    "polygon_seams",
     "RayShooter",
     "trapezoidal_decomposition",
     "hit_sets",

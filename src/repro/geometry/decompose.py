@@ -1,0 +1,260 @@
+"""Rectangle decomposition of simple rectilinear polygons.
+
+The paper's engines understand exactly one obstacle shape: the axis-parallel
+rectangle.  A general rectilinear *polygonal* obstacle is supported by
+splitting it into disjoint maximal rectangles with a vertical-slab sweep
+(:func:`decompose_loop`) and handing those rectangles to the engines.
+
+One subtlety makes the decomposition more than a tiling.  Obstacle
+*interiors* are opaque but boundaries are traversable (§2), and any tiling
+of a polygon by interior-disjoint rectangles leaves *seams* — shared edges
+between adjacent tiles whose open segments lie strictly inside the polygon.
+A path running along a seam would cross straight through the "solid"
+obstacle (think of the middle chord of a plus shape).  No disjoint rectangle
+set can close a seam (a rectangle whose interior covered a seam point would
+overlap both tiles), so seams are carried *explicitly*: :class:`Seam`
+records each interior shared edge, and every blocking-sensitive primitive
+(Hanan grid, clear-L-path sweeps, engines) also refuses to travel *along*
+a seam.  ``rects + seams`` together block precisely the polygon's interior:
+
+* a segment through the 2-D interior crosses some tile's interior;
+* a segment along a seam is blocked by the seam itself;
+* transversal seam *crossings* already pass through tile interiors on both
+  sides, so seams only need to forbid collinear overlap.
+
+The vertical-slab sweep yields only **vertical** seams (tiles in one slab
+are separated by gaps; merged tiles never stack), which is what keeps the
+seam checks one comparison per segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import Point, Rect
+
+__all__ = [
+    "Seam",
+    "decompose_loop",
+    "normalize_loop",
+    "polygon_seams",
+    "seams_block_v_segment",
+    "staircase_clear_of_seams",
+    "validate_simple_loop",
+]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Seam:
+    """A vertical interior shared edge between two decomposition tiles.
+
+    The *open* segment ``{x} × (ylo, yhi)`` lies strictly inside the source
+    polygon; its endpoints are tile corners (and polygon reflex vertices),
+    which is why they are always part of the engines' vertex set.
+    """
+
+    x: int
+    ylo: int
+    yhi: int
+
+    def __post_init__(self) -> None:
+        if not self.ylo < self.yhi:
+            raise GeometryError(f"degenerate seam {self!r}")
+
+    @property
+    def endpoints(self) -> Tuple[Point, Point]:
+        return ((self.x, self.ylo), (self.x, self.yhi))
+
+    def contains_open(self, p: Point) -> bool:
+        """Is ``p`` strictly inside the seam segment (= polygon interior)?"""
+        return p[0] == self.x and self.ylo < p[1] < self.yhi
+
+    def blocks_v_segment(self, x: int, y1: int, y2: int) -> bool:
+        """Does the open vertical segment overlap the seam collinearly?"""
+        if x != self.x:
+            return False
+        if y1 > y2:
+            y1, y2 = y2, y1
+        return max(y1, self.ylo) < min(y2, self.yhi)
+
+
+def seams_block_v_segment(seams: Sequence[Seam], x: int, y1: int, y2: int) -> bool:
+    """True when any seam blocks the open vertical segment at ``x``."""
+    return any(s.blocks_v_segment(x, y1, y2) for s in seams)
+
+
+# ----------------------------------------------------------------------
+def normalize_loop(loop: Sequence[Point]) -> List[Point]:
+    """Canonical vertex loop: closing duplicate dropped, collinear runs
+    merged, orientation counterclockwise.  Raises on anything that is not
+    a rectilinear loop of positive area."""
+    pts = [tuple(p) for p in loop]
+    if len(pts) >= 2 and pts[0] == pts[-1]:
+        pts = pts[:-1]
+    if len(pts) < 4:
+        raise GeometryError("polygon needs at least 4 vertices")
+    for a, b in zip(pts, pts[1:] + [pts[0]]):
+        if (a[0] != b[0]) == (a[1] != b[1]):
+            raise GeometryError(f"non-rectilinear or zero edge {a} -> {b}")
+    # merge collinear runs (A->B->C with all three on one axis line)
+    out: List[Point] = []
+    for p in pts:
+        out.append(p)
+        while len(out) >= 3 and (
+            (out[-3][0] == out[-2][0] == out[-1][0])
+            or (out[-3][1] == out[-2][1] == out[-1][1])
+        ):
+            del out[-2]
+    while len(out) >= 3 and (
+        (out[-2][0] == out[-1][0] == out[0][0])
+        or (out[-2][1] == out[-1][1] == out[0][1])
+    ):
+        out.pop()
+    while len(out) >= 3 and (
+        (out[-1][0] == out[0][0] == out[1][0])
+        or (out[-1][1] == out[0][1] == out[1][1])
+    ):
+        del out[0]
+    if len(out) < 4:
+        raise GeometryError("polygon collapses to a line")
+    if _signed_area2(out) == 0:
+        raise GeometryError("polygon has zero area")
+    if _signed_area2(out) < 0:
+        out.reverse()
+    return out
+
+
+def _signed_area2(loop: Sequence[Point]) -> int:
+    s = 0
+    for (x1, y1), (x2, y2) in zip(loop, list(loop[1:]) + [loop[0]]):
+        s += x1 * y2 - x2 * y1
+    return s
+
+
+def _segments_touch(a: Tuple[Point, Point], b: Tuple[Point, Point]) -> bool:
+    """Do two axis-parallel closed segments share any point?"""
+    (ax1, ay1), (ax2, ay2) = a
+    (bx1, by1), (bx2, by2) = b
+    axlo, axhi = min(ax1, ax2), max(ax1, ax2)
+    aylo, ayhi = min(ay1, ay2), max(ay1, ay2)
+    bxlo, bxhi = min(bx1, bx2), max(bx1, bx2)
+    bylo, byhi = min(by1, by2), max(by1, by2)
+    return (
+        max(axlo, bxlo) <= min(axhi, bxhi)
+        and max(aylo, bylo) <= min(ayhi, byhi)
+    )
+
+
+def validate_simple_loop(loop: Sequence[Point]) -> None:
+    """Reject self-intersecting or self-touching (pinched) boundaries.
+
+    A simple rectilinear loop's non-adjacent edges share no point at all;
+    adjacent edges share exactly their common vertex.  O(|loop|²) — loops
+    are small and this runs once per polygon.
+    """
+    n = len(loop)
+    edges = [(loop[i], loop[(i + 1) % n]) for i in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            adjacent = j == i + 1 or (i == 0 and j == n - 1)
+            if adjacent:
+                continue
+            if _segments_touch(edges[i], edges[j]):
+                raise GeometryError(
+                    f"polygon boundary is not simple: edge {edges[i]} "
+                    f"touches edge {edges[j]}"
+                )
+
+
+# ----------------------------------------------------------------------
+def decompose_loop(loop: Sequence[Point], holes: Sequence[Sequence[Point]] = ()) -> List[Rect]:
+    """Disjoint maximal rectangles tiling the simple rectilinear polygon.
+
+    Vertical-slab sweep: between consecutive vertex x-coordinates the
+    polygon's cross-section is a set of disjoint y-intervals (even–odd rule
+    over the horizontal edges spanning the slab); identical intervals in
+    adjacent slabs are merged, so every tile is maximal in x for its
+    y-interval and all remaining shared edges are vertical.
+    """
+    if holes:
+        raise GeometryError("polygons with holes are not supported")
+    pts = normalize_loop(loop)
+    validate_simple_loop(pts)
+    hedges = [
+        (a[1], min(a[0], b[0]), max(a[0], b[0]))
+        for a, b in zip(pts, pts[1:] + [pts[0]])
+        if a[1] == b[1]
+    ]
+    xs = sorted({p[0] for p in pts})
+    out: List[Rect] = []
+    open_runs: dict[tuple[int, int], int] = {}  # (ylo, yhi) -> start x
+    for a, b in zip(xs, xs[1:]):
+        mid2 = a + b  # 2 * slab midpoint, exact
+        ys = sorted(y for y, x1, x2 in hedges if 2 * x1 < mid2 < 2 * x2)
+        if len(ys) % 2:
+            raise GeometryError("polygon boundary parity broken (not simple?)")
+        intervals = {(ys[k], ys[k + 1]) for k in range(0, len(ys), 2)}
+        for iv, start in list(open_runs.items()):
+            if iv not in intervals:
+                out.append(Rect(start, iv[0], a, iv[1]))
+                del open_runs[iv]
+        for iv in intervals:
+            open_runs.setdefault(iv, a)
+    for iv, start in open_runs.items():
+        out.append(Rect(start, iv[0], xs[-1], iv[1]))
+    area2 = sum(2 * r.width * r.height for r in out)
+    if area2 != abs(_signed_area2(pts)):  # pragma: no cover - internal check
+        raise GeometryError("decomposition does not tile the polygon")
+    return sorted(out)
+
+
+def polygon_seams(rects: Sequence[Rect]) -> List[Seam]:
+    """The interior shared vertical edges of one polygon's tiling.
+
+    Every pair of tiles with a common vertical boundary of positive length
+    contributes the open overlap as a :class:`Seam`.  (The slab sweep never
+    stacks tiles, so there are no horizontal seams to find.)
+    """
+    by_xlo: dict[int, List[Rect]] = {}
+    for r in rects:
+        by_xlo.setdefault(r.xlo, []).append(r)
+    seams: List[Seam] = []
+    for r in rects:
+        for other in by_xlo.get(r.xhi, ()):
+            lo = max(r.ylo, other.ylo)
+            hi = min(r.yhi, other.yhi)
+            if lo < hi:
+                seams.append(Seam(r.xhi, lo, hi))
+    return sorted(seams)
+
+
+# ----------------------------------------------------------------------
+def staircase_clear_of_seams(chain, seams: Iterable[Seam]) -> bool:
+    """True when no chain segment (or end ray) runs along a seam.
+
+    Separator staircases must not travel through polygon interiors: the
+    conquer step both places crossing candidates on the chain and slides
+    path portions along it, so a seam-overlapping chain is rejected by the
+    parallel engine (it falls back to the exact leaf solve).  Horizontal
+    chain segments can only *cross* a vertical seam, which already passes
+    through tile interiors and is excluded by the chain's rect-clearance.
+    """
+    seams = list(seams)
+    if not seams:
+        return True
+    pts = chain.pts
+    for a, b in zip(pts, pts[1:]):
+        if a[0] == b[0] and seams_block_v_segment(seams, a[0], a[1], b[1]):
+            return False
+    for origin, d in ((pts[0], chain.left_dir), (pts[-1], chain.right_dir)):
+        if d == "N" and any(
+            s.x == origin[0] and s.yhi > origin[1] for s in seams
+        ):
+            return False
+        if d == "S" and any(
+            s.x == origin[0] and s.ylo < origin[1] for s in seams
+        ):
+            return False
+    return True

@@ -111,10 +111,25 @@ class HananGraph:
         return self._csr
 
 
-def hanan_graph(rects: Sequence[Rect], extra_points: Iterable[Point] = ()) -> HananGraph:
-    """Build the grid graph over obstacle vertices plus any extra points."""
+def hanan_graph(
+    rects: Sequence[Rect],
+    extra_points: Iterable[Point] = (),
+    seams: Sequence = (),
+) -> HananGraph:
+    """Build the grid graph over obstacle vertices plus any extra points.
+
+    ``seams`` are interior shared edges of polygon-obstacle decompositions
+    (:class:`repro.geometry.decompose.Seam`): the vertical grid edges that
+    run *along* a seam are blocked — they lie strictly inside the source
+    polygon even though they touch no rectangle interior.  Seam endpoint
+    coordinates join the grid so bends around a seam stay representable.
+    """
     xs_set = {r.xlo for r in rects} | {r.xhi for r in rects}
     ys_set = {r.ylo for r in rects} | {r.yhi for r in rects}
+    for s in seams:
+        xs_set.add(s.x)
+        ys_set.add(s.ylo)
+        ys_set.add(s.yhi)
     for x, y in extra_points:
         xs_set.add(x)
         ys_set.add(y)
@@ -148,4 +163,9 @@ def hanan_graph(rects: Sequence[Rect], extra_points: Iterable[Point] = ()) -> Ha
     cov_v = np.cumsum(np.cumsum(dv, axis=0), axis=1)
     block_h = cov_h[:ny, : nx - 1] > 0
     block_v = cov_v[: ny - 1, :nx] > 0
+    for s in seams:
+        xi = bisect_left(xs, s.x)
+        y0 = bisect_left(ys, s.ylo)
+        y1 = bisect_left(ys, s.yhi)
+        block_v[y0:y1, xi] = True
     return HananGraph(xs, ys, block_h, block_v)

@@ -1,10 +1,23 @@
-"""Rectilinear convex polygons — the container ``P`` of the paper.
+"""Rectilinear simple polygons — containers *and* polygonal obstacles.
 
-A rectilinear convex polygon is a rectilinear simple polygon containing
-every axis-parallel segment between any two of its points (§2).  Internally
-a polygon is normalised to the same top/bottom :class:`StepProfile` pair as
-:class:`~repro.geometry.envelope.Envelope`, which gives containment tests,
-boundary walks and ray exits in one shared representation.
+A :class:`RectilinearPolygon` is any simple rectilinear polygon given by
+its boundary vertex loop (holes are rejected with a one-line error).  Two
+distinct roles use it:
+
+* **Container** ``P`` of the paper (§2): must additionally be rectilinear
+  *convex* — containing every axis-parallel segment between any two of its
+  points.  The convex machinery (top/bottom :class:`StepProfile` pair,
+  shared with :class:`~repro.geometry.envelope.Envelope`) is built lazily;
+  a non-convex polygon raises :class:`ConvexityError` only when used as a
+  container (or when :attr:`top`/:attr:`bottom` are touched), not at
+  construction.
+
+* **Polygonal obstacle**: any simple polygon.  :meth:`decomposition`
+  splits it into disjoint maximal rectangles plus interior :class:`Seam`
+  records (see :mod:`repro.geometry.decompose`), which is how
+  ``ShortestPathIndex.build`` threads it through the rectangle-only
+  engines.  Containment tests are exact and decomposition-based, so they
+  work for every simple polygon.
 
 :func:`pockets_to_rects` decomposes ``bbox(P) \\ P`` into axis-parallel
 rectangles.  This is how the engines support a polygon container: the free
@@ -15,43 +28,84 @@ DESIGN.md §2).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConvexityError, GeometryError
+from repro.geometry.decompose import (
+    Seam,
+    decompose_loop,
+    normalize_loop,
+    polygon_seams,
+)
 from repro.geometry.envelope import StepProfile, _profile_from_polyline
 from repro.geometry.primitives import Point, Rect
 
 
-def _signed_area2(loop: Sequence[Point]) -> int:
-    s = 0
-    for (x1, y1), (x2, y2) in zip(loop, list(loop[1:]) + [loop[0]]):
-        s += x1 * y2 - x2 * y1
-    return s
-
-
 class RectilinearPolygon:
-    """A rectilinear *convex* polygon given by its boundary vertex loop."""
+    """A simple rectilinear polygon given by its boundary vertex loop."""
 
-    def __init__(self, loop: Sequence[Point]) -> None:
-        loop = list(loop)
-        if len(loop) >= 2 and loop[0] == loop[-1]:
-            loop = loop[:-1]
-        if len(loop) < 4:
-            raise GeometryError("polygon needs at least 4 vertices")
-        for a, b in zip(loop, loop[1:] + [loop[0]]):
-            if (a[0] != b[0]) == (a[1] != b[1]):
-                raise GeometryError(f"non-rectilinear or zero edge {a} -> {b}")
-        if _signed_area2(loop) < 0:
-            loop.reverse()
-        self.loop = loop
-        self._build_profiles()
+    def __init__(self, loop: Sequence[Point], holes: Sequence[Sequence[Point]] = ()) -> None:
+        if holes:
+            raise GeometryError("polygons with holes are not supported")
+        self.loop = normalize_loop(loop)
+        # full O(V²) simplicity validation is deferred to decomposition()
+        # (obstacle role); the container role's convexity check subsumes it
+        self.bbox = (
+            min(p[0] for p in self.loop),
+            min(p[1] for p in self.loop),
+            max(p[0] for p in self.loop),
+            max(p[1] for p in self.loop),
+        )
+        self._top: Optional[StepProfile] = None
+        self._bottom: Optional[StepProfile] = None
+        self._convex: Optional[bool] = None
+        self._decomp: Optional[Tuple[List[Rect], List[Seam]]] = None
 
-    # ------------------------------------------------------------------
+    # -- decomposition (obstacle role) ------------------------------------
+    def decomposition(self) -> Tuple[List[Rect], List[Seam]]:
+        """Disjoint maximal rectangle tiles plus interior seams (cached)."""
+        if self._decomp is None:
+            rects = decompose_loop(self.loop)
+            self._decomp = (rects, polygon_seams(rects))
+        return self._decomp
+
+    # -- convex machinery (container role) --------------------------------
+    @property
+    def is_convex(self) -> bool:
+        """Rectilinear convexity (required for the container role)."""
+        if self._convex is None:
+            try:
+                self._ensure_profiles()
+            except ConvexityError:
+                pass  # _ensure_profiles records the verdict
+        return bool(self._convex)
+
+    @property
+    def top(self) -> StepProfile:
+        self._ensure_profiles()
+        return self._top  # type: ignore[return-value]
+
+    @property
+    def bottom(self) -> StepProfile:
+        self._ensure_profiles()
+        return self._bottom  # type: ignore[return-value]
+
+    def _ensure_profiles(self) -> None:
+        if self._top is not None:
+            return
+        if self._convex is False:
+            raise ConvexityError("polygon is not rectilinear convex")
+        try:
+            self._build_profiles()
+            self._convex = True
+        except ConvexityError:
+            self._convex = False
+            raise
+
     def _build_profiles(self) -> None:
         loop = self.loop
         n = len(loop)
-        xlo = min(p[0] for p in loop)
-        xhi = max(p[0] for p in loop)
+        xlo, _, xhi, _ = self.bbox
         # south-west-most and south-east-most vertices anchor the bottom walk
         sw = min(range(n), key=lambda i: (loop[i][0], loop[i][1]))
         se = max(range(n), key=lambda i: (loop[i][0], -loop[i][1]))
@@ -80,11 +134,12 @@ class RectilinearPolygon:
                     raise ConvexityError(f"{name} boundary not x-monotone at {a}->{b}")
         if bottom[0][0] != xlo or top[0][0] != xlo or bottom[-1][0] != xhi:
             raise ConvexityError("extreme vertices inconsistent")
-        self.top = _profile_from_polyline(top)
-        self.bottom = _profile_from_polyline(bottom)
-        self.bbox = (xlo, min(p[1] for p in loop), xhi, max(p[1] for p in loop))
-        _check_unimodal(self.top, peak=True)
-        _check_unimodal(self.bottom, peak=False)
+        top_profile = _profile_from_polyline(top)
+        bottom_profile = _profile_from_polyline(bottom)
+        _check_unimodal(top_profile, peak=True)
+        _check_unimodal(bottom_profile, peak=False)
+        self._top = top_profile
+        self._bottom = bottom_profile
 
     # -- region protocol ---------------------------------------------------
     def top_at(self, x: int) -> int:
@@ -93,22 +148,53 @@ class RectilinearPolygon:
     def bottom_at(self, x: int) -> int:
         return self.bottom.value_min_at(x)
 
-    def contains(self, p: Point) -> bool:
-        x, y = p
-        if not (self.bbox[0] <= x <= self.bbox[2]):
+    def _use_profiles(self) -> bool:
+        """Prefer the O(log V) convex profile tests when legal: they avoid
+        the one-time O(V²) simplicity sweep that decomposition runs, which
+        matters for the §7 many-vertex containers."""
+        if self._decomp is not None:
             return False
-        return self.bottom_at(x) <= y <= self.top_at(x)
+        return self.is_convex
+
+    def contains(self, p: Point) -> bool:
+        """Closed containment, exact for any simple polygon."""
+        x, y = p
+        xlo, ylo, xhi, yhi = self.bbox
+        if not (xlo <= x <= xhi and ylo <= y <= yhi):
+            return False
+        if self._use_profiles():
+            return self.bottom_at(x) <= y <= self.top_at(x)
+        rects, _ = self.decomposition()
+        return any(r.contains(p) for r in rects)
 
     def contains_interior(self, p: Point) -> bool:
+        """Open containment — tile interiors plus interior seam points."""
         x, y = p
-        if not (self.bbox[0] < x < self.bbox[2]):
+        xlo, ylo, xhi, yhi = self.bbox
+        if not (xlo < x < xhi and ylo < y < yhi):
             return False
-        return self.bottom.value_max_at(x) < y < self.top.value_min_at(x)
+        if self._use_profiles():
+            return self.bottom.value_max_at(x) < y < self.top.value_min_at(x)
+        rects, seams = self.decomposition()
+        return any(r.contains_interior(p) for r in rects) or any(
+            s.contains_open(p) for s in seams
+        )
 
     def contains_rect(self, r: Rect) -> bool:
-        return all(self.contains(v) for v in r.vertices) and not any(
-            _rect_pokes_out(self, r, x) for x in (r.xlo, r.xhi)
-        )
+        """Is the closed rectangle inside the closed polygon?"""
+        if self._use_profiles():
+            return all(self.contains(v) for v in r.vertices) and not any(
+                _rect_pokes_out(self, r, x) for x in (r.xlo, r.xhi)
+            )
+        # exact via tile-overlap areas (the tiles partition the polygon)
+        rects, _ = self.decomposition()
+        covered = 0
+        for t in rects:
+            w = min(r.xhi, t.xhi) - max(r.xlo, t.xlo)
+            h = min(r.yhi, t.yhi) - max(r.ylo, t.ylo)
+            if w > 0 and h > 0:
+                covered += w * h
+        return covered == r.width * r.height
 
     def vertices_loop(self) -> list[Point]:
         return list(self.loop)
@@ -129,6 +215,9 @@ class RectilinearPolygon:
             if a[1] == b[1] == y and min(a[0], b[0]) <= x <= max(a[0], b[0]):
                 return True
         return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RectilinearPolygon({self.loop[:4]}...x{len(self.loop)})"
 
 
 def _rect_pokes_out(poly: RectilinearPolygon, r: Rect, x: int) -> bool:
@@ -156,8 +245,9 @@ def rect_polygon(xlo: int, ylo: int, xhi: int, yhi: int) -> RectilinearPolygon:
 def pockets_to_rects(poly: RectilinearPolygon) -> list[Rect]:
     """Decompose ``bbox(P) \\ P`` into rectangles (one per profile step).
 
-    The rectangles may share edges with each other; their interiors are
-    pairwise disjoint and disjoint from ``P``.
+    Requires the container role's convexity (raises ``ConvexityError``
+    otherwise).  The rectangles may share edges with each other; their
+    interiors are pairwise disjoint and disjoint from ``P``.
     """
     xlo, ylo, xhi, yhi = poly.bbox
     out: list[Rect] = []

@@ -10,17 +10,28 @@ captures everything the query side needs:
                  element counts, simulated build cost, matrix checksum
 ``points``       ``(n, 2)`` int64 — the vertex order of the matrix rows
 ``matrix``       ``(n, n)`` float64 — all-pairs lengths (§6.3 output)
-``rects``        ``(m, 4)`` int64 — obstacles, pocket rects included
+``rects``        ``(m, 4)`` int64 — obstacles: plain rects, polygon
+                 decomposition tiles, pocket rects
 ``container``    ``(k, 2)`` int64 — container polygon loop (``k = 0``
                  when the scene has no container)
 ``qs_parents``   ``(4, m)`` int64 — the §6.4 query structure's four
-                 NE tracing forests (absent when not exported)
+                 NE tracing forests (absent when not exported; polygon
+                 scenes never export them — they use the corner-graph
+                 query fallback, which needs nothing beyond the matrix)
+``poly_offsets`` ``(P + 1,)`` int64 — *format v2*: prefix offsets into
+                 ``poly_vertices`` delimiting each original polygon
+                 obstacle's vertex loop
+``poly_vertices`` ``(K, 2)`` int64 — *format v2*: concatenated polygon
+                 loops (seams are recomputed from the loops on load —
+                 the decomposition is deterministic)
 
 Loading never re-runs an engine: the matrix is mapped back into a
 :class:`DistanceIndex`, the §6.4 forests (when present) are handed to
 :class:`QueryStructure`, and only the cheap ray shooters are rebuilt.
-Corrupt, truncated, or version-mismatched artifacts raise
-:class:`~repro.errors.SnapshotError` — never a deep traceback from NumPy.
+Version-1 artifacts (pre-polygon) still load — they simply carry no
+polygon members.  Corrupt, truncated, or version-mismatched artifacts
+raise :class:`~repro.errors.SnapshotError` — never a deep traceback from
+NumPy.
 """
 
 from __future__ import annotations
@@ -49,7 +60,9 @@ PathLike = Union[str, pathlib.Path]
 
 #: snapshot format identity; bump ``SNAPSHOT_VERSION`` on layout changes
 SNAPSHOT_FORMAT = "repro-snapshot"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+#: every format version this build can read back
+SUPPORTED_VERSIONS = (1, 2)
 
 #: conventional file extension (the CLI sniffs content, not the name)
 SNAPSHOT_SUFFIX = ".rsp"
@@ -78,6 +91,19 @@ def save(
         arrays["container"] = np.array(idx.container.loop, dtype=np.int64)
     else:
         arrays["container"] = np.empty((0, 2), dtype=np.int64)
+    polygons = getattr(idx, "polygons", [])
+    offsets = [0]
+    flat_loop: list = []
+    for poly in polygons:
+        flat_loop.extend(poly.loop)
+        offsets.append(len(flat_loop))
+    arrays["poly_offsets"] = np.array(offsets, dtype=np.int64)
+    arrays["poly_vertices"] = np.array(flat_loop, dtype=np.int64).reshape(
+        len(flat_loop), 2
+    )
+    # polygon scenes answer arbitrary-point queries through the corner-
+    # graph fallback — there are no §6.4 forests to persist
+    include_query = include_query and not getattr(idx, "seams", [])
     if include_query:
         arrays["qs_parents"] = idx.query.export_world_parents()
     header = {
@@ -87,6 +113,7 @@ def save(
         "engine": idx.engine,
         "n_points": len(idx.index),
         "n_rects": len(idx.rects),
+        "n_polygons": len(polygons),
         "has_container": idx.container is not None,
         "has_query_structure": include_query,
         "build_time": idx.pram.time,
@@ -141,6 +168,12 @@ def load(path: PathLike) -> ShortestPathIndex:
             rect_arr = npz["rects"]
             loop_arr = npz["container"]
             parents = npz["qs_parents"] if "qs_parents" in npz.files else None
+            if "poly_offsets" in npz.files:  # format v2
+                poly_offsets = npz["poly_offsets"]
+                poly_vertices = npz["poly_vertices"]
+            else:  # format v1: pre-polygon artifact
+                poly_offsets = np.zeros(1, dtype=np.int64)
+                poly_vertices = np.empty((0, 2), dtype=np.int64)
         except (KeyError, ValueError, zipfile.BadZipFile, OSError, zlib.error) as exc:
             raise SnapshotError(f"{path}: missing or corrupt array member: {exc}")
     digest = _matrix_digest(np.asarray(matrix, dtype=float))
@@ -154,6 +187,14 @@ def load(path: PathLike) -> ShortestPathIndex:
         container = None
         if len(loop_arr):
             container = RectilinearPolygon([(x, y) for x, y in loop_arr.tolist()])
+        offs = [int(v) for v in poly_offsets.tolist()]
+        verts = [(int(x), int(y)) for x, y in poly_vertices.tolist()]
+        polygons = [
+            RectilinearPolygon(verts[a:b]) for a, b in zip(offs, offs[1:])
+        ]
+        # seams are a pure function of each loop: recompute instead of
+        # trusting (or bloating) the artifact
+        seams = [s for poly in polygons for s in poly.decomposition()[1]]
     except Exception as exc:  # noqa: BLE001 - any geometry rejection is corruption
         raise SnapshotError(f"{path}: invalid snapshot payload: {exc}")
     if parents is not None and parents.shape != (4, len(rects)):
@@ -168,6 +209,8 @@ def load(path: PathLike) -> ShortestPathIndex:
         container=container,
         engine=str(header.get("engine", "parallel")),
         query_parents=parents,
+        polygons=polygons,
+        seams=seams,
     )
     idx.snapshot_meta = header
     return idx
@@ -195,9 +238,9 @@ def _parse_header(path: PathLike, npz) -> dict:
         raise SnapshotError(f"{path}: unreadable snapshot header: {exc}")
     if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
         raise SnapshotError(f"{path}: not a {SNAPSHOT_FORMAT} artifact")
-    if header.get("version") != SNAPSHOT_VERSION:
+    if header.get("version") not in SUPPORTED_VERSIONS:
         raise SnapshotError(
             f"{path}: snapshot format version {header.get('version')!r}; "
-            f"this build reads version {SNAPSHOT_VERSION}"
+            f"this build reads versions {SUPPORTED_VERSIONS}"
         )
     return header

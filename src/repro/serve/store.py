@@ -82,19 +82,20 @@ class SceneStore:
     def add_scene(
         self,
         name: str,
-        rects: Sequence[Rect],
+        obstacles: Sequence[Union[Rect, RectilinearPolygon]],
         *,
         engine: Engine = "parallel",
         container: Optional[RectilinearPolygon] = None,
         extra_points: Sequence[Point] = (),
     ) -> None:
-        """Register a scene built from raw rects on first use."""
-        rects = list(rects)
+        """Register a scene built from raw obstacles (``Rect`` and/or
+        ``RectilinearPolygon``) on first use."""
+        obstacles = list(obstacles)
         extra_points = list(extra_points)
 
         def build() -> ShortestPathIndex:
             return ShortestPathIndex.build(
-                rects, extra_points=extra_points, engine=engine, container=container
+                obstacles, extra_points=extra_points, engine=engine, container=container
             )
 
         self._register(name, _Entry(source=build, kind="build"))

@@ -57,6 +57,19 @@ class Canvas:
                 ch = (border or fill) if edge else fill
                 self.grid[row][col] = ch
 
+    def polygon(self, poly, fill: str = "#", border: str = "%") -> None:
+        """A polygonal obstacle: decomposition tiles filled, the original
+        boundary loop drawn on top so the outline stays visible."""
+        rects, _ = poly.decomposition()
+        for r in rects:
+            self.rect(r, fill=fill)
+        loop = poly.vertices_loop()
+        for a, b in zip(loop, loop[1:] + [loop[0]]):
+            if a[1] == b[1]:
+                self.hline(a[1], a[0], b[0], border)
+            else:
+                self.vline(a[0], a[1], b[1], border)
+
     def hline(self, y: int, x1: float, x2: float, ch: str = "-") -> None:
         row = self._row(y)
         a, b = sorted((self._col(x1), self._col(x2)))
@@ -102,7 +115,7 @@ class Canvas:
 
 
 def render_scene(
-    rects: Sequence[Rect],
+    obstacles: Sequence,
     paths: Iterable[Sequence[Point]] = (),
     points: Iterable[tuple[Point, str]] = (),
     title: str = "",
@@ -110,9 +123,15 @@ def render_scene(
     height: int = 28,
     margin: int = 2,
 ) -> str:
-    """One-call scene rendering: obstacles, optional paths, labelled points."""
+    """One-call scene rendering: obstacles (``Rect`` and/or
+    ``RectilinearPolygon``), optional paths, labelled points."""
+    rects = [o for o in obstacles if isinstance(o, Rect)]
+    polys = [o for o in obstacles if not isinstance(o, Rect)]
     xs = [r.xlo for r in rects] + [r.xhi for r in rects]
     ys = [r.ylo for r in rects] + [r.yhi for r in rects]
+    for poly in polys:
+        xs += [poly.bbox[0], poly.bbox[2]]
+        ys += [poly.bbox[1], poly.bbox[3]]
     for path in paths:
         xs += [p[0] for p in path]
         ys += [p[1] for p in path]
@@ -125,6 +144,8 @@ def render_scene(
     canvas = Canvas(bbox, width, height)
     for r in rects:
         canvas.rect(r, fill="#")
+    for poly in polys:
+        canvas.polygon(poly)
     for path in paths:
         canvas.polyline(list(path), hch="*", vch="*")
     for p, name in points:

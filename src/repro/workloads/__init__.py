@@ -4,7 +4,13 @@ from repro.workloads.generators import (
     random_disjoint_rects,
     random_container_polygon,
     random_free_points,
+    random_polygon_scene,
+    random_blob_polygon,
+    staircase_polygon,
+    plus_polygon,
+    spiral_polygon,
     staircase_container,
+    POLYGON_KINDS,
     WORKLOAD_MODES,
 )
 from repro.workloads.fixtures import (
@@ -23,7 +29,13 @@ __all__ = [
     "random_disjoint_rects",
     "random_container_polygon",
     "random_free_points",
+    "random_polygon_scene",
+    "random_blob_polygon",
+    "staircase_polygon",
+    "plus_polygon",
+    "spiral_polygon",
     "staircase_container",
+    "POLYGON_KINDS",
     "WORKLOAD_MODES",
     "two_clusters",
     "three_shelves",

@@ -274,6 +274,188 @@ def staircase_container(
     return RectilinearPolygon(_loop_from_walks(top, bottom))
 
 
+# ----------------------------------------------------------------------
+# polygonal-obstacle generators (decomposed by the engines via
+# repro.geometry.decompose; every family exercises different seam shapes)
+
+POLYGON_KINDS = ("staircase", "plus", "spiral", "blob")
+
+
+def staircase_polygon(
+    x0: int = 0, y0: int = 0, steps: int = 3, run: int = 3, rise: int = 3,
+    thickness: int = 4,
+) -> RectilinearPolygon:
+    """An ascending staircase band: ``steps`` treads of ``run × rise``,
+    extruded ``thickness`` upward.  Decomposes into one tile per tread
+    with a seam at every riser.  ``thickness`` is clamped above ``rise``:
+    a band no thicker than its risers pinches into a non-simple loop."""
+    thickness = max(max(1, thickness), max(1, rise) + 1)
+    lower: list[Point] = [(x0, y0)]
+    x, y = x0, y0
+    for _ in range(max(1, steps)):
+        x += max(1, run)
+        lower.append((x, y))
+        y += max(1, rise)
+        lower.append((x, y))
+    x += max(1, run)
+    lower.append((x, y))
+    upper = [(px, py + max(1, thickness)) for px, py in lower]
+    loop = lower + list(reversed(upper))
+    return RectilinearPolygon(loop)
+
+
+def plus_polygon(
+    cx: int = 0, cy: int = 0, arm: int = 4, thick: int = 2
+) -> RectilinearPolygon:
+    """A plus/cross shape centred at ``(cx, cy)``: the classic seam-shortcut
+    witness (its decomposition's middle chords must not be traversable)."""
+    a, t = max(1, arm), max(1, thick)
+    return RectilinearPolygon(
+        [
+            (cx - t, cy - a), (cx + t, cy - a), (cx + t, cy - t),
+            (cx + a, cy - t), (cx + a, cy + t), (cx + t, cy + t),
+            (cx + t, cy + a), (cx - t, cy + a), (cx - t, cy + t),
+            (cx - a, cy + t), (cx - a, cy - t), (cx - t, cy - t),
+        ]
+    )
+
+
+def spiral_polygon(x0: int = 0, y0: int = 0, scale: int = 1) -> RectilinearPolygon:
+    """A rectilinear spiral (non-x-monotone, genuinely non-convex): a
+    corridor winding ~1.5 turns around a free courtyard."""
+    s = max(1, scale)
+    rel = [
+        (0, 0), (10, 0), (10, 10), (2, 10), (2, 4), (4, 4),
+        (4, 8), (8, 8), (8, 2), (0, 2),
+    ]
+    return RectilinearPolygon([(x0 + s * x, y0 + s * y) for x, y in rel])
+
+
+def random_blob_polygon(
+    seed: int = 0, cols: int = 5, x0: int = 0, y0: int = 0,
+    col_w: int = 4, height: int = 9, jitter: int = 3,
+) -> RectilinearPolygon:
+    """A random orthogonal blob: a histogram with jittered top *and*
+    bottom walks (x-monotone, usually non-convex, hole-free by
+    construction; consecutive columns always overlap by ≥ 1)."""
+    rng = random.Random(f"pblob|{seed}|{cols}|{col_w}|{height}|{jitter}")
+    cols = max(2, cols)
+    bots = [y0]
+    tops = [y0 + max(2, height)]
+    for _ in range(cols - 1):
+        pb, pt = bots[-1], tops[-1]
+        b = pb + rng.randint(-jitter, jitter)
+        t = pt + rng.randint(-jitter, jitter)
+        # keep the column non-degenerate and overlapping its neighbour
+        b = min(b, pt - 1)
+        t = max(t, pb + 1)
+        if t - b < 2:
+            t = b + 2
+        bots.append(b)
+        tops.append(t)
+    xs = [x0 + i * max(2, col_w) for i in range(cols + 1)]
+    lower: list[Point] = []
+    for i in range(cols):
+        lower += [(xs[i], bots[i]), (xs[i + 1], bots[i])]
+    upper: list[Point] = []
+    for i in range(cols):
+        upper += [(xs[i], tops[i]), (xs[i + 1], tops[i])]
+    loop = lower + list(reversed(upper))
+    # equal neighbouring columns leave duplicate corners; the polygon
+    # constructor rejects zero edges, so drop consecutive repeats here
+    dedup: list[Point] = []
+    for p in loop:
+        if not dedup or dedup[-1] != p:
+            dedup.append(p)
+    return RectilinearPolygon(dedup)
+
+
+def _make_polygon(kind: str, seed: int) -> RectilinearPolygon:
+    rng = random.Random(f"poly|{kind}|{seed}")
+    if kind == "staircase":
+        return staircase_polygon(
+            steps=rng.randint(2, 4), run=rng.randint(2, 4),
+            rise=rng.randint(2, 4), thickness=rng.randint(2, 5),
+        )
+    if kind == "plus":
+        t = rng.randint(1, 3)
+        return plus_polygon(arm=t + rng.randint(2, 5), thick=t)
+    if kind == "spiral":
+        return spiral_polygon(scale=rng.randint(1, 2))
+    if kind == "blob":
+        return random_blob_polygon(
+            seed=seed, cols=rng.randint(3, 6), col_w=rng.randint(2, 4),
+            height=rng.randint(6, 10), jitter=rng.randint(1, 4),
+        )
+    raise GeometryError(f"unknown polygon kind {kind!r}")
+
+
+def _translate_loop(poly: RectilinearPolygon, dx: int, dy: int) -> RectilinearPolygon:
+    return RectilinearPolygon([(x + dx, y + dy) for x, y in poly.loop])
+
+
+def random_polygon_scene(
+    n_polygons: int = 2,
+    n_rects: int = 3,
+    seed: int = 0,
+    kinds: Sequence[str] = POLYGON_KINDS,
+    world: Optional[int] = None,
+    gap: int = 1,
+):
+    """A mixed obstacle scene: ``n_polygons`` random polygonal obstacles
+    plus ``n_rects`` plain rectangles, pairwise disjoint (polygons are
+    placed with bbox clearance ``gap``).  Returns the obstacle list in
+    placement order — feed it straight to ``ShortestPathIndex.build``."""
+    rng = random.Random(f"pscene|{seed}|{n_polygons}|{n_rects}")
+    world = world or max(48, 26 * (n_polygons + 1) + 8 * n_rects)
+    placed_boxes: list[tuple[int, int, int, int]] = []
+
+    def box_free(b, pad: int) -> bool:
+        for o in placed_boxes:
+            if (
+                b[0] - pad <= o[2]
+                and o[0] <= b[2] + pad
+                and b[1] - pad <= o[3]
+                and o[1] <= b[3] + pad
+            ):
+                return False
+        return True
+
+    obstacles: list = []
+    attempts = 0
+    while len(obstacles) < n_polygons:
+        attempts += 1
+        if attempts > 200 * (n_polygons + 1):
+            raise GeometryError(f"could not place {n_polygons} polygons")
+        proto = _make_polygon(
+            kinds[rng.randrange(len(kinds))], seed * 1009 + attempts
+        )
+        xlo, ylo, xhi, yhi = proto.bbox
+        dx = rng.randint(0, max(1, world - (xhi - xlo))) - xlo
+        dy = rng.randint(0, max(1, world - (yhi - ylo))) - ylo
+        box = (xlo + dx, ylo + dy, xhi + dx, yhi + dy)
+        if not box_free(box, gap):
+            continue
+        placed_boxes.append(box)
+        obstacles.append(_translate_loop(proto, dx, dy))
+    placed_rects = 0
+    while placed_rects < n_rects:
+        attempts += 1
+        if attempts > 500 * (n_polygons + n_rects + 1):
+            raise GeometryError(f"could not place {n_rects} rects")
+        w = rng.randint(1, 6)
+        h = rng.randint(1, 6)
+        x = rng.randint(0, max(1, world - w))
+        y = rng.randint(0, max(1, world - h))
+        box = (x, y, x + w, y + h)
+        if not box_free(box, gap):
+            continue
+        placed_boxes.append(box)
+        obstacles.append(Rect(x, y, x + w, y + h))
+        placed_rects += 1
+    return obstacles
+
+
 def _loop_from_walks(top: list[Point], bottom: list[Point]) -> list[Point]:
     """Stitch monotone top/bottom walks into a CCW loop, fixing stair joins."""
     out: list[Point] = []

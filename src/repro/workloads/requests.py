@@ -28,10 +28,22 @@ def scene_endpoints(
     idx: ShortestPathIndex, k_free: int = 32, seed: int = 0
 ) -> tuple[list[Point], list[Point]]:
     """Endpoint pools for one scene: its indexed vertices plus ``k_free``
-    obstacle-free sample points (the arbitrary-query population)."""
-    free = random_free_points(idx.rects, k_free, seed=seed)
-    if idx.container is not None:
-        free = [p for p in free if idx.container.contains(p)]
+    obstacle-free sample points (the arbitrary-query population).
+
+    Every sample is pushed through the index's own containment check, so
+    seam points of polygonal obstacles (inside a polygon but on no
+    rectangle interior) and out-of-container points are filtered the same
+    way a live query would reject them.
+    """
+    from repro.errors import QueryError
+
+    free = []
+    for p in random_free_points(idx.rects, k_free, seed=seed):
+        try:
+            idx._check_inside(p)
+        except QueryError:
+            continue
+        free.append(p)
     return idx.vertices(), free
 
 

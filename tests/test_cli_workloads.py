@@ -126,3 +126,122 @@ class TestCLI:
         assert main(["bench-info", str(scene)]) == 0
         out = capsys.readouterr().out
         assert "speedup" in out
+
+
+class TestPolygonGenerators:
+    def test_polygon_scene_deterministic_and_disjoint(self):
+        from repro.core.api import split_obstacles
+        from repro.workloads.generators import random_polygon_scene
+
+        a = random_polygon_scene(2, 3, seed=12)
+        b = random_polygon_scene(2, 3, seed=12)
+        assert [getattr(o, "loop", o) for o in a] == [getattr(o, "loop", o) for o in b]
+        _, polys, all_rects, seams = split_obstacles(a)
+        assert len(polys) == 2
+        validate_disjoint(all_rects)
+        assert seams, "polygon scenes should exercise seams"
+
+    def test_demo_with_polygons(self, capsys):
+        assert main(["demo", "-n", "2", "--polygons", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "after decomposition" in out and "%" in out  # polygon outline
+
+
+class TestSceneSchemaV2:
+    def _scene_v2(self):
+        return {
+            "version": 2,
+            "rects": [[20, 0, 24, 4]],
+            "polygons": [
+                [[0, 0], [10, 0], [10, 10], [6, 10], [6, 4], [4, 4], [4, 10], [0, 10]]
+            ],
+        }
+
+    def test_query_v2_scene_with_polygon(self, tmp_path, capsys):
+        scene = tmp_path / "scene.json"
+        scene.write_text(json.dumps(self._scene_v2()))
+        # crossing over the U: must round the arms, not run the seams
+        assert main(["query", str(scene), "0,12", "12,0", "--path"]) == 0
+        out = capsys.readouterr().out
+        assert "length = 24" in out
+
+    def test_v2_snapshot_roundtrip_cli(self, tmp_path, capsys):
+        scene = tmp_path / "scene.json"
+        scene.write_text(json.dumps(self._scene_v2()))
+        snap = tmp_path / "scene.rsp"
+        assert main(["snapshot", str(scene), str(snap)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(snap), "0,12", "12,0"]) == 0
+        assert "length = 24" in capsys.readouterr().out
+
+    def test_v2_bad_polygon_one_line_error(self, tmp_path):
+        scene = tmp_path / "scene.json"
+        scene.write_text(
+            json.dumps({"version": 2, "rects": [], "polygons": [[[0, 0], [5, 5], [0, 5], [0, 1]]]})
+        )
+        with pytest.raises(SystemExit, match="invalid scene"):
+            main(["query", str(scene), "0,0", "1,1"])
+
+    def test_v2_overlapping_polygon_rect_rejected(self, tmp_path):
+        data = self._scene_v2()
+        data["rects"] = [[1, 1, 3, 3]]  # inside the U's left arm
+        scene = tmp_path / "scene.json"
+        scene.write_text(json.dumps(data))
+        with pytest.raises(SystemExit, match="invalid scene"):
+            main(["query", str(scene), "0,12", "12,0"])
+
+    def test_non_convex_container_one_line_error(self, tmp_path):
+        scene = tmp_path / "scene.json"
+        scene.write_text(
+            json.dumps(
+                {
+                    "version": 2,
+                    "rects": [[1, 1, 3, 3]],
+                    "container": [
+                        [0, 0], [10, 0], [10, 10], [6, 10],
+                        [6, 4], [4, 4], [4, 10], [0, 10],
+                    ],
+                }
+            )
+        )
+        with pytest.raises(SystemExit, match="convex"):
+            main(["query", str(scene), "1,0", "3,0"])
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        scene = tmp_path / "scene.json"
+        scene.write_text(json.dumps({"version": 7, "rects": [[0, 0, 1, 1]]}))
+        with pytest.raises(SystemExit, match="version"):
+            main(["query", str(scene), "5,5", "6,6"])
+
+    def test_v1_scene_with_polygons_rejected(self, tmp_path):
+        data = self._scene_v2()
+        del data["version"]
+        scene = tmp_path / "scene.json"
+        scene.write_text(json.dumps(data))
+        with pytest.raises(SystemExit, match="v1"):
+            main(["query", str(scene), "0,12", "12,0"])
+
+    def test_scene_dict_roundtrip(self):
+        from repro.workloads.generators import random_polygon_scene
+        from repro.workloads.scenefile import scene_from_dict, scene_to_dict
+
+        obstacles = random_polygon_scene(2, 2, seed=5)
+        data = scene_to_dict(obstacles)
+        back, container = scene_from_dict(json.loads(json.dumps(data)))
+        assert container is None
+        # order normalizes to rects-then-polygons; content is exact
+        def split(obs):
+            rects = sorted(o for o in obs if not hasattr(o, "loop"))
+            loops = [o.loop for o in obs if hasattr(o, "loop")]
+            return rects, loops
+
+        assert split(back) == split(obstacles)
+
+
+class TestFuzzVerb:
+    def test_fuzz_smoke_passes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fuzz", "--scenes", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+        assert not list(tmp_path.glob("fuzz_fail_*.json"))

@@ -1,0 +1,177 @@
+"""Rectangle decomposition of rectilinear polygons (geometry/decompose)."""
+
+import pytest
+
+from repro.errors import GeometryError, QueryError
+from repro.geometry.decompose import (
+    Seam,
+    decompose_loop,
+    normalize_loop,
+    polygon_seams,
+    staircase_clear_of_seams,
+)
+from repro.geometry.polygon import RectilinearPolygon, rect_polygon
+from repro.geometry.primitives import Rect, validate_disjoint
+from repro.geometry.staircase import Staircase
+from repro.workloads.generators import (
+    POLYGON_KINDS,
+    plus_polygon,
+    random_blob_polygon,
+    spiral_polygon,
+    staircase_polygon,
+)
+
+U_LOOP = [(0, 0), (10, 0), (10, 10), (6, 10), (6, 4), (4, 4), (4, 10), (0, 10)]
+
+
+def _area2(loop):
+    s = 0
+    for (x1, y1), (x2, y2) in zip(loop, loop[1:] + [loop[0]]):
+        s += x1 * y2 - x2 * y1
+    return abs(s)
+
+
+def _cell_covered(rects, x, y):
+    return sum(
+        1 for r in rects if r.xlo <= x and x + 1 <= r.xhi and r.ylo <= y and y + 1 <= r.yhi
+    )
+
+
+class TestDecomposeLoop:
+    def test_rectangle_is_one_tile_no_seams(self):
+        rects = decompose_loop([(0, 0), (8, 0), (8, 5), (0, 5)])
+        assert rects == [Rect(0, 0, 8, 5)]
+        assert polygon_seams(rects) == []
+
+    def test_u_shape_tiles_and_seams(self):
+        rects = decompose_loop(U_LOOP)
+        assert len(rects) == 3
+        seams = polygon_seams(rects)
+        assert seams == [Seam(4, 0, 4), Seam(6, 0, 4)]
+
+    @pytest.mark.parametrize(
+        "poly",
+        [
+            plus_polygon(0, 0, 6, 2),
+            spiral_polygon(0, 0, 1),
+            staircase_polygon(0, 0, 4, 2, 3, 3),
+            random_blob_polygon(7, cols=6),
+        ],
+        ids=["plus", "spiral", "staircase", "blob"],
+    )
+    def test_tiling_is_exact_partition(self, poly):
+        rects, seams = poly.decomposition()
+        # disjoint interiors, even with collinear touching edges
+        validate_disjoint(rects)
+        # area: the tiles partition the polygon
+        assert sum(2 * r.width * r.height for r in rects) == _area2(poly.loop)
+        # unit-cell cover: a cell is in exactly one tile iff its center is
+        # inside the polygon, else in none
+        xlo, ylo, xhi, yhi = poly.bbox
+        for x in range(xlo, xhi):
+            for y in range(ylo, yhi):
+                n = _cell_covered(rects, x, y)
+                inside = poly.contains_interior((x + 0.5, y + 0.5))
+                assert n == (1 if inside else 0), (x, y)
+        # every seam is an interior shared edge: midpoint strictly inside
+        for s in seams:
+            mid = (s.x, (s.ylo + s.yhi) // 2)
+            if (s.ylo + s.yhi) % 2 == 0:
+                assert poly.contains_interior(mid), s
+            assert poly.contains(mid)
+            # endpoints are tile corners
+            corners = {v for r in rects for v in r.vertices}
+            assert set(s.endpoints) <= corners, s
+
+    def test_collinear_vertices_merged(self):
+        rects = decompose_loop(
+            [(0, 0), (4, 0), (8, 0), (8, 5), (4, 5), (0, 5)]
+        )
+        assert rects == [Rect(0, 0, 8, 5)]
+
+    def test_holes_rejected_one_line(self):
+        with pytest.raises(GeometryError, match="holes are not supported"):
+            decompose_loop(U_LOOP, holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]])
+        with pytest.raises(GeometryError, match="holes are not supported"):
+            RectilinearPolygon(U_LOOP, holes=[[(1, 1), (2, 1), (2, 2), (1, 2)]])
+
+    def test_self_intersecting_rejected(self):
+        bowtie = [(0, 0), (4, 0), (4, 4), (8, 4), (8, 8), (0, 8), (0, 4), (4, 4), (4, 2), (0, 2)]
+        with pytest.raises(GeometryError):
+            decompose_loop(bowtie)
+
+    def test_non_rectilinear_rejected(self):
+        with pytest.raises(GeometryError, match="non-rectilinear"):
+            normalize_loop([(0, 0), (5, 5), (0, 5), (0, 1)])
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(GeometryError):
+            decompose_loop([(0, 0), (5, 0), (5, 0), (0, 0)])
+
+
+class TestSeams:
+    def test_seam_blocking_semantics(self):
+        s = Seam(4, 0, 4)
+        assert s.blocks_v_segment(4, 1, 3)
+        assert s.blocks_v_segment(4, -2, 1)  # partial overlap
+        assert not s.blocks_v_segment(4, 4, 9)  # touches endpoint only
+        assert not s.blocks_v_segment(5, 1, 3)  # other column
+        assert s.contains_open((4, 2))
+        assert not s.contains_open((4, 0)) and not s.contains_open((4, 4))
+
+    def test_staircase_seam_guard(self):
+        seams = [Seam(4, 0, 4)]
+        runs_along = Staircase(((4, 1), (4, 3), (6, 3)), True, "S", "E")
+        assert not staircase_clear_of_seams(runs_along, seams)
+        crosses = Staircase(((2, 2), (6, 2)), True, "W", "E")
+        assert staircase_clear_of_seams(crosses, seams)
+        ray_through = Staircase(((4, 1), (6, 1)), True, "S", "E")
+        assert not staircase_clear_of_seams(ray_through, seams)
+        clear = Staircase(((4, 4), (6, 4)), True, "S", "E")
+        # south ray from (4,4) runs straight down the seam
+        assert not staircase_clear_of_seams(clear, seams)
+        north_ok = Staircase(((0, 0), (4, 0)), True, "W", "N")
+        # north ray at x=4 from y=0 overlaps (0,4)
+        assert not staircase_clear_of_seams(north_ok, seams)
+
+
+class TestPolygonContainment:
+    def test_seam_points_are_interior(self):
+        poly = RectilinearPolygon(U_LOOP)
+        # (4, 2) sits on the seam between the left arm and the bottom bar
+        assert poly.contains_interior((4, 2))
+        assert poly.contains_interior((5, 2))
+        assert not poly.contains_interior((4, 4))  # reflex vertex: boundary
+        assert poly.on_boundary((4, 4))
+        assert not poly.contains((5, 8))  # inside the U's cavity
+
+    def test_facade_rejects_interior_and_seam_points(self):
+        from repro.core.api import ShortestPathIndex
+
+        idx = ShortestPathIndex.build([RectilinearPolygon(U_LOOP)])
+        with pytest.raises(QueryError):
+            idx.length((5, 2), (20, 20))  # strictly inside a tile
+        with pytest.raises(QueryError):
+            idx.length((4, 2), (20, 20))  # on a seam: still polygon interior
+        with pytest.raises(QueryError):
+            idx.lengths([((4, 2), (12, 0))])
+        # reflex vertices are boundary points and must answer
+        assert idx.length((4, 4), (6, 4)) == 2
+
+    def test_convex_polygon_decomposes_and_still_contains(self):
+        p = rect_polygon(0, 0, 10, 6)
+        rects, seams = p.decomposition()
+        assert rects == [Rect(0, 0, 10, 6)] and seams == []
+        assert p.contains((0, 0)) and p.contains_interior((5, 3))
+
+    @pytest.mark.parametrize("kind", POLYGON_KINDS)
+    def test_generator_families_valid(self, kind):
+        from repro.workloads.generators import _make_polygon
+
+        for seed in range(5):
+            poly = _make_polygon(kind, seed)
+            rects, seams = poly.decomposition()
+            validate_disjoint(rects)
+            assert sum(2 * r.width * r.height for r in rects) == _area2(poly.loop)
+            if kind in ("plus", "spiral", "staircase"):
+                assert len(seams) >= 1

@@ -98,10 +98,22 @@ class TestRectilinearPolygon:
         assert p.on_boundary((2, 1))
         assert p.size == 12
 
-    def test_non_convex_rejected(self):
+    def test_non_convex_accepted_as_obstacle_rejected_as_container(self):
+        # a U shape: legal as a polygonal *obstacle* (decomposable), but the
+        # container role still demands rectilinear convexity
         loop = [(0, 0), (10, 0), (10, 10), (6, 10), (6, 4), (4, 4), (4, 10), (0, 10)]
+        p = RectilinearPolygon(loop)
+        assert not p.is_convex
+        assert p.contains((5, 2)) and not p.contains((5, 8))
+        rects, seams = p.decomposition()
+        assert len(rects) == 3 and len(seams) == 2
         with pytest.raises(ConvexityError):
-            RectilinearPolygon(loop)
+            _ = p.top  # container-role machinery
+        from repro.core.api import ShortestPathIndex
+        from repro.geometry.primitives import Rect
+
+        with pytest.raises(ConvexityError):
+            ShortestPathIndex.build([Rect(1, 1, 2, 2)], container=p)
 
     def test_non_rectilinear_rejected(self):
         with pytest.raises(GeometryError):

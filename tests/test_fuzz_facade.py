@@ -3,14 +3,16 @@
 Hundreds of mixed operations (vertex queries, arbitrary queries, paths)
 against the Dijkstra oracle on moderate scenes — the catch-all net for
 rare case-analysis interactions that the targeted suites might miss.
+Path validity and cross-engine agreement go through ``tests/harness.py``.
 """
 
 import random
 
 import pytest
 
+from harness import assert_engines_agree, assert_valid_path
 from repro.core.api import ShortestPathIndex
-from repro.core.baseline import GridOracle, path_is_clear, path_length
+from repro.core.baseline import GridOracle
 from repro.workloads.generators import (
     WORKLOAD_MODES,
     random_disjoint_rects,
@@ -40,9 +42,7 @@ def test_fuzz_mixed_operations(mode):
         else:  # vertex-vertex path
             p, q = rng.choice(verts), rng.choice(verts)
             path = idx.shortest_path(p, q)
-            assert path[0] == p and path[-1] == q
-            assert path_length(path) == oracle.dist(p, q), (mode, step, p, q)
-            assert path_is_clear(path, rects), (mode, step, p, q)
+            assert_valid_path(idx, path, p, q, oracle.dist(p, q))
 
 
 def test_fuzz_arbitrary_paths():
@@ -54,6 +54,12 @@ def test_fuzz_arbitrary_paths():
     for _ in range(40):
         p, q = rng.choice(free), rng.choice(free)
         path = idx.shortest_path(p, q)
-        assert path[0] == p and path[-1] == q
-        assert path_length(path) == oracle.dist(p, q), (p, q)
-        assert path_is_clear(path, rects), (p, q)
+        assert_valid_path(idx, path, p, q, oracle.dist(p, q))
+
+
+@pytest.mark.parametrize("mode", WORKLOAD_MODES)
+def test_fuzz_rect_scene_engines_agree(mode):
+    """The cross-engine differential harness on the paper's own rect
+    scenes (the polygon suite covers the decomposed families)."""
+    rects = random_disjoint_rects(12, seed=77, mode=mode)
+    assert_engines_agree(list(rects), seed=77, label=f"rect-{mode}")

@@ -1,0 +1,90 @@
+"""The verification toolkit must itself catch defects (meta-tests)."""
+
+import numpy as np
+import pytest
+
+from harness import assert_valid_path, assert_valid_path_raw
+from repro.core.api import ShortestPathIndex
+from repro.core.crosscheck import check_scene, shrink_scene, validate_path
+from repro.geometry.primitives import Rect
+from repro.workloads.generators import plus_polygon
+
+
+class TestValidatePathCatches:
+    def setup_method(self):
+        self.rects = [Rect(2, 2, 6, 6)]
+        self.idx = ShortestPathIndex.build(self.rects)
+
+    def test_good_path_accepted(self):
+        path = [(0, 0), (2, 0), (2, 2)]
+        assert_valid_path(self.idx, path, (0, 0), (2, 2), 4)
+
+    def test_wrong_endpoints_rejected(self):
+        assert validate_path(self.idx, [(0, 0), (1, 0)], (0, 0), (2, 2), 4)
+
+    def test_diagonal_segment_rejected(self):
+        probs = validate_path(self.idx, [(0, 0), (2, 2)], (0, 0), (2, 2), 4)
+        assert any("rectilinear" in m for m in probs)
+
+    def test_obstacle_crossing_rejected(self):
+        path = [(0, 4), (8, 4)]  # straight through the rect
+        probs = validate_path(self.idx, path, (0, 4), (8, 4), 8)
+        assert any("interior" in m for m in probs)
+
+    def test_wrong_length_rejected(self):
+        path = [(0, 0), (2, 0), (2, 2)]
+        probs = validate_path(self.idx, path, (0, 0), (2, 2), 99)
+        assert any("length" in m for m in probs)
+
+    def test_seam_run_rejected(self):
+        plus = plus_polygon(0, 0, 5, 2)
+        idx = ShortestPathIndex.build([plus])
+        # straight through the east-arm seam at x = 2
+        cheat = [(2, -3), (2, 3)]
+        probs = validate_path(idx, cheat, (2, -3), (2, 3), 6)
+        assert any("interior" in m for m in probs)
+        with pytest.raises(AssertionError):
+            assert_valid_path_raw(idx.rects, cheat, (2, -3), (2, 3), 6, seams=idx.seams)
+
+
+class TestCrossCheckCatches:
+    def test_agreeing_scene_reports_nothing(self):
+        assert check_scene([Rect(0, 0, 3, 3), Rect(6, 1, 9, 5)], seed=1) == []
+
+    def test_overlapping_scene_reports_build_failure(self):
+        probs = check_scene([Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)], seed=1)
+        assert probs and "build failed" in probs[0]
+
+
+class TestShrink:
+    def test_shrinks_to_the_culprit(self):
+        bad = Rect(50, 50, 54, 54)
+        scene = [Rect(i * 10, 0, i * 10 + 4, 4) for i in range(5)] + [bad]
+
+        def fails(obs, container):
+            return bad in obs
+
+        small, container = shrink_scene(scene, None, fails)
+        assert small == [bad]
+        assert container is None
+
+    def test_budget_bounds_rechecks(self):
+        calls = []
+
+        def fails(obs, container):
+            calls.append(1)
+            return True
+
+        scene = [Rect(i * 10, 0, i * 10 + 4, 4) for i in range(30)]
+        shrink_scene(scene, None, fails, budget=10)
+        assert len(calls) <= 10
+
+
+def test_matrix_diff_localizes_first_mismatch():
+    from repro.core.crosscheck import _matrix_diff
+
+    pts = [(0, 0), (1, 1)]
+    a = np.array([[0.0, 5.0], [5.0, 0.0]])
+    b = np.array([[0.0, 7.0], [7.0, 0.0]])
+    msgs = _matrix_diff("x", a, pts, "y", b, pts)
+    assert msgs and "(0, 0)" in msgs[0] and "5.0 vs 7.0" in msgs[0]

@@ -1,9 +1,15 @@
-"""Validation of §6.4 arbitrary-point queries and §8 path reporting."""
+"""Validation of §6.4 arbitrary-point queries and §8 path reporting.
+
+Path validity goes through the shared ``tests/harness.py`` toolkit
+(rectilinear, endpoint-correct, obstacle-interior-free, exact length)
+instead of ad-hoc clear/length asserts.
+"""
 
 import pytest
 
+from harness import assert_valid_path_raw
 from repro.core.allpairs import ParallelEngine
-from repro.core.baseline import GridOracle, path_is_clear, path_length
+from repro.core.baseline import GridOracle
 from repro.core.pathreport import PathReporter
 from repro.core.query import QueryStructure
 from repro.core.sequential import SequentialEngine
@@ -83,9 +89,7 @@ class TestPathReporter:
         for i in range(0, len(pts) - 5, 7):
             p, q = pts[i], pts[i + 5]
             path = rep.path(p, q)
-            assert path[0] == p and path[-1] == q
-            assert path_is_clear(path, rects), (p, q, path)
-            assert path_length(path) == idx.length(p, q), (p, q, path)
+            assert_valid_path_raw(rects, path, p, q, idx.length(p, q))
 
     def test_trivial_path(self):
         rects, idx = build_setup(5, 3)
@@ -137,5 +141,4 @@ class TestCrossValidationAllPairsEngines:
         for p in pts[:3]:
             for q in pts[3:]:
                 path = rep.path(p, q)
-                assert path_length(path) == par.length(p, q)
-                assert path_is_clear(path, rects)
+                assert_valid_path_raw(rects, path, p, q, par.length(p, q))

@@ -131,6 +131,122 @@ class TestSnapshotRoundTrip:
         assert loaded.length(vs[0], vs[-1]) == idx.length(vs[0], vs[-1])
 
 
+class TestSnapshotFormatV2:
+    """Polygon scenes round-trip through format v2; v1 artifacts still load."""
+
+    def _polygon_scene(self, seed=0):
+        from repro.workloads.generators import random_polygon_scene
+
+        return random_polygon_scene(n_polygons=2, n_rects=2, seed=seed)
+
+    @pytest.mark.parametrize("engine", ["parallel", "sequential"])
+    def test_polygon_scene_round_trip_byte_identical(self, tmp_path, engine):
+        obstacles = self._polygon_scene(3)
+        idx = ShortestPathIndex.build(obstacles, engine=engine)
+        loaded = load(save(idx, tmp_path / "p.rsp"))
+        # the distance matrix survives byte-identically
+        assert idx.index.matrix.tobytes() == loaded.index.matrix.tobytes()
+        assert loaded.rects == idx.rects
+        assert [p.loop for p in loaded.polygons] == [p.loop for p in idx.polygons]
+        assert loaded.seams == idx.seams
+        # solid semantics survive: seam points rejected, queries answered
+        seam = idx.seams[0]
+        with pytest.raises(QueryError):
+            loaded.length((seam.x, (seam.ylo + seam.yhi) // 2), idx.vertices()[0])
+        vs = idx.vertices()
+        pairs = [(vs[i], vs[-1 - i]) for i in range(0, len(vs), 5)]
+        assert np.array_equal(idx.lengths(pairs), loaded.lengths(pairs))
+        p, q = vs[0], vs[-1]
+        assert loaded.shortest_path(p, q) == idx.shortest_path(p, q)
+
+    def test_polygon_header_and_members(self, tmp_path):
+        obstacles = self._polygon_scene(4)
+        idx = ShortestPathIndex.build(obstacles)
+        path = save(idx, tmp_path / "p2.rsp")
+        header = read_header(path)
+        assert header["version"] == SNAPSHOT_VERSION == 2
+        assert header["n_polygons"] == 2
+        # polygon scenes never persist §6.4 forests (corner-graph fallback)
+        assert header["has_query_structure"] is False
+        with zipfile.ZipFile(path) as zf:
+            names = {i.filename for i in zf.infolist()}
+        assert {"poly_offsets.npy", "poly_vertices.npy"} <= names
+        assert "qs_parents.npy" not in names
+
+    def test_rect_scene_still_exports_query_structure(self, tmp_path):
+        idx = ShortestPathIndex.build(random_disjoint_rects(6, seed=13))
+        path = save(idx, tmp_path / "r.rsp")
+        header = read_header(path)
+        assert header["version"] == 2
+        assert header["n_polygons"] == 0
+        assert header["has_query_structure"] is True
+
+    def test_v1_artifact_still_loads(self, tmp_path):
+        """Hand-write a version-1 archive (the pre-polygon layout) and load."""
+        import hashlib
+
+        rects = random_disjoint_rects(7, seed=5)
+        idx = ShortestPathIndex.build(rects)
+        arrays = idx.index.export_arrays()
+        arrays["rects"] = np.array(
+            [[r.xlo, r.ylo, r.xhi, r.yhi] for r in idx.rects], dtype=np.int64
+        )
+        arrays["container"] = np.empty((0, 2), dtype=np.int64)
+        arrays["qs_parents"] = idx.query.export_world_parents()
+        digest = hashlib.sha256(
+            np.ascontiguousarray(arrays["matrix"]).tobytes()
+        ).hexdigest()
+        header = {
+            "format": "repro-snapshot",
+            "version": 1,
+            "repro_version": "1.0.0",
+            "engine": "parallel",
+            "n_points": len(idx.index),
+            "n_rects": len(idx.rects),
+            "has_container": False,
+            "has_query_structure": True,
+            "build_time": idx.pram.time,
+            "build_work": idx.pram.work,
+            "matrix_sha256": digest,
+        }
+        arrays["header"] = np.frombuffer(
+            json.dumps(header, sort_keys=True).encode(), dtype=np.uint8
+        )
+        path = tmp_path / "v1.rsp"
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        loaded = load(path)
+        assert loaded.snapshot_meta["version"] == 1
+        assert loaded.polygons == [] and loaded.seams == []
+        vs = idx.vertices()
+        assert loaded.length(vs[0], vs[-1]) == idx.length(vs[0], vs[-1])
+        # §6.4 forests from the v1 artifact are honoured
+        assert loaded._query_parents is not None
+
+    def test_unknown_future_version_rejected(self, tmp_path):
+        idx = ShortestPathIndex.build(random_disjoint_rects(5, seed=1))
+        path = save(idx, tmp_path / "f.rsp")
+        header = read_header(path)
+        header["version"] = 99
+        raw = json.dumps(header).encode()
+        _rewrite_member(path, "header.npy", _npz_bytes(np.frombuffer(raw, dtype=np.uint8)))
+        with pytest.raises(SnapshotError, match="version"):
+            load(path)
+
+    def test_store_and_server_accept_polygon_scenes(self, tmp_path):
+        obstacles = self._polygon_scene(6)
+        store = SceneStore()
+        store.add_scene("poly", obstacles)
+        idx = store.get("poly")
+        verts, free = scene_endpoints(idx, k_free=8, seed=1)
+        assert free, "seam filtering must leave usable free points"
+        reqs = random_request_stream({"poly": (verts, free)}, 40, seed=2)
+        server = QueryServer(store)
+        results = server.submit(reqs)
+        singles = [server.submit([r])[0] for r in reqs]
+        assert results == singles
+
+
 class TestSnapshotRejection:
     @pytest.fixture()
     def snap(self, tmp_path):
