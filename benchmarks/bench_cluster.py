@@ -1,0 +1,243 @@
+"""C1 — cluster serving: throughput scaling across workers and flat
+worker memory as scenes accumulate.
+
+Two claims about :mod:`repro.cluster` are measured and recorded in
+``BENCH_cluster.json``:
+
+* **throughput scaling** — aggregate closed-loop throughput at 1/2/4
+  workers on the same scene set.  Measured twice:
+
+  - *fixed-service-time workload*: every request costs ~2 ms of
+    simulated service in its worker (the ``sleep`` diagnostic op).  This
+    isolates the cluster machinery itself — routing, micro-batching,
+    IPC, the async front-end — from the host's core count: service
+    intervals overlap across worker processes even on one core, so a
+    healthy cluster must show ≥ 2.5× at 4 workers (asserted when not
+    ``BENCH_SMOKE``).
+  - *CPU-bound query workload*: real bulk-``lengths`` requests with
+    arbitrary endpoints (the §6.4 path).  This scales with *physical
+    cores*; the ratio is recorded always and asserted only when the
+    machine actually has ≥ 4 cores (``cpu_limited`` is recorded so the
+    artifact says which regime it measured).
+
+* **flat worker memory** — one worker serving 1/4/8 shm-published
+  copies of an ~8 MB-matrix scene.  The worker's *private* bytes
+  (``smaps_rollup``: what a copying design would pay per scene) must
+  stay flat: growth across the whole sweep under 35% of what private
+  copies of the extra matrices would have cost.  Plain RSS is recorded
+  too, but RSS counts shared pages in every process that touches them —
+  private bytes is the honest copy-detector.
+
+Smoke mode (``BENCH_SMOKE=1``) shrinks everything and skips the ratio
+assertions; the JSON artifact is always written.
+"""
+
+import asyncio
+import os
+
+from benchmarks.common import SMOKE, emit, emit_json, format_table
+from repro.cluster.frontend import ClusterFrontend
+from repro.cluster.loadgen import build_requests, discover, run_closed
+from repro.core.api import ShortestPathIndex
+from repro.workloads.generators import random_disjoint_rects
+
+WORKER_COUNTS = (1, 2) if SMOKE else (1, 2, 4)
+N_RECTS = 12 if SMOKE else 48
+N_SCENES = 4
+SLEEP_REQS = 60 if SMOKE else 400
+SLEEP_MS = 2.0
+QUERY_REQS = 60 if SMOKE else 400
+PAIRS = 32
+CONNS = 16
+
+RSS_RECTS = 24 if SMOKE else 256
+RSS_COUNTS = (1, 3) if SMOKE else (1, 4, 8)
+
+CPUS = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+    os.cpu_count() or 1
+)
+
+
+def _scene_indexes(n_scenes, n_rects):
+    return {
+        f"s{i}": ShortestPathIndex.build(random_disjoint_rects(n_rects, seed=10 + i))
+        for i in range(n_scenes)
+    }
+
+
+def _pins(scene_names, workers):
+    """Spread scenes across all workers deterministically (round robin),
+    so every worker count uses its whole fleet."""
+    return {name: i % workers for i, name in enumerate(sorted(scene_names))}
+
+
+async def _measure_sleep(indexes, workers):
+    scenes = {name: {"index": idx} for name, idx in indexes.items()}
+    names = sorted(scenes)
+    async with ClusterFrontend(
+        scenes,
+        workers=workers,
+        pins=_pins(names, workers),
+        max_batch=1,  # additive service time: no batching amortization
+        batch_window_ms=0.0,
+        queue_depth=4 * CONNS,
+    ) as fe:
+        reqs = [
+            {"op": "sleep", "scene": names[i % len(names)], "ms": SLEEP_MS}
+            for i in range(SLEEP_REQS)
+        ]
+        report = await run_closed(fe.host, fe.port, reqs, conns=CONNS)
+    summary = report.summary()
+    assert summary["errors"] == 0, summary
+    return summary
+
+
+async def _measure_query(indexes, workers):
+    scenes = {name: {"index": idx} for name, idx in indexes.items()}
+    names = sorted(scenes)
+    async with ClusterFrontend(
+        scenes,
+        workers=workers,
+        pins=_pins(names, workers),
+        batch_window_ms=1.0,
+        queue_depth=4 * CONNS,
+    ) as fe:
+        pools = await discover(fe.host, fe.port, seed=1)
+        reqs = build_requests(
+            pools, QUERY_REQS, seed=2, mix=(0.95, 0.04, 0.0),
+            pairs_per_request=PAIRS,
+        )
+        await run_closed(fe.host, fe.port, reqs[: len(reqs) // 4], conns=CONNS)  # warm
+        report = await run_closed(fe.host, fe.port, reqs, conns=CONNS)
+    summary = report.summary()
+    assert summary["errors"] == 0, summary
+    return summary
+
+
+async def _measure_private_bytes(idx, n_copies):
+    """One worker, ``n_copies`` shm-published copies of the same scene;
+    returns the worker's memory counters after touching every scene."""
+    scenes = {f"c{i}": {"index": idx} for i in range(n_copies)}
+    async with ClusterFrontend(scenes, workers=1, batch_window_ms=0.5) as fe:
+        pools = await discover(fe.host, fe.port, seed=3)
+        # touch every scene: a bulk request per scene materializes the
+        # attachment and reads matrix pages
+        reqs = []
+        for name, pool in sorted(pools.items()):
+            verts = pool["vertices"]
+            pairs = [[verts[i % len(verts)], verts[-1 - i % len(verts)]]
+                     for i in range(16)]
+            reqs.append({"op": "lengths", "scene": name, "pairs": pairs})
+        report = await run_closed(fe.host, fe.port, reqs, conns=2)
+        assert report.summary()["errors"] == 0
+        from repro.cluster.protocol import read_frame, write_frame
+
+        reader, writer = await asyncio.open_connection(fe.host, fe.port)
+        await write_frame(writer, {"id": 0, "op": "stats"})
+        stats = await read_frame(reader)
+        writer.close()
+        memory = stats["result"]["workers"]["0"]["memory"]
+    return memory
+
+
+def test_c1_cluster_scaling_and_flat_rss():
+    indexes = _scene_indexes(N_SCENES, N_RECTS)
+
+    sleep_qps: dict[int, float] = {}
+    query_qps: dict[int, float] = {}
+    sleep_lat: dict[int, dict] = {}
+    for w in WORKER_COUNTS:
+        s = asyncio.run(_measure_sleep(indexes, w))
+        sleep_qps[w] = s["qps"]
+        sleep_lat[w] = s["latency"]
+        q = asyncio.run(_measure_query(indexes, w))
+        query_qps[w] = q["qps"]
+
+    w_lo, w_hi = WORKER_COUNTS[0], WORKER_COUNTS[-1]
+    dispatch_scaling = sleep_qps[w_hi] / sleep_qps[w_lo]
+    query_scaling = query_qps[w_hi] / query_qps[w_lo]
+
+    idx = ShortestPathIndex.build(random_disjoint_rects(RSS_RECTS, seed=99))
+    matrix_bytes = idx.index.matrix.nbytes
+    memory: dict[int, dict] = {}
+    for k in RSS_COUNTS:
+        memory[k] = asyncio.run(_measure_private_bytes(idx, k))
+    k_lo, k_hi = RSS_COUNTS[0], RSS_COUNTS[-1]
+    private_growth = (memory[k_hi]["private_bytes"] or 0) - (
+        memory[k_lo]["private_bytes"] or 0
+    )
+    copy_cost = (k_hi - k_lo) * matrix_bytes
+
+    rows = [
+        [f"{w} worker(s), {SLEEP_MS:g}ms service", round(sleep_qps[w], 0),
+         round(sleep_qps[w] / sleep_qps[w_lo], 2),
+         round(sleep_lat[w]["p99_ms"], 1)]
+        for w in WORKER_COUNTS
+    ] + [
+        [f"{w} worker(s), query workload", round(query_qps[w], 0),
+         round(query_qps[w] / query_qps[w_lo], 2), ""]
+        for w in WORKER_COUNTS
+    ] + [
+        [f"worker private MB @ {k} scenes",
+         round((memory[k]["private_bytes"] or 0) / 2**20, 1), "",
+         round((memory[k]["rss_bytes"] or 0) / 2**20, 1)]
+        for k in RSS_COUNTS
+    ]
+    text = format_table(
+        ["configuration", "qps | MB", "scaling", "p99ms | rssMB"],
+        rows,
+        title=(
+            f"C1  cluster at {N_SCENES}x n={N_RECTS} scenes ({CPUS} cpu) — "
+            f"{w_hi}-worker scaling: {dispatch_scaling:.1f}x fixed-service, "
+            f"{query_scaling:.1f}x cpu-bound; worker private growth "
+            f"{private_growth / 2**20:.1f} MB vs {copy_cost / 2**20:.0f} MB "
+            f"copy cost over {k_hi} scenes"
+        ),
+    )
+    emit("C1_cluster", text)
+    emit_json(
+        "cluster",
+        {
+            "cpus": CPUS,
+            "cpu_limited": CPUS < w_hi,
+            "scenes": N_SCENES,
+            "n_rects": N_RECTS,
+            "conns": CONNS,
+            "worker_counts": list(WORKER_COUNTS),
+            "fixed_service_ms": SLEEP_MS,
+            "throughput_fixed_service_qps": {str(w): sleep_qps[w] for w in WORKER_COUNTS},
+            "throughput_query_qps": {str(w): query_qps[w] for w in WORKER_COUNTS},
+            "throughput_scaling_4w": dispatch_scaling,
+            "query_scaling_4w": query_scaling,
+            "latency_p99_ms": {str(w): sleep_lat[w]["p99_ms"] for w in WORKER_COUNTS},
+            "rss": {
+                "matrix_bytes": matrix_bytes,
+                "scene_counts": list(RSS_COUNTS),
+                "private_bytes": {
+                    str(k): memory[k]["private_bytes"] for k in RSS_COUNTS
+                },
+                "rss_bytes": {str(k): memory[k]["rss_bytes"] for k in RSS_COUNTS},
+                "private_growth_bytes": private_growth,
+                "copy_cost_bytes": copy_cost,
+            },
+            "targets": {
+                "scaling_min": 2.5,
+                "private_growth_max_fraction_of_copy_cost": 0.35,
+            },
+        },
+    )
+    if not SMOKE:
+        assert dispatch_scaling >= 2.5, (
+            f"cluster fan-out only {dispatch_scaling:.2f}x at {w_hi} workers "
+            f"under the fixed-service-time workload"
+        )
+        if CPUS >= w_hi:
+            assert query_scaling >= 2.5, (
+                f"CPU-bound scaling only {query_scaling:.2f}x on {CPUS} cores"
+            )
+        if memory[k_hi]["private_bytes"] is not None:
+            assert private_growth < 0.35 * copy_cost, (
+                f"worker private memory grew {private_growth / 2**20:.1f} MB "
+                f"over {k_hi} scenes — shared matrices are being copied "
+                f"(copy cost would be {copy_cost / 2**20:.0f} MB)"
+            )

@@ -8,6 +8,12 @@ Commands
 ``snapshot SCENE.json OUT.rsp`` build once, persist the index
 ``serve-bench SCENE [...]``     replay a request workload through the
                                 batching server (per-request vs coalesced)
+``cluster SCENE [...]``         serve scenes from N worker processes over
+                                shared memory behind an async TCP
+                                front-end (``--workers N --port P``)
+``loadgen``                     drive a running cluster: ``--closed``
+                                capacity runs or ``--open --rps R``
+                                latency runs, percentile reports
 ``fuzz``                        differential fuzz smoke: cross-check the
                                 parallel/sequential/baseline engines on
                                 random mixed rect+polygon scenes
@@ -190,18 +196,25 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"recorded {len(reqs)} requests to {args.record}")
     server = QueryServer(store)
     from repro.errors import QueryError
+    from repro.serve.metrics import LatencyRecorder, format_latency
 
+    per_lat = LatencyRecorder()
+    batch_lat = LatencyRecorder()
     try:
         # untimed warm pass: lazy §6.4/§8 structures are built here so
         # neither timed phase pays one-time construction costs
         server.submit(reqs)
         t0 = time.perf_counter()
         for r in reqs:
+            t1 = time.perf_counter()
             server.submit([r])
+            per_lat.record(time.perf_counter() - t1)
         per_s = time.perf_counter() - t0
         t0 = time.perf_counter()
         for k in range(0, len(reqs), args.batch):
+            t1 = time.perf_counter()
             server.submit(reqs[k : k + args.batch])
+            batch_lat.record(time.perf_counter() - t1)
         co_s = time.perf_counter() - t0
     except QueryError as exc:  # e.g. a workload naming an unknown scene
         raise SystemExit(str(exc))
@@ -210,11 +223,152 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         f"{len(names)} scene(s), {n} requests (warm-up {warm_s:.3f}s); "
         f"batch size {args.batch}"
     )
-    print(f"per-request: {per_s:.3f}s  ({n / per_s:,.0f} req/s)")
+    print(f"per-request: {per_s:.3f}s  ({n / per_s:,.0f} req/s)  "
+          f"[{format_latency(per_lat.summary())}]")
     print(f"coalesced:   {co_s:.3f}s  ({n / co_s:,.0f} req/s)  "
-          f"speedup {per_s / co_s:.1f}x")
+          f"speedup {per_s / co_s:.1f}x  "
+          f"[per-batch {format_latency(batch_lat.summary())}]")
+    stats = server.stats()
+    print(f"batch-size histogram: {stats['batch_size_hist']}")
     print(f"store: {store.stats()}")
-    print(f"server: {server.stats()}")
+    print(f"server: {stats}")
+    return 0
+
+
+def _cluster_scene_specs(paths: Sequence[str]) -> dict:
+    """Scene files → ``ClusterFrontend`` source specs, named by stem."""
+    specs: dict[str, dict] = {}
+    for i, scene in enumerate(paths):
+        name = pathlib.Path(scene).stem
+        if name in specs:
+            name = f"{name}#{i}"
+        if _looks_like_snapshot(scene):
+            specs[name] = {"snapshot": scene}
+        else:
+            obstacles, container = _load_scene(scene)
+            specs[name] = {"obstacles": obstacles, "container": container}
+    return specs
+
+
+def _parse_pins(pin_args: Sequence[str]) -> dict:
+    pins: dict[str, int] = {}
+    for text in pin_args or ():
+        try:
+            scene, _, wid = text.partition("=")
+            pins[scene] = int(wid)
+        except ValueError:
+            raise SystemExit(f"bad --pin {text!r}: expected SCENE=WORKER_ID")
+    return pins
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.cluster.frontend import ClusterFrontend
+    from repro.errors import ClusterError
+
+    specs = _cluster_scene_specs(args.scenes)
+    try:
+        frontend = ClusterFrontend(
+            specs,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            batch_window_ms=args.window_ms,
+            queue_depth=args.queue_depth,
+            pins=_parse_pins(args.pin),
+            start_method=args.start_method,
+            use_shm=not args.no_shm,
+            engine=args.engine,
+        )
+    except (ClusterError, ValueError) as exc:  # e.g. a pin out of range
+        raise SystemExit(str(exc))
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, frontend.request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await frontend.start()
+        shard_note = ", ".join(
+            f"{name}->w{wid}" for name, wid in sorted(frontend.assignment.items())
+        )
+        print(
+            f"cluster listening on {frontend.host}:{frontend.port} "
+            f"({args.workers} workers, shm={'off' if args.no_shm else 'on'}; "
+            f"{shard_note})",
+            flush=True,
+        )
+        if args.ready_file:
+            pathlib.Path(args.ready_file).write_text(
+                f"{frontend.host} {frontend.port}\n"
+            )
+        if args.duration:
+            loop.call_later(args.duration, frontend.request_stop)
+        try:
+            await frontend.serve_forever()
+        finally:
+            await frontend.stop()
+            fstats = frontend.stats()["frontend"]
+            print(
+                f"cluster stopped: {fstats['requests']} requests, "
+                f"{fstats['sheds']} shed",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(run())
+    except ClusterError as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import loadgen
+    from repro.errors import ClusterError
+    from repro.serve.metrics import format_latency
+
+    mode = "open" if args.open else "closed"
+    try:
+        report = asyncio.run(
+            loadgen.run(
+                args.host,
+                args.port,
+                mode=mode,
+                n_requests=args.requests,
+                rps=args.rps,
+                conns=args.conns,
+                seed=args.seed,
+                mix=(args.bulk, args.arbitrary, args.paths),
+                pairs_per_request=args.pairs,
+            )
+        )
+    except (ClusterError, OSError) as exc:
+        raise SystemExit(f"loadgen: {exc}")
+    summary = report.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{mode} loop: {summary['sent']} sent, {summary['ok']} ok, "
+            f"{summary['errors']} errors, {summary['shed']} shed "
+            f"in {summary['elapsed_s']:.3f}s ({summary['qps']:,.0f} req/s)"
+        )
+        print(f"latency: {format_latency(summary['latency'])}")
+        if summary.get("first_error"):
+            print(f"first error: {summary['first_error']}")
+    if args.check and (summary["errors"] or summary["shed"]):
+        print(
+            f"loadgen --check failed: {summary['errors']} errors, "
+            f"{summary['shed']} shed"
+        )
+        return 1
     return 0
 
 
@@ -331,6 +485,60 @@ def main(argv: Sequence[str] | None = None) -> int:
     sb.add_argument("--record", help="write the generated workload to this JSON file")
     sb.add_argument("--workload", help="replay a recorded workload JSON file")
     sb.set_defaults(fn=cmd_serve_bench)
+
+    cl = sub.add_parser(
+        "cluster",
+        help="serve scenes from N shared-memory worker processes over TCP",
+    )
+    cl.add_argument("scenes", nargs="+", help="JSON scenes and/or .rsp snapshots")
+    cl.add_argument("--workers", type=int, default=2)
+    cl.add_argument("--host", default="127.0.0.1")
+    cl.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 picks a free one; printed on startup)")
+    cl.add_argument("--max-batch", type=int, default=64,
+                    help="micro-batch size cap per worker dispatch")
+    cl.add_argument("--window-ms", type=float, default=2.0,
+                    help="micro-batch time window")
+    cl.add_argument("--queue-depth", type=int, default=256,
+                    help="bounded per-worker queue; overflow is shed")
+    cl.add_argument("--pin", action="append", default=[], metavar="SCENE=WID",
+                    help="pin a scene to a worker id (overrides HRW hashing)")
+    cl.add_argument("--engine", choices=["parallel", "sequential"], default="parallel")
+    cl.add_argument("--no-shm", action="store_true",
+                    help="workers materialize scenes privately (copy path)")
+    cl.add_argument("--start-method", choices=["fork", "spawn", "forkserver"],
+                    default=None)
+    cl.add_argument("--ready-file",
+                    help="write 'host port' here once the server is listening")
+    cl.add_argument("--duration", type=float, default=None,
+                    help="stop after this many seconds (default: run until signal)")
+    cl.set_defaults(fn=cmd_cluster)
+
+    lg = sub.add_parser("loadgen", help="drive a running cluster front-end")
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, required=True)
+    mode = lg.add_mutually_exclusive_group()
+    mode.add_argument("--closed", action="store_true",
+                      help="closed loop: conns connections, one in flight each"
+                      " (default)")
+    mode.add_argument("--open", action="store_true",
+                      help="open loop: fire at --rps regardless of completions")
+    lg.add_argument("--rps", type=float, default=500.0)
+    lg.add_argument("--conns", type=int, default=4)
+    lg.add_argument("--requests", type=int, default=500)
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--pairs", type=int, default=16,
+                    help="vertex pairs per bulk 'lengths' request")
+    lg.add_argument("--bulk", type=float, default=0.5,
+                    help="fraction of bulk lengths requests")
+    lg.add_argument("--arbitrary", type=float, default=0.2,
+                    help="fraction of arbitrary-point requests (§6.4 path)")
+    lg.add_argument("--paths", type=float, default=0.02,
+                    help="fraction of path-report requests")
+    lg.add_argument("--json", action="store_true", help="print the report as JSON")
+    lg.add_argument("--check", action="store_true",
+                    help="exit nonzero if any request errored or was shed")
+    lg.set_defaults(fn=cmd_loadgen)
 
     fz = sub.add_parser(
         "fuzz", help="cross-check parallel/sequential/baseline on random scenes"

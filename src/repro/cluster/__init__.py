@@ -1,0 +1,54 @@
+"""Horizontal serving: sharded workers over shared-memory snapshots.
+
+``repro.serve`` answers queries in one process; this package is the
+layer that spreads the same stack across N processes without copying a
+single distance matrix:
+
+* :mod:`repro.cluster.hashing` — rendezvous (HRW) scene → worker
+  routing with explicit pin overrides;
+* :mod:`repro.cluster.protocol` — the length-prefixed JSON wire format;
+* :mod:`repro.cluster.worker` — the worker process: a
+  :class:`~repro.serve.server.QueryServer` over a
+  :class:`~repro.serve.store.SceneStore` whose scenes attach from
+  :mod:`repro.serve.shm` segments;
+* :mod:`repro.cluster.frontend` — the asyncio TCP front-end:
+  micro-batching, bounded queues, load shedding, ordered responses;
+* :mod:`repro.cluster.loadgen` — open/closed-loop load generation with
+  percentile reporting.
+
+``python -m repro cluster`` and ``python -m repro loadgen`` are the CLI
+faces of this package; see README "Cluster serving".
+"""
+
+from repro.cluster.frontend import ClusterFrontend, run_cluster
+from repro.cluster.hashing import assign_worker, assignment, hrw_score, shards
+from repro.cluster.loadgen import Report, build_requests, discover
+from repro.cluster.protocol import (
+    MAX_FRAME,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+    write_frame,
+)
+from repro.cluster.worker import register_scene, worker_main
+
+__all__ = [
+    "ClusterFrontend",
+    "run_cluster",
+    "assign_worker",
+    "assignment",
+    "hrw_score",
+    "shards",
+    "Report",
+    "build_requests",
+    "discover",
+    "MAX_FRAME",
+    "encode_frame",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "write_frame",
+    "register_scene",
+    "worker_main",
+]

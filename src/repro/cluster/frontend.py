@@ -1,0 +1,524 @@
+"""The cluster front-end: one asyncio process in front of N workers.
+
+Data path::
+
+    client ──TCP/JSON frames──▶ front-end ──pipe batches──▶ worker 0..N-1
+           ◀─responses (in request order per connection)──┘
+
+* **Routing** — every scene is owned by one worker
+  (:mod:`repro.cluster.hashing`; rendezvous hashing with explicit pins).
+* **Micro-batching** — each worker has one dispatch loop that drains its
+  queue into a batch bounded by ``max_batch`` and ``batch_window_ms``;
+  while the worker is busy answering, new arrivals pile into the queue,
+  so batches grow exactly when the system is loaded — the serving-side
+  analogue of the paper's build-side batching.
+* **Admission control** — per-worker queues are bounded; when one is
+  full the front-end answers ``{"ok": false, "shed": true, ...}``
+  immediately (one line, no queuing), keeping p99 bounded instead of
+  letting latency grow without bound.
+* **Ordering** — responses on a connection are written in request order
+  even when requests fan out to different workers: each connection keeps
+  a FIFO of response futures and a single writer drains it.
+* **Failure** — a worker that dies fails its in-flight batch (and all
+  queued requests) with one-line errors; requests routed to a dead
+  worker are refused immediately; the rest of the cluster keeps serving.
+
+The front-end owns the shared-memory segments (it publishes every scene
+before spawning workers) and unlinks them in :meth:`ClusterFrontend.stop`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from typing import Mapping, Optional, Sequence
+
+from repro.cluster.hashing import assignment
+from repro.cluster.protocol import read_frame, write_frame
+from repro.cluster.worker import worker_main
+from repro.errors import ClusterError
+from repro.serve.metrics import BatchHistogram, LatencyRecorder
+from repro.serve.shm import ShmPublisher
+
+#: ops the front-end forwards to a scene's owning worker
+_SCENE_OPS = ("length", "lengths", "path", "endpoints", "sleep")
+
+
+class _Item:
+    """One queued request: wire dict + the future its response resolves."""
+
+    __slots__ = ("wire", "future", "t0", "scene")
+
+    def __init__(self, wire: dict, future: asyncio.Future, scene: Optional[str]):
+        self.wire = wire
+        self.future = future
+        self.t0 = time.perf_counter()
+        self.scene = scene
+
+
+class _Worker:
+    def __init__(self, wid: int, proc, conn, queue_depth: int):
+        self.id = wid
+        self.proc = proc
+        self.conn = conn
+        self.queue: asyncio.Queue[_Item] = asyncio.Queue(maxsize=queue_depth)
+        self.task: Optional[asyncio.Task] = None
+        self.dead = False
+        self.batches = 0
+        self.seq = 0
+
+
+class _SceneMetrics:
+    def __init__(self) -> None:
+        self.requests = 0
+        self.shed = 0
+        self.errors = 0
+        self.latency = LatencyRecorder()
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "shed": self.shed,
+            "errors": self.errors,
+            "latency": self.latency.summary(),
+        }
+
+
+class ClusterFrontend:
+    """Sharded multi-process serving over shared-memory snapshots.
+
+    ``scenes`` maps scene names to sources::
+
+        {"snapshot": "campus.rsp"}            # load (or publish) from disk
+        {"obstacles": [...], "container": p}  # build in the front-end
+        {"index": idx}                        # already built (shm only)
+
+    With ``use_shm=True`` (default) every scene's matrix is published
+    once into shared memory and workers attach zero-copy; with ``False``
+    each worker materializes privately (the copy path — kept for
+    benchmarking the difference and for hosts without ``/dev/shm``).
+    """
+
+    def __init__(
+        self,
+        scenes: Mapping[str, dict],
+        *,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 64,
+        batch_window_ms: float = 2.0,
+        queue_depth: int = 256,
+        pins: Optional[Mapping[str, int]] = None,
+        start_method: Optional[str] = None,
+        use_shm: bool = True,
+        engine: str = "parallel",
+        worker_max_bytes: Optional[int] = None,
+    ) -> None:
+        if not scenes:
+            raise ClusterError("a cluster needs at least one scene")
+        if workers < 1:
+            raise ClusterError(f"need at least one worker, got {workers}")
+        self.scene_sources = dict(scenes)
+        self.n_workers = workers
+        self.host = host
+        self.port = port
+        self.max_batch = max(1, max_batch)
+        self.batch_window = max(0.0, batch_window_ms) / 1e3
+        self.queue_depth = queue_depth
+        self.pins = dict(pins or {})
+        self.start_method = start_method
+        self.use_shm = use_shm
+        self.engine = engine
+        self.worker_max_bytes = worker_max_bytes
+        self.assignment = assignment(sorted(scenes), workers, self.pins)
+        self.publisher: Optional[ShmPublisher] = None
+        self.workers: list[_Worker] = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopped = asyncio.Event()
+        self._started = False
+        # front-end metrics
+        self.requests = 0
+        self.sheds = 0
+        self.batch_hist = BatchHistogram()
+        self.scene_metrics: dict[str, _SceneMetrics] = {
+            name: _SceneMetrics() for name in scenes
+        }
+        self._t_start = time.monotonic()
+
+    # -- startup --------------------------------------------------------
+    def _prepare_specs(self) -> list[list[dict]]:
+        """Materialize/publish every scene; returns per-worker spec lists."""
+        shards: list[list[dict]] = [[] for _ in range(self.n_workers)]
+        if self.use_shm:
+            self.publisher = ShmPublisher()
+        for name in sorted(self.scene_sources):
+            src = self.scene_sources[name]
+            wid = self.assignment[name]
+            if self.use_shm:
+                manifest = self._publish(name, src)
+                shards[wid].append({"name": name, "kind": "shm", "manifest": manifest})
+            else:
+                shards[wid].append(self._plain_spec(name, src))
+        return shards
+
+    def _publish(self, name: str, src: dict) -> dict:
+        assert self.publisher is not None
+        if "index" in src:
+            return self.publisher.publish(name, src["index"])
+        if "snapshot" in src:
+            return self.publisher.publish_snapshot(name, src["snapshot"])
+        if "obstacles" in src:
+            from repro.core.api import ShortestPathIndex
+
+            idx = ShortestPathIndex.build(
+                src["obstacles"], engine=self.engine, container=src.get("container")
+            )
+            return self.publisher.publish(name, idx)
+        raise ClusterError(f"scene {name!r}: unrecognized source {sorted(src)}")
+
+    def _plain_spec(self, name: str, src: dict) -> dict:
+        if "snapshot" in src:
+            return {"name": name, "kind": "snapshot", "path": str(src["snapshot"])}
+        if "obstacles" in src:
+            from repro.geometry.primitives import Rect
+
+            rects, polys = [], []
+            for obs in src["obstacles"]:
+                if isinstance(obs, Rect):
+                    rects.append([obs.xlo, obs.ylo, obs.xhi, obs.yhi])
+                else:
+                    polys.append([list(map(int, v)) for v in obs.loop])
+            container = src.get("container")
+            return {
+                "name": name,
+                "kind": "build",
+                "rects": rects,
+                "polygons": polys,
+                "container": (
+                    [list(map(int, v)) for v in container.loop] if container else None
+                ),
+                "engine": self.engine,
+            }
+        raise ClusterError(
+            f"scene {name!r}: a prebuilt index requires use_shm=True "
+            f"(or hand the workers a snapshot path)"
+        )
+
+    async def start(self) -> None:
+        """Publish scenes, spawn workers, bind the TCP server."""
+        if self._started:
+            raise ClusterError("cluster already started")
+        self._started = True
+        try:
+            shards = self._prepare_specs()
+            ctx = multiprocessing.get_context(self.start_method)
+            options = {"max_bytes": self.worker_max_bytes}
+            for wid in range(self.n_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(child_conn, wid, shards[wid], options),
+                    daemon=True,
+                    name=f"repro-cluster-worker-{wid}",
+                )
+                proc.start()
+                child_conn.close()
+                worker = _Worker(wid, proc, parent_conn, self.queue_depth)
+                worker.task = asyncio.create_task(self._dispatch_loop(worker))
+                self.workers.append(worker)
+            self._server = await asyncio.start_server(
+                self._handle_client, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        except BaseException:
+            await self.stop()
+            raise
+
+    async def __aenter__(self) -> "ClusterFrontend":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`request_stop` (or ``stop``) is called."""
+        await self._stopped.wait()
+
+    def request_stop(self) -> None:
+        self._stopped.set()
+
+    # -- per-worker dispatch --------------------------------------------
+    async def _dispatch_loop(self, worker: _Worker) -> None:
+        loop = asyncio.get_running_loop()
+        batch: list[_Item] = []
+        try:
+            while True:
+                item = await worker.queue.get()
+                batch = [item]
+                deadline = loop.time() + self.batch_window
+                while len(batch) < self.max_batch:
+                    timeout = deadline - loop.time()
+                    if timeout <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(worker.queue.get(), timeout)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                worker.seq += 1
+                payload = {
+                    "op": "batch",
+                    "seq": worker.seq,
+                    "requests": [it.wire for it in batch],
+                }
+                try:
+                    await loop.run_in_executor(None, worker.conn.send, payload)
+                    reply = await loop.run_in_executor(None, worker.conn.recv)
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    self._fail_worker(worker, batch, f"worker {worker.id} died: {exc}")
+                    return
+                worker.batches += 1
+                self.batch_hist.observe(len(batch))
+                results = reply.get("results") or []
+                now = time.perf_counter()
+                for k, it in enumerate(batch):
+                    res = (
+                        results[k]
+                        if k < len(results)
+                        else {"ok": False, "error": reply.get("error", "no result")}
+                    )
+                    self._record(it, res, now)
+                    if not it.future.done():
+                        it.future.set_result(res)
+                batch = []
+        except asyncio.CancelledError:
+            self._fail_batch(batch, f"worker {worker.id} shutting down")
+            raise
+
+    def _record(self, item: _Item, res: dict, now: float) -> None:
+        metrics = self.scene_metrics.get(item.scene) if item.scene else None
+        if metrics is not None:
+            metrics.requests += 1
+            metrics.latency.record(now - item.t0)
+            if not res.get("ok"):
+                metrics.errors += 1
+
+    def _fail_worker(self, worker: _Worker, batch: list, reason: str) -> None:
+        worker.dead = True
+        self._fail_batch(batch, reason)
+        while not worker.queue.empty():
+            try:
+                self._fail_batch([worker.queue.get_nowait()], reason)
+            except asyncio.QueueEmpty:  # pragma: no cover - race with put
+                break
+
+    @staticmethod
+    def _fail_batch(batch: Sequence[_Item], reason: str) -> None:
+        for it in batch:
+            if not it.future.done():
+                it.future.set_result({"ok": False, "error": reason})
+
+    # -- client connections ---------------------------------------------
+    async def _handle_client(self, reader, writer) -> None:
+        pending: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._write_loop(pending, writer))
+        try:
+            while True:
+                try:
+                    msg = await read_frame(reader)
+                except ClusterError as exc:
+                    await pending.put(
+                        {"id": None, "ok": False, "error": f"bad frame: {exc}"}
+                    )
+                    break
+                if msg is None:
+                    break
+                await pending.put(self._admit(msg))
+        finally:
+            await pending.put(None)
+            try:
+                await writer_task
+            except (ConnectionError, asyncio.CancelledError):  # pragma: no cover
+                pass
+
+    async def _write_loop(self, pending: asyncio.Queue, writer) -> None:
+        """Drain responses *in request order*: entries are either ready
+        dicts or (id, future) pairs awaited in sequence."""
+        try:
+            while True:
+                entry = await pending.get()
+                if entry is None:
+                    break
+                if isinstance(entry, dict):
+                    resp = entry
+                else:
+                    rid, fut = entry
+                    res = await fut
+                    resp = dict(res)
+                    resp["id"] = rid
+                await write_frame(writer, resp)
+        except (ConnectionError, OSError):  # client went away mid-write
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _admit(self, msg: dict):
+        """Route one request: an immediate response dict, or (id, future)."""
+        rid = msg.get("id")
+        op = msg.get("op")
+        self.requests += 1
+        if op == "ping":
+            return {"id": rid, "ok": True, "result": "pong"}
+        if op == "scenes":
+            return {
+                "id": rid,
+                "ok": True,
+                "result": {
+                    "scenes": dict(self.assignment),
+                    "workers": self.n_workers,
+                },
+            }
+        if op == "stats":
+            fut = asyncio.ensure_future(self._cluster_stats())
+            return (rid, fut)
+        if op not in _SCENE_OPS:
+            return {"id": rid, "ok": False, "error": f"unknown op {op!r}"}
+        scene = msg.get("scene")
+        if scene not in self.assignment:
+            known = ", ".join(sorted(self.assignment)) or "<none>"
+            return {
+                "id": rid,
+                "ok": False,
+                "error": f"unknown scene {scene!r} (serving: {known})",
+            }
+        worker = self.workers[self.assignment[scene]]
+        if worker.dead:
+            return {
+                "id": rid,
+                "ok": False,
+                "error": f"scene {scene!r}: worker {worker.id} is down",
+            }
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        item = _Item(msg, fut, scene)
+        try:
+            worker.queue.put_nowait(item)
+        except asyncio.QueueFull:
+            # load shedding: fast one-line rejection, nothing queued
+            self.sheds += 1
+            self.scene_metrics[scene].shed += 1
+            return {
+                "id": rid,
+                "ok": False,
+                "shed": True,
+                "error": (
+                    f"overloaded: worker {worker.id} queue is full "
+                    f"({self.queue_depth} deep); retry later"
+                ),
+            }
+        return (rid, fut)
+
+    # -- stats ----------------------------------------------------------
+    async def _cluster_stats(self) -> dict:
+        worker_stats: dict[str, dict] = {}
+        waits = []
+        for w in self.workers:
+            if w.dead:
+                worker_stats[str(w.id)] = {"dead": True}
+                continue
+            fut: asyncio.Future = asyncio.get_running_loop().create_future()
+            item = _Item({"op": "stats"}, fut, None)
+            try:
+                w.queue.put_nowait(item)
+            except asyncio.QueueFull:
+                worker_stats[str(w.id)] = {"busy": True}
+                continue
+            waits.append((w, fut))
+        for w, fut in waits:
+            res = await fut
+            worker_stats[str(w.id)] = (
+                res.get("result") if res.get("ok") else {"error": res.get("error")}
+            )
+        return {"ok": True, "result": self._stats_payload(worker_stats)}
+
+    def _stats_payload(self, worker_stats: dict) -> dict:
+        return {
+            "uptime_s": time.monotonic() - self._t_start,
+            "workers": worker_stats,
+            "assignment": dict(self.assignment),
+            "frontend": {
+                "requests": self.requests,
+                "sheds": self.sheds,
+                "qps": self.requests / max(time.monotonic() - self._t_start, 1e-9),
+                "batch_size_hist": self.batch_hist.as_dict(),
+                "scenes": {
+                    name: m.summary() for name, m in self.scene_metrics.items()
+                },
+            },
+        }
+
+    def stats(self) -> dict:
+        """Front-end-side metrics only (synchronous; no worker round trip)."""
+        return self._stats_payload({})
+
+    # -- shutdown -------------------------------------------------------
+    async def stop(self) -> None:
+        """Stop accepting, drain workers, unlink shared memory (idempotent)."""
+        self._stopped.set()
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:  # pragma: no cover - server already gone
+                pass
+            self._server = None
+        for w in self.workers:
+            if w.task is not None:
+                w.task.cancel()
+        for w in self.workers:
+            if w.task is not None:
+                try:
+                    await w.task
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+                w.task = None
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._shutdown_workers)
+        self.workers.clear()
+        if self.publisher is not None:
+            self.publisher.close()
+            self.publisher = None
+
+    def _shutdown_workers(self) -> None:
+        for w in self.workers:
+            if w.proc.is_alive():
+                try:
+                    w.conn.send({"op": "shutdown"})
+                except (OSError, BrokenPipeError, ValueError):
+                    pass
+        deadline = time.monotonic() + 5.0
+        for w in self.workers:
+            w.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if w.proc.is_alive():  # pragma: no cover - hung worker
+                w.proc.terminate()
+                w.proc.join(timeout=2.0)
+            try:
+                w.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+async def run_cluster(frontend: ClusterFrontend) -> None:
+    """Convenience: start, serve until stop is requested, then clean up."""
+    await frontend.start()
+    try:
+        await frontend.serve_forever()
+    finally:
+        await frontend.stop()

@@ -1,0 +1,75 @@
+"""Scene → worker routing by rendezvous (highest-random-weight) hashing.
+
+Every scene is served by exactly one worker (its matrices live in shared
+memory, but the §6.4/§8 lazy substructures and the per-scene LRU state
+are per-process — sharding keeps those warm in one place).  Rendezvous
+hashing gives the assignment three properties a modulo scheme lacks:
+
+* **stateless** — any process computes the same assignment from the
+  scene name and the worker count alone; nothing to gossip;
+* **minimal disruption** — removing one worker only moves the scenes
+  that worker owned; everything else keeps its assignment (tested);
+* **pinnable** — explicit overrides win over the hash, for operators
+  who know one scene is hot enough to deserve a dedicated worker.
+
+Hashes are SHA-256 over ``scene|worker`` — stable across processes,
+machines, and Python releases (unlike ``hash()``, which is salted).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Optional, Sequence
+
+
+def hrw_score(scene: str, worker: int) -> int:
+    """The rendezvous weight of ``worker`` for ``scene`` (256-bit int)."""
+    digest = hashlib.sha256(f"{scene}|{worker}".encode("utf-8")).digest()
+    return int.from_bytes(digest, "big")
+
+
+def assign_worker(
+    scene: str,
+    n_workers: int,
+    pins: Optional[Mapping[str, int]] = None,
+) -> int:
+    """The worker id (``0 .. n_workers-1``) that owns ``scene``.
+
+    ``pins`` maps scene names to explicit worker ids and wins over the
+    hash; a pin outside the worker range is a configuration error.
+    """
+    if n_workers <= 0:
+        raise ValueError(f"need at least one worker, got {n_workers}")
+    if pins and scene in pins:
+        wid = int(pins[scene])
+        if not 0 <= wid < n_workers:
+            raise ValueError(
+                f"scene {scene!r} is pinned to worker {wid}, but only "
+                f"{n_workers} workers exist"
+            )
+        return wid
+    return max(range(n_workers), key=lambda w: hrw_score(scene, w))
+
+
+def assignment(
+    scenes: Sequence[str],
+    n_workers: int,
+    pins: Optional[Mapping[str, int]] = None,
+) -> dict[str, int]:
+    """Scene name → owning worker id for a whole scene set."""
+    return {s: assign_worker(s, n_workers, pins) for s in scenes}
+
+
+def shards(
+    scenes: Sequence[str],
+    n_workers: int,
+    pins: Optional[Mapping[str, int]] = None,
+) -> list[list[str]]:
+    """Per-worker scene lists (inverse of :func:`assignment`), every
+    worker present even when its shard is empty."""
+    out: list[list[str]] = [[] for _ in range(n_workers)]
+    for scene, wid in assignment(scenes, n_workers, pins).items():
+        out[wid].append(scene)
+    for shard in out:
+        shard.sort()
+    return out

@@ -1,0 +1,280 @@
+"""Load generation against a running cluster front-end.
+
+Two canonical load models (the distinction matters — see any serving
+textbook: closed loops hide queueing collapse, open loops expose it):
+
+* **closed loop** (``--closed``): C connections, each with exactly one
+  request outstanding — send, await, repeat.  Throughput is
+  demand-limited by the cluster itself; the right mode for measuring
+  capacity (``benchmarks/bench_cluster.py`` uses it).
+* **open loop** (``--open --rps R``): requests fire on a fixed schedule
+  regardless of completions (pipelined across C connections).  The right
+  mode for watching latency percentiles and load shedding as offered
+  load passes capacity.
+
+The generator discovers scene names and legal endpoints through the
+protocol itself (``scenes`` + ``endpoints`` verbs), so it needs nothing
+but ``host:port`` — the same seeded stream can then be pointed at any
+cluster serving the same scene set.  Reports carry p50/p95/p99 latency,
+throughput, and shed/error counts, never bare means.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Optional, Sequence
+
+from repro.cluster.protocol import read_frame, write_frame
+from repro.errors import ClusterError
+from repro.serve.metrics import LatencyRecorder
+
+#: default request mix: (bulk-lengths fraction, arbitrary-point fraction,
+#: path fraction); the remainder are single vertex-pair lengths
+DEFAULT_MIX = (0.5, 0.2, 0.02)
+
+
+async def _rpc(reader, writer, msg: dict) -> dict:
+    await write_frame(writer, msg)
+    resp = await read_frame(reader)
+    if resp is None:
+        raise ClusterError("server closed the connection")
+    return resp
+
+
+async def discover(host: str, port: int, *, seed: int = 0, k: int = 48) -> dict:
+    """Scene → ``{"vertices": [...], "free": [...]}`` pools, via the
+    ``scenes`` and ``endpoints`` protocol verbs."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        resp = await _rpc(reader, writer, {"id": 0, "op": "scenes"})
+        if not resp.get("ok"):
+            raise ClusterError(f"scenes verb failed: {resp.get('error')}")
+        pools: dict[str, dict] = {}
+        for scene in sorted(resp["result"]["scenes"]):
+            ep = await _rpc(
+                reader,
+                writer,
+                {"id": 0, "op": "endpoints", "scene": scene, "k": k, "seed": seed},
+            )
+            if not ep.get("ok"):
+                raise ClusterError(
+                    f"endpoints for {scene!r} failed: {ep.get('error')}"
+                )
+            pools[scene] = ep["result"]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    if not pools:
+        raise ClusterError("cluster serves no scenes")
+    return pools
+
+
+def build_requests(
+    pools: dict,
+    n_requests: int,
+    *,
+    seed: int = 0,
+    mix: Sequence[float] = DEFAULT_MIX,
+    pairs_per_request: int = 16,
+) -> list[dict]:
+    """A seeded wire-request stream over the discovered pools.
+
+    ``mix`` is ``(bulk, arbitrary, path)``: *bulk* requests are
+    ``lengths`` ops carrying ``pairs_per_request`` vertex pairs (the
+    coalescing path), *arbitrary* requests exercise §6.4 with off-vertex
+    endpoints, *path* requests ask for polylines, and the remainder are
+    single vertex-pair lookups.
+    """
+    bulk_frac, arb_frac, path_frac = mix
+    rng = random.Random(f"loadgen|{seed}|{n_requests}|{bulk_frac}|{arb_frac}|{path_frac}")
+    names = sorted(pools)
+    out: list[dict] = []
+    for _ in range(n_requests):
+        scene = names[rng.randrange(len(names))]
+        verts = pools[scene]["vertices"]
+        free = pools[scene]["free"]
+        roll = rng.random()
+        if roll < bulk_frac and len(verts) >= 2:
+            # bulk requests draw from vertices *and* free points: free
+            # endpoints push the batch through the §6.4 machinery, which
+            # is the CPU-bound work multi-worker scaling exists to spread
+            pool = verts + free
+            pairs = [
+                [rng.choice(pool), rng.choice(pool)]
+                for _ in range(pairs_per_request)
+            ]
+            out.append({"op": "lengths", "scene": scene, "pairs": pairs})
+        elif roll < bulk_frac + arb_frac and free and verts:
+            p = rng.choice(free)
+            q = rng.choice(verts) if rng.random() < 0.5 else rng.choice(free)
+            out.append({"op": "length", "scene": scene, "p": p, "q": q})
+        elif roll < bulk_frac + arb_frac + path_frac and len(verts) >= 2:
+            p, q = rng.sample(verts, 2)
+            out.append({"op": "path", "scene": scene, "p": p, "q": q})
+        else:
+            out.append(
+                {
+                    "op": "length",
+                    "scene": scene,
+                    "p": rng.choice(verts),
+                    "q": rng.choice(verts),
+                }
+            )
+    return out
+
+
+class Report:
+    """Aggregated outcome of one load-generation run."""
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+        self.sent = 0
+        self.ok = 0
+        self.errors = 0
+        self.shed = 0
+        self.latency = LatencyRecorder(capacity=1 << 16)
+        self.elapsed_s = 0.0
+        self.first_error: Optional[str] = None
+
+    def record(self, resp: dict, seconds: float) -> None:
+        self.latency.record(seconds)
+        if resp.get("ok"):
+            self.ok += 1
+        elif resp.get("shed"):
+            self.shed += 1
+        else:
+            self.errors += 1
+            if self.first_error is None:
+                self.first_error = str(resp.get("error"))
+
+    def summary(self) -> dict:
+        qps = self.sent / self.elapsed_s if self.elapsed_s else float("nan")
+        out = {
+            "mode": self.mode,
+            "sent": self.sent,
+            "ok": self.ok,
+            "errors": self.errors,
+            "shed": self.shed,
+            "elapsed_s": self.elapsed_s,
+            "qps": qps,
+            "latency": self.latency.summary(),
+        }
+        if self.first_error is not None:
+            out["first_error"] = self.first_error
+        return out
+
+
+async def run_closed(
+    host: str, port: int, requests: Sequence[dict], conns: int = 4
+) -> Report:
+    """Closed loop: ``conns`` connections, one request in flight each."""
+    report = Report("closed")
+    chunks = [list(requests[i::conns]) for i in range(conns)]
+    t0 = time.perf_counter()
+
+    async def one_conn(chunk: list[dict]) -> None:
+        if not chunk:
+            return
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for k, wire in enumerate(chunk):
+                msg = dict(wire, id=k)
+                t = time.perf_counter()
+                resp = await _rpc(reader, writer, msg)
+                report.record(resp, time.perf_counter() - t)
+                report.sent += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    await asyncio.gather(*(one_conn(c) for c in chunks))
+    report.elapsed_s = time.perf_counter() - t0
+    return report
+
+
+async def run_open(
+    host: str, port: int, requests: Sequence[dict], rps: float, conns: int = 4
+) -> Report:
+    """Open loop: fire at ``rps`` on a fixed schedule across ``conns``
+    pipelined connections; responses are matched by id."""
+    if rps <= 0:
+        raise ClusterError(f"open loop needs rps > 0, got {rps}")
+    report = Report("open")
+    interval = 1.0 / rps
+    chunks = [list(requests[i::conns]) for i in range(conns)]
+    t0 = time.perf_counter()
+
+    async def one_conn(cid: int, chunk: list[dict]) -> None:
+        if not chunk:
+            return
+        reader, writer = await asyncio.open_connection(host, port)
+        sent_at: dict[int, float] = {}
+        done = asyncio.Event()
+
+        async def read_loop() -> None:
+            remaining = len(chunk)
+            while remaining:
+                resp = await read_frame(reader)
+                if resp is None:
+                    break
+                t_sent = sent_at.pop(resp.get("id"), None)
+                lat = time.perf_counter() - t_sent if t_sent is not None else 0.0
+                report.record(resp, lat)
+                remaining -= 1
+            done.set()
+
+        reader_task = asyncio.create_task(read_loop())
+        try:
+            for k, wire in enumerate(chunk):
+                # this connection owns every conns-th tick of the schedule
+                target = t0 + (cid + k * conns) * interval
+                delay = target - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                sent_at[k] = time.perf_counter()
+                await write_frame(writer, dict(wire, id=k))
+                report.sent += 1
+            await asyncio.wait_for(done.wait(), timeout=60.0)
+        finally:
+            reader_task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    await asyncio.gather(*(one_conn(i, c) for i, c in enumerate(chunks)))
+    report.elapsed_s = time.perf_counter() - t0
+    return report
+
+
+async def run(
+    host: str,
+    port: int,
+    *,
+    mode: str = "closed",
+    n_requests: int = 500,
+    rps: float = 500.0,
+    conns: int = 4,
+    seed: int = 0,
+    mix: Sequence[float] = DEFAULT_MIX,
+    pairs_per_request: int = 16,
+) -> Report:
+    """Discover, generate, and drive one full load-generation run."""
+    pools = await discover(host, port, seed=seed)
+    requests = build_requests(
+        pools, n_requests, seed=seed, mix=mix, pairs_per_request=pairs_per_request
+    )
+    if mode == "closed":
+        return await run_closed(host, port, requests, conns=conns)
+    if mode == "open":
+        return await run_open(host, port, requests, rps, conns=conns)
+    raise ClusterError(f"unknown loadgen mode {mode!r}")

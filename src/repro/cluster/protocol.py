@@ -1,0 +1,124 @@
+"""The cluster wire protocol: length-prefixed JSON frames.
+
+One frame = a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object.  Requests carry a client-chosen
+``id`` that the response echoes; responses on one connection always come
+back in request order (the front-end guarantees it), so a lockstep client
+never needs the id at all — it exists for pipelined clients.
+
+Request objects::
+
+    {"id": 7, "op": "length",  "scene": "a", "p": [x, y], "q": [x, y]}
+    {"id": 8, "op": "lengths", "scene": "a", "pairs": [[[x,y],[x,y]], ...]}
+    {"id": 9, "op": "path",    "scene": "a", "p": [x, y], "q": [x, y]}
+    {"id": 0, "op": "endpoints", "scene": "a", "k": 32, "seed": 0}
+    {"id": 1, "op": "scenes"}          # scene → worker assignment
+    {"id": 2, "op": "stats"}           # cluster-wide metrics
+    {"id": 3, "op": "ping"}
+
+Response objects::
+
+    {"id": 7, "ok": true,  "result": 42.0}
+    {"id": 8, "ok": false, "error": "one-line reason"}
+    {"id": 9, "ok": false, "error": "overloaded: ...", "shed": true}
+
+``shed: true`` marks a load-shedding rejection — the request was never
+queued and it is safe (and expected) for the client to retry elsewhere
+or later; any other error is a real per-request failure.
+
+Frames above :data:`MAX_FRAME` are refused on both sides: a front-end
+must never be OOM-able by one client, and a malformed length prefix
+(e.g. a client speaking HTTP at us) dies quickly with a one-line error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.errors import ClusterError
+
+#: frame length prefix: 4-byte big-endian unsigned
+_PREFIX = struct.Struct(">I")
+
+#: hard cap on one frame's body (requests *and* responses)
+MAX_FRAME = 32 << 20
+
+
+def encode_frame(obj) -> bytes:
+    """Serialize one protocol object to its wire bytes."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ClusterError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return _PREFIX.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ClusterError(f"undecodable frame: {exc}")
+    if not isinstance(obj, dict):
+        raise ClusterError(f"frame must encode an object, got {type(obj).__name__}")
+    return obj
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """One frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ClusterError("connection closed mid-frame")
+    (length,) = _PREFIX.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ClusterError(f"frame of {length} bytes exceeds MAX_FRAME")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ClusterError("connection closed mid-frame")
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj) -> None:
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+# -- synchronous helpers (simple clients, tests, examples) --------------
+def send_frame(sock: socket.socket, obj) -> None:
+    sock.sendall(encode_frame(obj))
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """One frame from a blocking socket; ``None`` on clean EOF."""
+    prefix = _recv_exactly(sock, _PREFIX.size)
+    if prefix is None:
+        return None
+    (length,) = _PREFIX.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ClusterError(f"frame of {length} bytes exceeds MAX_FRAME")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ClusterError("connection closed mid-frame")
+    return decode_body(body)
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            return None if not chunks else _raise_midframe()
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def _raise_midframe():
+    raise ClusterError("connection closed mid-frame")

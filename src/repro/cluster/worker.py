@@ -1,0 +1,326 @@
+"""The cluster worker: one process, one shard of scenes, one QueryServer.
+
+A worker is deliberately thin: it wraps the *existing* serving stack —
+a :class:`~repro.serve.store.SceneStore` whose resident scenes attach
+from shared memory (or load snapshots / build, for unshared deployments)
+under a :class:`~repro.serve.server.QueryServer` — behind a blocking
+request loop on a ``multiprocessing`` pipe.  The front-end sends one
+batch at a time per worker (lockstep), so the loop needs no internal
+concurrency; parallelism comes from running N workers.
+
+Batches take the coalescing fast path: every ``length``/``lengths``
+entry in the batch is expanded into ``QueryServer`` requests and
+answered in a single ``submit`` (one matrix gather per scene).  If any
+request in the batch is individually bad — unknown scene, endpoint
+inside an obstacle — the batch falls back to per-request answering so
+one poisoned request fails alone instead of failing its batchmates.
+
+``worker_main`` is a module-level function with JSON-plain arguments, so
+it spawns identically under the ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.primitives import Rect
+from repro.serve.metrics import BatchHistogram, LatencyRecorder
+from repro.serve.server import QueryServer, Request
+from repro.serve.store import SceneStore
+
+
+def _as_point(v) -> tuple:
+    try:
+        x, y = v
+        return (int(x), int(y))
+    except (TypeError, ValueError):
+        raise ReproError(f"not a point: {v!r}")
+
+
+def _rebuild_obstacles(spec: dict):
+    """Obstacles + container of a ``build`` scene spec (plain lists in,
+    geometry objects out — specs must survive pickling under spawn)."""
+    obstacles: list = [Rect(*r) for r in spec.get("rects") or []]
+    for loop in spec.get("polygons") or []:
+        obstacles.append(RectilinearPolygon([(int(x), int(y)) for x, y in loop]))
+    container = None
+    if spec.get("container"):
+        container = RectilinearPolygon(
+            [(int(x), int(y)) for x, y in spec["container"]]
+        )
+    return obstacles, container
+
+
+def register_scene(store: SceneStore, spec: dict) -> None:
+    """Register one scene spec: ``{"name", "kind", ...}`` where kind is
+    ``shm`` (manifest), ``snapshot`` (path), or ``build`` (geometry)."""
+    name, kind = spec["name"], spec["kind"]
+    if kind == "shm":
+        manifest = spec["manifest"]
+
+        def attach_builder():
+            from repro.serve.shm import attach
+
+            return attach(manifest)
+
+        store.add_builder(name, attach_builder)
+    elif kind == "snapshot":
+        store.add_snapshot(name, spec["path"])
+    elif kind == "build":
+        obstacles, container = _rebuild_obstacles(spec)
+
+        def build_builder():
+            from repro.core.api import ShortestPathIndex
+
+            return ShortestPathIndex.build(
+                obstacles, engine=spec.get("engine", "parallel"), container=container
+            )
+
+        store.add_builder(name, build_builder)
+    else:
+        raise ReproError(f"unknown scene spec kind {kind!r}")
+
+
+def memory_info() -> dict:
+    """This process's memory footprint: total RSS plus the *private*
+    portion (``smaps_rollup``), which is the number that must stay flat
+    when scenes are shared — RSS counts shared pages once per process
+    that touches them, private counts only what a copy would cost."""
+    out = {"rss_bytes": None, "private_bytes": None}
+    try:
+        page = os.sysconf("SC_PAGE_SIZE")
+        with open("/proc/self/statm") as fh:
+            out["rss_bytes"] = int(fh.read().split()[1]) * page
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-linux
+        pass
+    try:
+        private = 0
+        with open("/proc/self/smaps_rollup") as fh:
+            for line in fh:
+                if line.startswith(("Private_Clean:", "Private_Dirty:")):
+                    private += int(line.split()[1]) * 1024
+        out["private_bytes"] = private
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-linux
+        pass
+    return out
+
+
+class _WorkerState:
+    """Everything one worker process owns, factored for direct testing."""
+
+    def __init__(self, worker_id: int, scene_specs: Sequence[dict], options: dict):
+        self.worker_id = worker_id
+        self.store = SceneStore(max_bytes=options.get("max_bytes"))
+        for spec in scene_specs:
+            register_scene(self.store, spec)
+        self.server = QueryServer(self.store)
+        self.service = LatencyRecorder()
+        self.batch_hist = BatchHistogram()
+        self.scene_counts: dict[str, int] = {}
+        self.requests = 0
+        self.errors = 0
+        self.started = time.monotonic()
+
+    # -- batch answering ------------------------------------------------
+    def answer_batch(self, requests: Sequence[dict]) -> list[dict]:
+        t0 = time.perf_counter()
+        try:
+            results = self._answer_coalesced(requests)
+        except (ReproError, KeyError, ValueError, TypeError):
+            # one poisoned request — bad endpoint, missing field,
+            # malformed pair list — must not fail its batchmates (let
+            # alone the worker): retry each alone, catching per-request
+            results = [self._answer_one(r) for r in requests]
+        self.service.record(time.perf_counter() - t0)
+        if requests:
+            self.batch_hist.observe(len(requests))
+        self.requests += len(requests)
+        self.errors += sum(1 for r in results if not r.get("ok"))
+        for r in requests:
+            scene = r.get("scene")
+            if scene:
+                self.scene_counts[scene] = self.scene_counts.get(scene, 0) + 1
+        return results
+
+    def _answer_coalesced(self, requests: Sequence[dict]) -> list[dict]:
+        flat: list[Request] = []
+        spans: list = []  # per request: ("one", k) | ("many", k, count) | ("local", result)
+        for r in requests:
+            op = r.get("op")
+            if op == "length":
+                spans.append(("one", len(flat)))
+                flat.append(Request(r["scene"], _as_point(r["p"]), _as_point(r["q"])))
+            elif op == "lengths":
+                pairs = r.get("pairs") or []
+                spans.append(("many", len(flat), len(pairs)))
+                for p, q in pairs:
+                    flat.append(Request(r["scene"], _as_point(p), _as_point(q)))
+            elif op == "path":
+                spans.append(("one", len(flat)))
+                flat.append(
+                    Request(r["scene"], _as_point(r["p"]), _as_point(r["q"]), op="path")
+                )
+            else:
+                # defer local ops (stats/sleep/...) to the output phase:
+                # if a later request poisons this parse, the fallback
+                # path must not execute them a second time
+                spans.append(("local", r))
+        values = self.server.submit(flat) if flat else []
+        out: list[dict] = []
+        for span in spans:
+            if span[0] == "one":
+                out.append({"ok": True, "result": _jsonify(values[span[1]])})
+            elif span[0] == "many":
+                _, k, count = span
+                out.append(
+                    {"ok": True, "result": [_jsonify(v) for v in values[k : k + count]]}
+                )
+            else:
+                out.append(self._answer_local(span[1]))
+        return out
+
+    def _answer_one(self, r: dict) -> dict:
+        try:
+            op = r.get("op")
+            if op == "length":
+                with self.store.using(r["scene"]) as idx:
+                    return {"ok": True, "result": _jsonify(idx.length(_as_point(r["p"]), _as_point(r["q"])))}
+            if op == "lengths":
+                with self.store.using(r["scene"]) as idx:
+                    vals = idx.lengths(
+                        [(_as_point(p), _as_point(q)) for p, q in r.get("pairs") or []]
+                    )
+                return {"ok": True, "result": [_jsonify(v) for v in np.asarray(vals).tolist()]}
+            if op == "path":
+                with self.store.using(r["scene"]) as idx:
+                    path = idx.shortest_path(_as_point(r["p"]), _as_point(r["q"]))
+                return {"ok": True, "result": [[int(x), int(y)] for x, y in path]}
+            return self._answer_local(r)
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+        except KeyError as exc:
+            return {"ok": False, "error": f"request missing field {exc}"}
+        except (ValueError, TypeError) as exc:
+            return {"ok": False, "error": f"malformed request: {exc}"}
+
+    def _answer_local(self, r: dict) -> dict:
+        """Ops answered by the worker itself, outside the query path."""
+        try:
+            op = r.get("op")
+            if op == "stats":
+                return {"ok": True, "result": self.stats()}
+            if op == "endpoints":
+                return {"ok": True, "result": self._endpoints(r)}
+            if op == "ping":
+                return {"ok": True, "result": "pong"}
+            if op == "sleep":
+                # diagnostic: occupy this worker for a bounded interval
+                # (load-shedding tests and drain drills)
+                time.sleep(min(float(r.get("ms", 1.0)), 1000.0) / 1e3)
+                return {"ok": True, "result": "slept"}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+        except (KeyError, ValueError, TypeError) as exc:
+            return {"ok": False, "error": f"malformed request: {exc!r}"}
+
+    def _endpoints(self, r: dict) -> dict:
+        from repro.workloads.requests import scene_endpoints
+
+        with self.store.using(r["scene"]) as idx:
+            verts, free = scene_endpoints(
+                idx, k_free=int(r.get("k", 32)), seed=int(r.get("seed", 0))
+            )
+        cap = int(r.get("cap", 128))
+        return {
+            "vertices": [[int(x), int(y)] for x, y in verts[:cap]],
+            "free": [[int(x), int(y)] for x, y in free[:cap]],
+        }
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "uptime_s": time.monotonic() - self.started,
+            "requests": self.requests,
+            "errors": self.errors,
+            "service": self.service.summary(),
+            "batch_size_hist": self.batch_hist.as_dict(),
+            "scenes": dict(self.scene_counts),
+            "store": self.store.stats(),
+            "server": self.server.stats(),
+            "memory": memory_info(),
+        }
+
+    def close(self) -> None:
+        """Detach shm-backed scenes (best effort; process exit finishes)."""
+        for name in list(self.store.resident()):
+            entry_idx = self.store.get(name)
+            handle = getattr(entry_idx, "shm_handle", None)
+            if handle is not None:
+                handle.close()
+
+
+def worker_main(
+    conn, worker_id: int, scene_specs: Sequence[dict], options: Optional[dict] = None
+) -> None:
+    """Entry point of a worker process: serve batches from ``conn`` until
+    a ``shutdown`` message (or EOF) arrives."""
+    import signal
+
+    # the front-end coordinates shutdown; a terminal ^C must not kill
+    # workers mid-batch before the front-end has failed their futures
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    state = _WorkerState(worker_id, scene_specs, options or {})
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg.get("op")
+            if op == "shutdown":
+                conn.send({"seq": msg.get("seq"), "bye": True})
+                break
+            if op == "batch":
+                requests = msg.get("requests") or []
+                try:
+                    results = state.answer_batch(requests)
+                except Exception as exc:  # noqa: BLE001 - last-resort guard:
+                    # no request content may ever take the worker down
+                    results = [
+                        {"ok": False, "error": f"worker error: {exc!r:.200}"}
+                        for _ in requests
+                    ]
+                conn.send({"seq": msg.get("seq"), "results": results})
+            else:  # protocol error from the front-end side; answer, don't die
+                conn.send(
+                    {"seq": msg.get("seq"), "results": [],
+                     "error": f"unknown worker op {op!r}"}
+                )
+    finally:
+        state.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def _jsonify(v):
+    """A query result as a JSON-safe value (floats stay floats; inf is
+    JSON-hostile, so disconnected pairs travel as the string "inf")."""
+    if isinstance(v, list):  # a path polyline
+        return [[int(x), int(y)] for x, y in v]
+    f = float(v)
+    if f != f or f in (float("inf"), float("-inf")):
+        return "inf"
+    return f

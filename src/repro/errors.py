@@ -41,3 +41,7 @@ class QueryError(ReproError):
 
 class SnapshotError(ReproError):
     """A snapshot artifact is corrupt, truncated, or format-incompatible."""
+
+
+class ClusterError(ReproError):
+    """A cluster component failed: bad wire frame, dead worker, shm attach."""

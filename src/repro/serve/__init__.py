@@ -1,25 +1,34 @@
-"""Serving layer: snapshot persistence, a multi-scene store, batching.
+"""Serving layer: snapshots, shared memory, a multi-scene store, batching.
 
 The build side of this library is the paper's contribution; this package
 is the *online* half an actual deployment needs:
 
 * :mod:`repro.serve.snapshot` — ``save``/``load`` a built
-  :class:`~repro.core.api.ShortestPathIndex` as one ``.rsp`` artifact, so
-  the expensive parallel build is paid once per scene;
+  :class:`~repro.core.api.ShortestPathIndex` as one ``.rsp`` artifact
+  (format v3: an mmap-friendly raw layout; v1/v2 npz archives still
+  load), so the expensive parallel build is paid once per scene;
+* :mod:`repro.serve.shm` — publish a built index into
+  ``multiprocessing.shared_memory`` and reattach zero-copy from worker
+  processes (the memory model behind :mod:`repro.cluster`);
 * :mod:`repro.serve.store` — :class:`SceneStore`, a thread-safe registry
   of many named scenes with lazy materialization, build-or-load-once
-  locking, and LRU eviction bounded by resident bytes;
+  locking, pin/unpin read refcounts, and LRU eviction bounded by
+  resident bytes;
 * :mod:`repro.serve.server` — :class:`QueryServer`, the batching
   front-end that coalesces same-scene length requests into single
-  vectorized matrix gathers.
+  vectorized matrix gathers;
+* :mod:`repro.serve.metrics` — latency percentile recorders and
+  batch-size histograms shared by every serving layer.
 """
 
+from repro.serve.metrics import BatchHistogram, LatencyRecorder, percentile
 from repro.serve.snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_SUFFIX,
     SNAPSHOT_VERSION,
     is_snapshot,
     load,
+    load_arrays,
     read_header,
     save,
 )
@@ -32,6 +41,7 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "is_snapshot",
     "load",
+    "load_arrays",
     "read_header",
     "save",
     "OP_LENGTH",
@@ -40,4 +50,7 @@ __all__ = [
     "Request",
     "SceneStore",
     "resident_bytes",
+    "BatchHistogram",
+    "LatencyRecorder",
+    "percentile",
 ]

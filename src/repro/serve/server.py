@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.geometry.primitives import Point
+from repro.serve.metrics import BatchHistogram
 from repro.serve.store import SceneStore
 
 #: request kinds understood by :meth:`QueryServer.submit`
@@ -75,6 +76,7 @@ class QueryServer:
         self.batches = 0
         self.coalesced_groups = 0
         self.largest_group = 0
+        self.batch_hist = BatchHistogram()
 
     # -- single-call conveniences --------------------------------------
     def length(self, scene: str, p: Point, q: Point) -> float:
@@ -82,7 +84,8 @@ class QueryServer:
 
     def lengths(self, scene: str, pairs: Sequence[tuple[Point, Point]]) -> np.ndarray:
         """All-one-scene fast path: one coalesced call, array result."""
-        return np.asarray(self.store.get(scene).lengths(list(pairs)))
+        with self.store.using(scene) as idx:
+            return np.asarray(idx.lengths(list(pairs)))
 
     def shortest_path(self, scene: str, p: Point, q: Point) -> List[Point]:
         return self.submit([Request(scene, p, q, op=OP_PATH)])[0]
@@ -104,14 +107,19 @@ class QueryServer:
                 groups.setdefault(r.scene, []).append(i)
             else:
                 path_positions.append(i)
+        # pinned access: LRU eviction under the byte bound must never
+        # free a scene while this batch is reading its matrix
         for scene, positions in groups.items():
-            idx = self.store.get(scene)
-            vals = idx.lengths([(reqs[i].p, reqs[i].q) for i in positions])
+            with self.store.using(scene) as idx:
+                vals = idx.lengths([(reqs[i].p, reqs[i].q) for i in positions])
             for k, i in enumerate(positions):
                 out[i] = float(vals[k])
         for i in path_positions:
             r = reqs[i]
-            out[i] = self.store.get(r.scene).shortest_path(r.p, r.q)
+            with self.store.using(r.scene) as idx:
+                out[i] = idx.shortest_path(r.p, r.q)
+        if reqs:
+            self.batch_hist.observe(len(reqs))
         with self._lock:
             self.requests += len(reqs)
             self.batches += 1
@@ -121,11 +129,13 @@ class QueryServer:
         return out
 
     # -- introspection --------------------------------------------------
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "requests": self.requests,
                 "batches": self.batches,
                 "coalesced_groups": self.coalesced_groups,
                 "largest_group": self.largest_group,
             }
+        out["batch_size_hist"] = self.batch_hist.as_dict()
+        return out

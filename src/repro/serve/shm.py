@@ -1,0 +1,382 @@
+"""Zero-copy scene sharing through ``multiprocessing.shared_memory``.
+
+The cluster's memory model: one process (the front-end) *publishes* each
+scene's big read-only arrays — the ``(n, n)`` distance matrix and the
+vertex order — into a POSIX shared-memory segment laid out exactly like a
+raw (v3) snapshot payload; every worker process then *attaches* the
+segment and rebuilds a queryable :class:`ShortestPathIndex` over
+memoryview-backed ndarrays via :func:`repro.serve.snapshot.reconstruct`.
+No worker ever copies a matrix: N workers serving S scenes hold one
+matrix instance total per scene, which is what lets worker RSS stay flat
+as scenes accumulate (asserted by ``benchmarks/bench_cluster.py``).
+
+Lifecycle: the publisher owns the segments — it refcounts them per scene
+(``publish``/``release``) and unlinks everything in :meth:`ShmPublisher.close`
+(also on context-manager exit).  Attachments are read-only views; a
+worker's :meth:`AttachedScene.close` drops its mapping (best-effort while
+ndarray views are still alive — the OS reclaims the mapping at process
+exit regardless) and never unlinks.  Both ``fork`` and ``spawn`` start
+methods work: attachment is by segment *name*, which is inherited by
+neither and resolved through ``/dev/shm`` by both.
+
+CPython ≤3.12 registers *attached* segments with its resource tracker as
+if it owned them (bpo-38119), so a worker exiting would unlink segments
+the publisher still serves.  :func:`_attach_untracked` suppresses that
+registration (``track=False`` where available); the publisher's own
+registration survives and is cleaned up by its explicit ``unlink``.
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.api import ShortestPathIndex
+from repro.errors import ClusterError, SnapshotError
+from repro.serve.snapshot import RAW_ALIGN, _align, load_arrays, reconstruct
+
+#: every segment this module creates is named with this prefix, so tests
+#: (and operators) can audit ``/dev/shm`` for leaks
+SEGMENT_PREFIX = "rsp-"
+
+#: shared-memory manifest format identity (the JSON handed to workers)
+MANIFEST_FORMAT = "repro-shm"
+MANIFEST_VERSION = 1
+
+#: array members that go into the segment (everything else — rect lists,
+#: polygon loops, the container — is small and rides the manifest inline)
+_SEGMENT_MEMBERS = ("points", "matrix", "qs_parents")
+
+
+def _segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{secrets.token_hex(6)}"
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to ``name`` without registering it with the resource
+    tracker (see module docstring).  CPython 3.13+ has ``track=False``
+    for exactly this; earlier versions register attachments
+    unconditionally, so there the registration call is stubbed out for
+    the duration of the constructor (attaches happen during single-
+    threaded worker startup, so the patch window is benign)."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python <= 3.12: no track parameter
+        pass
+    orig = resource_tracker.register
+    try:
+        resource_tracker.register = lambda *a, **k: None  # type: ignore[assignment]
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig
+
+
+def list_segments() -> list[str]:
+    """Names of live ``rsp-`` shared-memory segments on this machine
+    (reads ``/dev/shm``; empty where that filesystem does not exist).
+    The leak-detection primitive for tests and the CI smoke step."""
+    import os
+
+    try:
+        entries = os.listdir("/dev/shm")
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return []
+    return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))
+
+
+class _Segment:
+    """One owned shared-memory segment with a scene refcount."""
+
+    def __init__(self, size: int) -> None:
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=max(size, 1), name=_segment_name()
+        )
+        self.refs = 0
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+
+class ShmPublisher:
+    """Publishes scenes into shared memory; owns and unlinks the segments.
+
+    >>> with ShmPublisher() as pub:                      # doctest: +SKIP
+    ...     manifest = pub.publish("campus", idx)
+    ...     # hand `manifest` (a JSON-safe dict) to worker processes,
+    ...     # which call attach(manifest)
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, _Segment] = {}  # segment name -> segment
+        self._scenes: Dict[str, dict] = {}  # scene name -> manifest
+        # share key (id of a published index) -> (segment name, toc);
+        # _share_refs pins the index objects so their ids stay unique
+        self._shared: Dict[int, tuple] = {}
+        self._share_refs: list = []
+        self._closed = False
+
+    # -- publishing -----------------------------------------------------
+    def publish(self, scene: str, idx: ShortestPathIndex) -> dict:
+        """Copy ``idx``'s arrays into one shared segment; returns the
+        JSON-safe manifest workers attach from.  Publishing the *same*
+        index object under several scene names shares one segment
+        (refcounted; unlinked when the last name is released)."""
+        arrays, _ = _index_arrays(idx)
+        meta = {
+            "engine": idx.engine,
+            "rects": [[r.xlo, r.ylo, r.xhi, r.yhi] for r in idx.rects],
+            "container": list(map(list, idx.container.loop)) if idx.container else None,
+            "polygons": [list(map(list, p.loop)) for p in getattr(idx, "polygons", [])],
+        }
+        self._share_refs.append(idx)
+        return self._publish_arrays(scene, arrays, meta, share_key=id(idx))
+
+    def publish_snapshot(self, scene: str, path) -> dict:
+        """Publish straight from a ``.rsp`` artifact — for raw (v3) files
+        the arrays are mapped from the page cache and copied once into the
+        segment, never materializing a private heap copy."""
+        header, arrays = load_arrays(path, mmap=True)
+        meta = {
+            "engine": str(header.get("engine", "parallel")),
+            "rects": np.asarray(arrays["rects"]).tolist(),
+            "container": (
+                np.asarray(arrays["container"]).tolist()
+                if len(np.asarray(arrays["container"]))
+                else None
+            ),
+            "polygons": _loops_from_flat(arrays["poly_offsets"], arrays["poly_vertices"]),
+        }
+        seg_arrays = {
+            "points": np.asarray(arrays["points"]),
+            "matrix": np.asarray(arrays["matrix"], dtype=float),
+        }
+        if arrays.get("qs_parents") is not None:
+            seg_arrays["qs_parents"] = np.asarray(arrays["qs_parents"])
+        return self._publish_arrays(scene, seg_arrays, meta)
+
+    def _publish_arrays(
+        self, scene: str, arrays: dict, meta: dict, share_key=None
+    ) -> dict:
+        if self._closed:
+            raise ClusterError("publisher is closed")
+        if scene in self._scenes:
+            raise ClusterError(f"scene {scene!r} is already published")
+        shared = self._shared.get(share_key) if share_key is not None else None
+        if shared is not None:
+            # the same built index published under another scene name:
+            # alias the existing segment instead of copying the matrix
+            # again — this is where the segment refcount earns its keep
+            seg_name, toc = shared
+            seg = self._segments[seg_name]
+        else:
+            converted = [
+                (name, np.ascontiguousarray(arrays[name]))
+                for name in _SEGMENT_MEMBERS
+                if name in arrays
+            ]
+            toc = {}
+            offset = 0
+            for name, arr in converted:
+                toc[name] = {
+                    "dtype": arr.dtype.str,
+                    "shape": list(arr.shape),
+                    "offset": offset,
+                    "nbytes": arr.nbytes,
+                }
+                offset = _align(offset + arr.nbytes, RAW_ALIGN)
+            seg = _Segment(offset)
+            try:
+                for name, arr in converted:
+                    dst = np.ndarray(
+                        arr.shape,
+                        dtype=arr.dtype,
+                        buffer=seg.shm.buf,
+                        offset=toc[name]["offset"],
+                    )
+                    np.copyto(dst, arr)
+                    del dst  # no exported views may outlive close()
+            except BaseException:
+                seg.shm.close()
+                seg.shm.unlink()
+                raise
+            self._segments[seg.name] = seg
+            if share_key is not None:
+                self._shared[share_key] = (seg.name, toc)
+        seg.refs += 1
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "version": MANIFEST_VERSION,
+            "scene": scene,
+            "segment": seg.name,
+            "size": seg.shm.size,
+            "toc": toc,
+            "meta": meta,
+        }
+        self._scenes[scene] = manifest
+        return manifest
+
+    # -- introspection --------------------------------------------------
+    def manifest(self, scene: str) -> dict:
+        try:
+            return self._scenes[scene]
+        except KeyError:
+            known = ", ".join(sorted(self._scenes)) or "<none>"
+            raise ClusterError(
+                f"scene {scene!r} is not published (published: {known})"
+            ) from None
+
+    def scenes(self) -> list[str]:
+        return sorted(self._scenes)
+
+    def total_bytes(self) -> int:
+        return sum(seg.shm.size for seg in self._segments.values())
+
+    # -- lifecycle ------------------------------------------------------
+    def release(self, scene: str) -> None:
+        """Drop one scene; its segment is unlinked once no published
+        scene references it any more."""
+        manifest = self.manifest(scene)
+        del self._scenes[scene]
+        seg = self._segments[manifest["segment"]]
+        seg.refs -= 1
+        if seg.refs <= 0:
+            del self._segments[seg.name]
+            self._shared = {
+                k: v for k, v in self._shared.items() if v[0] != seg.name
+            }
+            seg.shm.close()
+            seg.shm.unlink()
+
+    def close(self) -> None:
+        """Unlink every remaining segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments.values():
+            try:
+                seg.shm.close()
+                seg.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._scenes.clear()
+        self._shared.clear()
+        self._share_refs.clear()
+
+    def __enter__(self) -> "ShmPublisher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AttachedScene:
+    """A worker-side attachment: the segment mapping plus the rebuilt
+    index.  Keep this object alive as long as the index is in use — the
+    index's matrix is a view straight into the mapping."""
+
+    def __init__(self, manifest: dict) -> None:
+        _validate_manifest(manifest)
+        self.scene = manifest["scene"]
+        try:
+            self.shm = _attach_untracked(manifest["segment"])
+        except FileNotFoundError:
+            raise ClusterError(
+                f"scene {self.scene!r}: shared segment {manifest['segment']!r} "
+                f"does not exist (publisher gone or already unlinked?)"
+            )
+        arrays: dict[str, Optional[np.ndarray]] = {}
+        try:
+            for name, ent in manifest["toc"].items():
+                dtype = np.dtype(ent["dtype"])
+                shape = tuple(int(s) for s in ent["shape"])
+                arr = np.ndarray(
+                    shape, dtype=dtype, buffer=self.shm.buf, offset=int(ent["offset"])
+                )
+                arr.flags.writeable = False
+                arrays[name] = arr
+            meta = manifest["meta"]
+            arrays["rects"] = np.asarray(meta["rects"], dtype=np.int64).reshape(-1, 4)
+            container = meta.get("container")
+            arrays["container"] = np.asarray(
+                container if container else [], dtype=np.int64
+            ).reshape(-1, 2)
+            offsets = [0]
+            flat: list = []
+            for loop in meta.get("polygons") or []:
+                flat.extend(loop)
+                offsets.append(len(flat))
+            arrays["poly_offsets"] = np.asarray(offsets, dtype=np.int64)
+            arrays["poly_vertices"] = np.asarray(flat, dtype=np.int64).reshape(-1, 2)
+            arrays.setdefault("qs_parents", None)
+            try:
+                self.index = reconstruct(
+                    {"engine": meta.get("engine", "parallel")},
+                    arrays,
+                    label=f"shm:{self.scene}",
+                )
+            except SnapshotError as exc:
+                raise ClusterError(str(exc))
+        except BaseException:
+            arrays.clear()
+            self.shm.close()
+            raise
+        self.index.shm_handle = self
+        self.closed = False
+
+    def close(self) -> None:
+        """Drop the mapping (best effort: with live ndarray views the
+        buffer stays exported and the mapping is reclaimed at process
+        exit instead; either way the segment is never unlinked here)."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.shm.close()
+        except BufferError:  # views into the mapping are still alive
+            pass
+
+
+def attach(manifest: dict) -> ShortestPathIndex:
+    """Attach a published scene zero-copy; the returned index's matrix is
+    a read-only view into the shared segment (``idx.shm_handle`` keeps
+    the attachment alive and offers ``close()``)."""
+    return AttachedScene(manifest).index
+
+
+def is_shm_backed(idx: ShortestPathIndex) -> bool:
+    return getattr(idx, "shm_handle", None) is not None
+
+
+def _validate_manifest(manifest) -> None:
+    if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
+        raise ClusterError(f"not a {MANIFEST_FORMAT} manifest: {manifest!r:.80}")
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise ClusterError(
+            f"shm manifest version {manifest.get('version')!r}; this build "
+            f"speaks version {MANIFEST_VERSION}"
+        )
+    for key in ("scene", "segment", "toc", "meta"):
+        if key not in manifest:
+            raise ClusterError(f"shm manifest is missing {key!r}")
+
+
+def _index_arrays(idx: ShortestPathIndex) -> tuple[dict, bool]:
+    """The segment-bound arrays of a built index (forces the §6.4 export
+    for rectangle scenes, mirroring ``snapshot.save``)."""
+    arrays = idx.index.export_arrays()
+    include_query = not getattr(idx, "seams", [])
+    if include_query:
+        arrays["qs_parents"] = idx.query.export_world_parents()
+    return arrays, include_query
+
+
+def _loops_from_flat(poly_offsets, poly_vertices) -> list:
+    offs = [int(v) for v in np.asarray(poly_offsets).tolist()]
+    verts = [list(map(int, v)) for v in np.asarray(poly_vertices).tolist()]
+    return [verts[a:b] for a, b in zip(offs, offs[1:])]
+

@@ -3,8 +3,7 @@
 The paper's structure is *build once expensively, query forever cheaply*
 (abstract: O(log² n) parallel build, O(1)/O(log n) queries), which makes
 the build output the natural unit of persistence.  A snapshot is a single
-``.rsp`` file — a NumPy ``.npz`` archive with a JSON header member — that
-captures everything the query side needs:
+``.rsp`` file capturing everything the query side needs:
 
 ``header``       JSON: format name + version, repro version, engine,
                  element counts, simulated build cost, matrix checksum
@@ -18,20 +17,32 @@ captures everything the query side needs:
                  NE tracing forests (absent when not exported; polygon
                  scenes never export them — they use the corner-graph
                  query fallback, which needs nothing beyond the matrix)
-``poly_offsets`` ``(P + 1,)`` int64 — *format v2*: prefix offsets into
+``poly_offsets`` ``(P + 1,)`` int64 — *v2+*: prefix offsets into
                  ``poly_vertices`` delimiting each original polygon
                  obstacle's vertex loop
-``poly_vertices`` ``(K, 2)`` int64 — *format v2*: concatenated polygon
+``poly_vertices`` ``(K, 2)`` int64 — *v2+*: concatenated polygon
                  loops (seams are recomputed from the loops on load —
                  the decomposition is deterministic)
+
+Two container layouts exist:
+
+* **format v3 (current, "raw")** — a flat binary file: an 8-byte magic,
+  a little-endian ``uint64`` header length, the JSON header (which
+  carries a table of contents of dtype/shape/offset per array), then the
+  raw C-order array payloads at 64-byte-aligned offsets.  The layout is
+  mmap-friendly: :func:`load` maps the arrays read-only straight out of
+  the page cache (no decompression, no second copy), and
+  :mod:`repro.serve.shm` copies the same bytes once into shared-memory
+  segments that worker processes attach zero-copy.
+* **formats v1/v2 ("npz")** — a NumPy ``.npz`` archive with the same
+  members.  Still fully readable (the copy path); still writable via
+  ``save(..., layout="npz")`` for compatibility fixtures.
 
 Loading never re-runs an engine: the matrix is mapped back into a
 :class:`DistanceIndex`, the §6.4 forests (when present) are handed to
 :class:`QueryStructure`, and only the cheap ray shooters are rebuilt.
-Version-1 artifacts (pre-polygon) still load — they simply carry no
-polygon members.  Corrupt, truncated, or version-mismatched artifacts
-raise :class:`~repro.errors.SnapshotError` — never a deep traceback from
-NumPy.
+Corrupt, truncated, or version-mismatched artifacts raise
+:class:`~repro.errors.SnapshotError` — never a deep traceback from NumPy.
 """
 
 from __future__ import annotations
@@ -41,10 +52,11 @@ import io
 import json
 import os
 import pathlib
+import struct
 import tempfile
 import zipfile
 import zlib
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -60,29 +72,35 @@ PathLike = Union[str, pathlib.Path]
 
 #: snapshot format identity; bump ``SNAPSHOT_VERSION`` on layout changes
 SNAPSHOT_FORMAT = "repro-snapshot"
-SNAPSHOT_VERSION = 2
+SNAPSHOT_VERSION = 3
 #: every format version this build can read back
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
+#: the version written by ``save(..., layout="npz")`` (the legacy container)
+NPZ_VERSION = 2
 
 #: conventional file extension (the CLI sniffs content, not the name)
 SNAPSHOT_SUFFIX = ".rsp"
+
+#: first 8 bytes of a raw-layout (v3) artifact; deliberately not ``PK``
+#: (zip) and not ``\x93NUMPY`` (bare .npy), and unprintable enough that a
+#: text file can never collide
+RAW_MAGIC = b"\x93RSP\r\n\x1a\n"
+#: raw-layout arrays start at multiples of this (mmap/SIMD friendly)
+RAW_ALIGN = 64
+#: sanity bound on the embedded JSON header
+_MAX_HEADER = 64 << 20
+
+
+def _align(n: int, a: int = RAW_ALIGN) -> int:
+    return (n + a - 1) // a * a
 
 
 def _matrix_digest(matrix: np.ndarray) -> str:
     return hashlib.sha256(np.ascontiguousarray(matrix).tobytes()).hexdigest()
 
 
-def save(
-    idx: ShortestPathIndex, path: PathLike, include_query: bool = True
-) -> pathlib.Path:
-    """Serialize ``idx`` to ``path``; returns the path written.
-
-    ``include_query=True`` (default) also exports the §6.4 arbitrary-point
-    query structure — forcing its construction now if it was never queried
-    — so a loaded snapshot answers arbitrary-point queries without any
-    tracing work.
-    """
-    path = pathlib.Path(path)
+def _export_arrays(idx: ShortestPathIndex, include_query: bool) -> tuple[dict, bool]:
+    """All snapshot array members of ``idx`` (shared by both layouts)."""
     arrays = idx.index.export_arrays()
     arrays["rects"] = np.array(
         [[r.xlo, r.ylo, r.xhi, r.yhi] for r in idx.rects], dtype=np.int64
@@ -106,9 +124,13 @@ def save(
     include_query = include_query and not getattr(idx, "seams", [])
     if include_query:
         arrays["qs_parents"] = idx.query.export_world_parents()
-    header = {
+    return arrays, include_query
+
+
+def _base_header(idx: ShortestPathIndex, include_query: bool, matrix) -> dict:
+    polygons = getattr(idx, "polygons", [])
+    return {
         "format": SNAPSHOT_FORMAT,
-        "version": SNAPSHOT_VERSION,
         "repro_version": __version__,
         "engine": idx.engine,
         "n_points": len(idx.index),
@@ -118,20 +140,52 @@ def save(
         "has_query_structure": include_query,
         "build_time": idx.pram.time,
         "build_work": idx.pram.work,
-        "matrix_sha256": _matrix_digest(arrays["matrix"]),
+        "matrix_sha256": _matrix_digest(matrix),
     }
-    arrays["header"] = np.frombuffer(
-        json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
-    )
-    buf = io.BytesIO()
-    np.savez_compressed(buf, **arrays)
+
+
+def save(
+    idx: ShortestPathIndex,
+    path: PathLike,
+    include_query: bool = True,
+    layout: str = "raw",
+) -> pathlib.Path:
+    """Serialize ``idx`` to ``path``; returns the path written.
+
+    ``include_query=True`` (default) also exports the §6.4 arbitrary-point
+    query structure — forcing its construction now if it was never queried
+    — so a loaded snapshot answers arbitrary-point queries without any
+    tracing work.
+
+    ``layout="raw"`` (default) writes the mmap-friendly format-v3 file;
+    ``layout="npz"`` writes the legacy format-v2 ``.npz`` archive (smaller
+    on disk, but loads through a decompress-and-copy path and cannot back
+    shared-memory serving directly).
+    """
+    path = pathlib.Path(path)
+    arrays, include_query = _export_arrays(idx, include_query)
+    header = _base_header(idx, include_query, arrays["matrix"])
+    if layout == "raw":
+        header["version"] = SNAPSHOT_VERSION
+        header["layout"] = "raw"
+        blob = _encode_raw(header, arrays)
+    elif layout == "npz":
+        header["version"] = NPZ_VERSION
+        arrays["header"] = np.frombuffer(
+            json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        blob = buf.getvalue()
+    else:
+        raise ValueError(f"unknown snapshot layout {layout!r} (want raw or npz)")
     # atomic publish: a crash mid-write (or a concurrent saver of the
     # same path) must never leave a truncated artifact where a
     # SceneStore will try to load it — hence a unique temp sibling
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
-            fh.write(buf.getvalue())
+            fh.write(blob)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -142,8 +196,42 @@ def save(
     return path
 
 
+def _encode_raw(header: dict, arrays: dict) -> bytes:
+    """The raw (v3) container: magic + header length + JSON + aligned
+    C-order payloads.  TOC offsets are relative to the payload base (which
+    is itself ``_align(16 + header length)``), so the header's own length
+    never feeds back into the offsets it describes."""
+    toc: dict[str, dict] = {}
+    rel = 0
+    blobs: list[bytes] = []
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        toc[name] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": rel,
+            "nbytes": arr.nbytes,
+        }
+        blobs.append(arr.tobytes())
+        rel = _align(rel + arr.nbytes)
+    header = dict(header, toc=toc)
+    hbytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    base = _align(16 + len(hbytes))
+    out = bytearray(base + rel)
+    out[:8] = RAW_MAGIC
+    out[8:16] = struct.pack("<Q", len(hbytes))
+    out[16 : 16 + len(hbytes)] = hbytes
+    for name, blob in zip(sorted(arrays), blobs):
+        off = base + toc[name]["offset"]
+        out[off : off + len(blob)] = blob
+    return bytes(out)
+
+
 def read_header(path: PathLike) -> dict:
     """The snapshot's JSON header alone (no array payloads are decoded)."""
+    if _is_raw(path):
+        header, _ = _read_raw_header(path)
+        return header
     with _open_archive(path) as npz:
         return _parse_header(path, npz)
 
@@ -157,52 +245,93 @@ def is_snapshot(path: PathLike) -> bool:
         return False
 
 
-def load(path: PathLike) -> ShortestPathIndex:
+def load(path: PathLike, mmap: bool = True) -> ShortestPathIndex:
     """Reconstruct a fully queryable :class:`ShortestPathIndex` from a
-    snapshot; raises :class:`SnapshotError` on any malformed artifact."""
-    with _open_archive(path) as npz:
-        header = _parse_header(path, npz)
-        try:
-            points = npz["points"]
-            matrix = npz["matrix"]
-            rect_arr = npz["rects"]
-            loop_arr = npz["container"]
-            parents = npz["qs_parents"] if "qs_parents" in npz.files else None
-            if "poly_offsets" in npz.files:  # format v2
-                poly_offsets = npz["poly_offsets"]
-                poly_vertices = npz["poly_vertices"]
-            else:  # format v1: pre-polygon artifact
-                poly_offsets = np.zeros(1, dtype=np.int64)
-                poly_vertices = np.empty((0, 2), dtype=np.int64)
-        except (KeyError, ValueError, zipfile.BadZipFile, OSError, zlib.error) as exc:
-            raise SnapshotError(f"{path}: missing or corrupt array member: {exc}")
-    digest = _matrix_digest(np.asarray(matrix, dtype=float))
+    snapshot; raises :class:`SnapshotError` on any malformed artifact.
+
+    Raw (v3) artifacts map their arrays read-only straight from the file
+    (``mmap=False`` forces an in-memory copy instead); npz (v1/v2)
+    artifacts always load through the decompress-and-copy path.
+    """
+    header, arrays = load_arrays(path, mmap=mmap)
+    digest = _matrix_digest(np.asarray(arrays["matrix"], dtype=float))
     if digest != header.get("matrix_sha256"):
         raise SnapshotError(
             f"{path}: matrix checksum mismatch (corrupt or tampered artifact)"
         )
+    idx = reconstruct(header, arrays, label=str(path))
+    idx.snapshot_meta = header
+    return idx
+
+
+def load_arrays(path: PathLike, mmap: bool = True) -> tuple[dict, dict]:
+    """``(header, arrays)`` of any supported snapshot, layout-agnostic.
+
+    Missing optional members are normalized: ``qs_parents`` maps to
+    ``None``, pre-polygon (v1) artifacts get empty polygon members.  This
+    is the entry point :mod:`repro.serve.shm` uses to publish a snapshot's
+    bytes into shared memory without building an index first.
+    """
+    if _is_raw(path):
+        header, base = _read_raw_header(path)
+        arrays = _read_raw_arrays(path, header, base, mmap=mmap)
+    else:
+        with _open_archive(path) as npz:
+            header = _parse_header(path, npz)
+            try:
+                arrays = {name: npz[name] for name in npz.files if name != "header"}
+            except (
+                KeyError,
+                ValueError,
+                zipfile.BadZipFile,
+                OSError,
+                zlib.error,
+            ) as exc:
+                raise SnapshotError(f"{path}: missing or corrupt array member: {exc}")
+    for required in ("points", "matrix", "rects", "container"):
+        if required not in arrays:
+            raise SnapshotError(f"{path}: snapshot has no {required!r} member")
+    arrays.setdefault("qs_parents", None)
+    if "poly_offsets" not in arrays:  # format v1: pre-polygon artifact
+        arrays["poly_offsets"] = np.zeros(1, dtype=np.int64)
+        arrays["poly_vertices"] = np.empty((0, 2), dtype=np.int64)
+    return header, arrays
+
+
+def reconstruct(header: dict, arrays: dict, label: str = "<arrays>") -> ShortestPathIndex:
+    """Rebuild a queryable index from snapshot-shaped ``arrays``.
+
+    Shared by :func:`load` and :func:`repro.serve.shm.attach` — the only
+    difference between the two is where the bytes live (a file mapping vs
+    a shared-memory segment); everything rebuilt here (``Rect`` objects,
+    polygon seams, ray shooters) is small.
+    """
     try:
-        index = DistanceIndex.from_arrays(points, matrix)
-        rects = [Rect(*row) for row in rect_arr.tolist()]
+        index = DistanceIndex.from_arrays(arrays["points"], arrays["matrix"])
+        rects = [Rect(*row) for row in np.asarray(arrays["rects"]).tolist()]
+        loop_arr = np.asarray(arrays["container"])
         container = None
         if len(loop_arr):
             container = RectilinearPolygon([(x, y) for x, y in loop_arr.tolist()])
-        offs = [int(v) for v in poly_offsets.tolist()]
-        verts = [(int(x), int(y)) for x, y in poly_vertices.tolist()]
-        polygons = [
-            RectilinearPolygon(verts[a:b]) for a, b in zip(offs, offs[1:])
+        offs = [int(v) for v in np.asarray(arrays["poly_offsets"]).tolist()]
+        verts = [
+            (int(x), int(y)) for x, y in np.asarray(arrays["poly_vertices"]).tolist()
         ]
+        polygons = [RectilinearPolygon(verts[a:b]) for a, b in zip(offs, offs[1:])]
         # seams are a pure function of each loop: recompute instead of
         # trusting (or bloating) the artifact
         seams = [s for poly in polygons for s in poly.decomposition()[1]]
     except Exception as exc:  # noqa: BLE001 - any geometry rejection is corruption
-        raise SnapshotError(f"{path}: invalid snapshot payload: {exc}")
-    if parents is not None and parents.shape != (4, len(rects)):
-        raise SnapshotError(
-            f"{path}: query-structure parents shape {parents.shape} does not "
-            f"match {len(rects)} obstacles"
-        )
-    idx = ShortestPathIndex(
+        raise SnapshotError(f"{label}: invalid snapshot payload: {exc}")
+    parents = arrays.get("qs_parents")
+    if parents is not None:
+        parents = np.asarray(parents)
+        if parents.shape != (4, len(rects)):
+            raise SnapshotError(
+                f"{label}: query-structure parents shape {parents.shape} does "
+                f"not match {len(rects)} obstacles"
+            )
+    return ShortestPathIndex(
         rects,
         index,
         PRAM("snapshot-load"),
@@ -212,11 +341,82 @@ def load(path: PathLike) -> ShortestPathIndex:
         polygons=polygons,
         seams=seams,
     )
-    idx.snapshot_meta = header
-    return idx
 
 
-# ----------------------------------------------------------------------
+# -- raw (v3) container ------------------------------------------------
+def _is_raw(path: PathLike) -> bool:
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(RAW_MAGIC)) == RAW_MAGIC
+    except IsADirectoryError:
+        raise SnapshotError(f"{path}: not a snapshot archive (directory)")
+
+
+def _read_raw_header(path: PathLike) -> tuple[dict, int]:
+    """``(header, payload_base)`` of a raw artifact."""
+    with open(path, "rb") as fh:
+        head = fh.read(16)
+        if len(head) < 16 or head[:8] != RAW_MAGIC:
+            raise SnapshotError(f"{path}: not a snapshot archive")
+        (hlen,) = struct.unpack("<Q", head[8:16])
+        if not 2 <= hlen <= _MAX_HEADER:
+            raise SnapshotError(f"{path}: implausible snapshot header size {hlen}")
+        hbytes = fh.read(hlen)
+    if len(hbytes) < hlen:
+        raise SnapshotError(f"{path}: truncated snapshot header")
+    try:
+        header = json.loads(hbytes.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"{path}: unreadable snapshot header: {exc}")
+    _validate_header(path, header)
+    if header.get("layout") != "raw" or not isinstance(header.get("toc"), dict):
+        raise SnapshotError(f"{path}: raw container with a non-raw header")
+    return header, _align(16 + hlen)
+
+
+def _read_raw_arrays(
+    path: PathLike, header: dict, base: int, mmap: bool = True
+) -> dict:
+    size = os.path.getsize(path)
+    out: dict[str, np.ndarray] = {}
+    for name, ent in header["toc"].items():
+        try:
+            dtype = np.dtype(ent["dtype"])
+            shape = tuple(int(s) for s in ent["shape"])
+            offset = base + int(ent["offset"])
+            nbytes = int(ent["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"{path}: malformed TOC entry for {name!r}: {exc}")
+        want = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        if want != nbytes:
+            raise SnapshotError(
+                f"{path}: TOC size mismatch for {name!r}: {nbytes} != {want}"
+            )
+        if int(ent["offset"]) < 0:
+            # a negative offset would silently map header bytes as data
+            raise SnapshotError(
+                f"{path}: TOC offset for {name!r} points outside the payload"
+            )
+        if offset + nbytes > size:
+            raise SnapshotError(
+                f"{path}: truncated artifact ({name!r} extends past end of file)"
+            )
+        if nbytes == 0:
+            out[name] = np.empty(shape, dtype=dtype)
+        elif mmap:
+            out[name] = np.memmap(path, mode="r", dtype=dtype, shape=shape, offset=offset)
+        else:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                buf = fh.read(nbytes)
+            if len(buf) < nbytes:
+                raise SnapshotError(f"{path}: truncated artifact member {name!r}")
+            arr = np.frombuffer(buf, dtype=dtype).reshape(shape).copy()
+            out[name] = arr
+    return out
+
+
+# -- npz (v1/v2) container ---------------------------------------------
 def _open_archive(path: PathLike):
     try:
         npz = np.load(path, allow_pickle=False)
@@ -236,6 +436,16 @@ def _parse_header(path: PathLike, npz) -> dict:
         header = json.loads(bytes(npz["header"].tobytes()).decode("utf-8"))
     except (ValueError, UnicodeDecodeError, zipfile.BadZipFile, OSError, zlib.error) as exc:
         raise SnapshotError(f"{path}: unreadable snapshot header: {exc}")
+    _validate_header(path, header)
+    if header.get("version", 0) >= 3:
+        raise SnapshotError(
+            f"{path}: version {header['version']} snapshots use the raw "
+            f"layout, but this is an npz archive"
+        )
+    return header
+
+
+def _validate_header(path: PathLike, header) -> None:
     if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
         raise SnapshotError(f"{path}: not a {SNAPSHOT_FORMAT} artifact")
     if header.get("version") not in SUPPORTED_VERSIONS:
@@ -243,4 +453,3 @@ def _parse_header(path: PathLike, npz) -> dict:
             f"{path}: snapshot format version {header.get('version')!r}; "
             f"this build reads versions {SUPPORTED_VERSIONS}"
         )
-    return header

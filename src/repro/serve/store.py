@@ -17,11 +17,12 @@ evicted scene is not an error — the next ``get`` simply re-materializes it
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, Optional, Sequence, Union
 
 from repro.core.api import Engine, ShortestPathIndex
 from repro.errors import QueryError
@@ -36,10 +37,17 @@ def resident_bytes(idx: ShortestPathIndex) -> int:
     """Estimated resident footprint of one materialized index.
 
     The n×n matrix dominates; points, rects, and any persisted §6.4
-    forests are accounted with flat per-element costs.
+    forests are accounted with flat per-element costs.  A shared-memory
+    attached index (:mod:`repro.serve.shm`) charges only its small
+    private structures — its matrix is one shared mapping, not a private
+    copy, which is what lets a worker keep many scenes resident under a
+    byte bound sized for private memory.
     """
     n = len(idx.index)
-    total = idx.index.matrix.nbytes + 16 * n + 32 * len(idx.rects)
+    small = 16 * n + 32 * len(idx.rects)
+    if getattr(idx, "shm_handle", None) is not None:
+        return small
+    total = idx.index.matrix.nbytes + small
     if idx._query_parents is not None:
         total += idx._query_parents.nbytes
     return total
@@ -51,6 +59,7 @@ class _Entry:
     kind: str  # "snapshot" | "build" | "builder"
     idx: Optional[ShortestPathIndex] = None
     nbytes: int = 0
+    pins: int = 0  # in-flight readers; pinned entries are never evicted
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -162,6 +171,40 @@ class SceneStore:
                 return idx
         return self.get(name)  # evicted while we waited; re-materialize
 
+    # -- pinning --------------------------------------------------------
+    def pin(self, name: str) -> ShortestPathIndex:
+        """Materialize-and-pin: the returned index is guaranteed to stay
+        resident (no LRU or explicit eviction) until the matching
+        :meth:`unpin`.  This is what lets a ``QueryServer`` batch read a
+        scene's matrix while an unrelated insert squeezes the byte budget
+        — eviction of a pinned scene mid-gather would free (or, for a
+        shm-attached scene, detach) memory the reader is still touching.
+        """
+        while True:
+            idx = self.get(name)
+            with self._lock:
+                entry = self._entries.get(name)
+                if entry is not None and entry.idx is idx:
+                    entry.pins += 1
+                    return idx
+            # evicted between get() and the pin; re-materialize and retry
+
+    def unpin(self, name: str) -> None:
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.pins <= 0:
+                raise QueryError(f"scene {name!r} is not pinned")
+            entry.pins -= 1
+
+    @contextlib.contextmanager
+    def using(self, name: str) -> Iterator[ShortestPathIndex]:
+        """``with store.using("campus") as idx:`` — pinned for the block."""
+        idx = self.pin(name)
+        try:
+            yield idx
+        finally:
+            self.unpin(name)
+
     # -- residency ------------------------------------------------------
     def resident(self) -> dict[str, int]:
         """Currently materialized scenes and their byte estimates."""
@@ -175,19 +218,20 @@ class SceneStore:
             return sum(e.nbytes for e in self._entries.values() if e.idx is not None)
 
     def evict(self, name: str) -> bool:
-        """Drop one scene back to its source; True if it was resident."""
+        """Drop one scene back to its source; True if it was resident.
+        Pinned scenes are never dropped (returns False)."""
         with self._lock:
             entry = self._entries.get(name)
-            if entry is None or entry.idx is None:
+            if entry is None or entry.idx is None or entry.pins > 0:
                 return False
             self._drop(name, entry)
             return True
 
     def clear_resident(self) -> None:
-        """Drop every materialized scene (registrations are kept)."""
+        """Drop every materialized, unpinned scene (registrations kept)."""
         with self._lock:
             for name, entry in self._entries.items():
-                if entry.idx is not None:
+                if entry.idx is not None and entry.pins == 0:
                     self._drop(name, entry)
 
     def _drop(self, name: str, entry: _Entry) -> None:
@@ -197,8 +241,10 @@ class SceneStore:
         self.evictions += 1
 
     def _evict_over_budget(self, keep: str) -> None:
-        """LRU-evict other scenes until back under ``max_bytes`` (the one
-        just materialized is never evicted, even if it alone overflows)."""
+        """LRU-evict other scenes until back under ``max_bytes``.  The one
+        just materialized is never evicted (even if it alone overflows),
+        and neither is any pinned scene — a pinned matrix is being read
+        by an in-flight batch right now."""
         if self.max_bytes is None:
             return
         total = sum(e.nbytes for e in self._entries.values() if e.idx is not None)
@@ -208,6 +254,8 @@ class SceneStore:
             if name == keep:
                 continue
             entry = self._entries[name]
+            if entry.pins > 0:
+                continue
             total -= entry.nbytes
             self._drop(name, entry)
 
@@ -220,6 +268,7 @@ class SceneStore:
                 "resident_bytes": sum(
                     e.nbytes for e in self._entries.values() if e.idx is not None
                 ),
+                "pinned": sum(1 for e in self._entries.values() if e.pins > 0),
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,

@@ -4,6 +4,7 @@ batching query server, and their CLI entry points."""
 import io
 import json
 import threading
+import time
 import zipfile
 
 import numpy as np
@@ -24,7 +25,15 @@ from repro.serve import (
     read_header,
     save,
 )
-from repro.serve.snapshot import SNAPSHOT_VERSION
+from repro.serve.snapshot import (
+    NPZ_VERSION,
+    RAW_MAGIC,
+    SNAPSHOT_VERSION,
+    _encode_raw,
+    _export_arrays,
+    load_arrays,
+    read_header as read_snapshot_header,
+)
 from repro.workloads.generators import (
     random_container_polygon,
     random_disjoint_rects,
@@ -132,7 +141,8 @@ class TestSnapshotRoundTrip:
 
 
 class TestSnapshotFormatV2:
-    """Polygon scenes round-trip through format v2; v1 artifacts still load."""
+    """The npz layout (format v2) still writes and loads via the copy
+    path; polygon members and v1 artifacts are locked here."""
 
     def _polygon_scene(self, seed=0):
         from repro.workloads.generators import random_polygon_scene
@@ -143,7 +153,7 @@ class TestSnapshotFormatV2:
     def test_polygon_scene_round_trip_byte_identical(self, tmp_path, engine):
         obstacles = self._polygon_scene(3)
         idx = ShortestPathIndex.build(obstacles, engine=engine)
-        loaded = load(save(idx, tmp_path / "p.rsp"))
+        loaded = load(save(idx, tmp_path / "p.rsp", layout="npz"))
         # the distance matrix survives byte-identically
         assert idx.index.matrix.tobytes() == loaded.index.matrix.tobytes()
         assert loaded.rects == idx.rects
@@ -162,9 +172,9 @@ class TestSnapshotFormatV2:
     def test_polygon_header_and_members(self, tmp_path):
         obstacles = self._polygon_scene(4)
         idx = ShortestPathIndex.build(obstacles)
-        path = save(idx, tmp_path / "p2.rsp")
+        path = save(idx, tmp_path / "p2.rsp", layout="npz")
         header = read_header(path)
-        assert header["version"] == SNAPSHOT_VERSION == 2
+        assert header["version"] == NPZ_VERSION == 2
         assert header["n_polygons"] == 2
         # polygon scenes never persist §6.4 forests (corner-graph fallback)
         assert header["has_query_structure"] is False
@@ -175,11 +185,23 @@ class TestSnapshotFormatV2:
 
     def test_rect_scene_still_exports_query_structure(self, tmp_path):
         idx = ShortestPathIndex.build(random_disjoint_rects(6, seed=13))
-        path = save(idx, tmp_path / "r.rsp")
+        path = save(idx, tmp_path / "r.rsp", layout="npz")
         header = read_header(path)
         assert header["version"] == 2
         assert header["n_polygons"] == 0
         assert header["has_query_structure"] is True
+
+    def test_npz_and_raw_layouts_load_identically(self, tmp_path):
+        obstacles = self._polygon_scene(7)
+        idx = ShortestPathIndex.build(obstacles)
+        from_npz = load(save(idx, tmp_path / "a.rsp", layout="npz"))
+        from_raw = load(save(idx, tmp_path / "b.rsp", layout="raw"))
+        assert from_npz.index.matrix.tobytes() == from_raw.index.matrix.tobytes()
+        assert from_npz.rects == from_raw.rects
+        assert from_npz.seams == from_raw.seams
+        assert [p.loop for p in from_npz.polygons] == [
+            p.loop for p in from_raw.polygons
+        ]
 
     def test_v1_artifact_still_loads(self, tmp_path):
         """Hand-write a version-1 archive (the pre-polygon layout) and load."""
@@ -225,12 +247,23 @@ class TestSnapshotFormatV2:
 
     def test_unknown_future_version_rejected(self, tmp_path):
         idx = ShortestPathIndex.build(random_disjoint_rects(5, seed=1))
-        path = save(idx, tmp_path / "f.rsp")
+        path = save(idx, tmp_path / "f.rsp", layout="npz")
         header = read_header(path)
         header["version"] = 99
         raw = json.dumps(header).encode()
         _rewrite_member(path, "header.npy", _npz_bytes(np.frombuffer(raw, dtype=np.uint8)))
         with pytest.raises(SnapshotError, match="version"):
+            load(path)
+
+    def test_npz_claiming_raw_version_rejected(self, tmp_path):
+        # a version-3 header inside an npz archive is a layout mismatch
+        idx = ShortestPathIndex.build(random_disjoint_rects(5, seed=2))
+        path = save(idx, tmp_path / "m.rsp", layout="npz")
+        header = read_header(path)
+        header["version"] = 3
+        raw = json.dumps(header).encode()
+        _rewrite_member(path, "header.npy", _npz_bytes(np.frombuffer(raw, dtype=np.uint8)))
+        with pytest.raises(SnapshotError, match="raw"):
             load(path)
 
     def test_store_and_server_accept_polygon_scenes(self, tmp_path):
@@ -248,10 +281,12 @@ class TestSnapshotFormatV2:
 
 
 class TestSnapshotRejection:
+    """Corruption of the npz (v1/v2) copy path surfaces as SnapshotError."""
+
     @pytest.fixture()
     def snap(self, tmp_path):
         idx = ShortestPathIndex.build(random_disjoint_rects(6, seed=2))
-        return save(idx, tmp_path / "x.rsp")
+        return save(idx, tmp_path / "x.rsp", layout="npz")
 
     def test_garbage_file(self, tmp_path):
         bad = tmp_path / "junk.rsp"
@@ -329,6 +364,145 @@ class TestSnapshotRejection:
         idx = ShortestPathIndex.build(random_disjoint_rects(4, seed=1))
         save(idx, tmp_path / "a.rsp")
         assert [p.name for p in tmp_path.iterdir()] == ["a.rsp"]
+
+
+class TestSnapshotFormatV3:
+    """The raw (mmap-friendly) layout: round trip, zero-copy load, and
+    rejection of corrupt/truncated/future-versioned artifacts."""
+
+    @pytest.fixture()
+    def built(self):
+        rects = random_disjoint_rects(8, seed=3)
+        return rects, ShortestPathIndex.build(rects)
+
+    def test_default_save_is_raw_v3(self, tmp_path, built):
+        _, idx = built
+        path = save(idx, tmp_path / "r.rsp")
+        assert path.read_bytes()[: len(RAW_MAGIC)] == RAW_MAGIC
+        header = read_snapshot_header(path)
+        assert header["version"] == SNAPSHOT_VERSION == 3
+        assert header["layout"] == "raw"
+        assert set(header["toc"]) >= {"points", "matrix", "rects", "container"}
+        assert is_snapshot(path)
+
+    def test_load_is_mmap_backed_and_read_only(self, tmp_path, built):
+        rects, idx = built
+        loaded = load(save(idx, tmp_path / "r.rsp"))
+        mat = loaded.index.matrix
+        assert not mat.flags.owndata  # a view onto the file mapping
+        assert isinstance(mat.base, np.memmap) or isinstance(mat, np.memmap)
+        with pytest.raises((ValueError, OSError)):
+            mat[0, 0] = 1.0
+        vs = idx.vertices()
+        pairs = [(vs[i], vs[-1 - i]) for i in range(0, len(vs), 3)]
+        assert idx.lengths(pairs).tobytes() == loaded.lengths(pairs).tobytes()
+
+    def test_load_without_mmap_matches(self, tmp_path, built):
+        _, idx = built
+        path = save(idx, tmp_path / "r.rsp")
+        a, b = load(path), load(path, mmap=False)
+        assert a.index.matrix.tobytes() == b.index.matrix.tobytes()
+        assert b.index.matrix.flags.owndata or b.index.matrix.base is not None
+
+    def test_future_raw_version_rejected(self, tmp_path, built):
+        _, idx = built
+        arrays, include_query = _export_arrays(idx, True)
+        header = {
+            "format": "repro-snapshot",
+            "version": 4,
+            "layout": "raw",
+            "engine": "parallel",
+            "matrix_sha256": "0" * 64,
+        }
+        path = tmp_path / "future.rsp"
+        path.write_bytes(_encode_raw(header, arrays))
+        with pytest.raises(SnapshotError, match="version"):
+            load(path)
+        err = str(pytest.raises(SnapshotError, read_snapshot_header, path).value)
+        assert "\n" not in err  # one-line rejection
+
+    def test_truncated_raw_artifact(self, tmp_path, built):
+        _, idx = built
+        path = save(idx, tmp_path / "t.rsp")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError, match="truncat"):
+            load(path)
+
+    def test_truncated_raw_header(self, tmp_path):
+        bad = tmp_path / "h.rsp"
+        bad.write_bytes(RAW_MAGIC + (10_000).to_bytes(8, "little") + b"{}")
+        with pytest.raises(SnapshotError):
+            load(bad)
+        assert not is_snapshot(bad)
+
+    def test_raw_magic_with_garbage_header(self, tmp_path):
+        junk = b"not json at all!"
+        bad = tmp_path / "g.rsp"
+        bad.write_bytes(RAW_MAGIC + len(junk).to_bytes(8, "little") + junk)
+        with pytest.raises(SnapshotError, match="header"):
+            load(bad)
+
+    def test_negative_toc_offset_rejected(self, tmp_path, built):
+        """Regression: a corrupt TOC must not silently map header bytes
+        as array data — offsets outside the payload raise SnapshotError."""
+        _, idx = built
+        arrays, _ = _export_arrays(idx, True)
+        header = {
+            "format": "repro-snapshot",
+            "version": 3,
+            "layout": "raw",
+            "engine": "parallel",
+            "matrix_sha256": "0" * 64,
+        }
+        path = tmp_path / "neg.rsp"
+        path.write_bytes(_encode_raw(header, arrays))
+        good = read_snapshot_header(path)
+        good["toc"]["points"]["offset"] = -64
+        import struct as _struct
+
+        hbytes = json.dumps(good, sort_keys=True).encode()
+        body = path.read_bytes()
+        old_hlen = int.from_bytes(body[8:16], "little")
+        old_base = (16 + old_hlen + 63) // 64 * 64
+        new_base = (16 + len(hbytes) + 63) // 64 * 64
+        rebuilt = (
+            body[:8]
+            + _struct.pack("<Q", len(hbytes))
+            + hbytes
+            + b"\0" * (new_base - 16 - len(hbytes))
+            + body[old_base:]
+        )
+        path.write_bytes(rebuilt)
+        with pytest.raises(SnapshotError, match="outside the payload"):
+            load(path)
+
+    def test_bitflip_in_matrix_fails_checksum(self, tmp_path, built):
+        _, idx = built
+        path = save(idx, tmp_path / "c.rsp")
+        header = read_snapshot_header(path)
+        hlen = int.from_bytes(path.read_bytes()[8:16], "little")
+        base = (16 + hlen + 63) // 64 * 64
+        off = base + header["toc"]["matrix"]["offset"] + 8
+        raw = bytearray(path.read_bytes())
+        raw[off] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="checksum"):
+            load(path)
+
+    def test_container_and_query_structure_round_trip(self, tmp_path):
+        rects = random_disjoint_rects(8, seed=4)
+        poly = random_container_polygon(rects, seed=2)
+        idx = ShortestPathIndex.build(rects, container=poly)
+        loaded = load(save(idx, tmp_path / "c.rsp"))
+        assert loaded.container.loop == idx.container.loop
+        header, arrays = load_arrays(tmp_path / "c.rsp")
+        assert arrays["qs_parents"] is not None
+        free = [v for v in random_free_points(rects, 6, seed=5) if poly.contains(v)]
+        for i in range(0, len(free) - 1, 2):
+            assert loaded.length(free[i], free[i + 1]) == idx.length(
+                free[i], free[i + 1]
+            )
 
 
 class TestExportImportHooks:
@@ -457,6 +631,75 @@ class TestSceneStore:
             t.join()
         assert not bad
 
+    def test_pin_blocks_eviction(self):
+        store = SceneStore(max_bytes=1)  # any insert overflows
+        store.add_scene("a", random_disjoint_rects(4, seed=1))
+        store.add_scene("b", random_disjoint_rects(4, seed=2))
+        a = store.pin("a")
+        assert store.stats()["pinned"] == 1
+        store.get("b")  # would evict "a" — but it is pinned
+        assert "a" in store.resident()
+        assert not store.evict("a")
+        store.clear_resident()
+        assert "a" in store.resident()  # clear_resident also respects pins
+        store.unpin("a")
+        assert store.stats()["pinned"] == 0
+        store.get("b")  # now the LRU rules apply again
+        assert "a" not in store.resident()
+        assert a.vertices()  # the pinned-era index stayed fully usable
+
+    def test_unpin_without_pin_raises(self):
+        store = SceneStore()
+        store.add_scene("a", random_disjoint_rects(3, seed=1))
+        with pytest.raises(QueryError, match="not pinned"):
+            store.unpin("a")
+
+    def test_using_context_manager_unpins_on_error(self):
+        store = SceneStore()
+        store.add_scene("a", random_disjoint_rects(3, seed=1))
+        with pytest.raises(RuntimeError):
+            with store.using("a"):
+                raise RuntimeError("boom")
+        assert store.stats()["pinned"] == 0
+
+    def test_slow_reader_never_loses_its_scene(self):
+        """Regression: LRU eviction under the byte bound must not free a
+        scene an in-flight batch is still reading (the pre-pinning race:
+        get() returned an index, eviction dropped it, and a shm-backed
+        deployment would have unmapped the matrix mid-gather)."""
+        store = SceneStore(max_bytes=1)
+        store.add_scene("slow", random_disjoint_rects(5, seed=1))
+        store.add_scene("noisy", random_disjoint_rects(4, seed=2))
+        idx = store.get("slow")
+        vs = idx.vertices()
+        want = float(idx.lengths([(vs[0], vs[-1])])[0])
+        stop = threading.Event()
+        failures: list = []
+
+        def reader():
+            try:
+                for _ in range(10):
+                    with store.using("slow") as pinned:
+                        # a deliberately slow read: the scene must stay
+                        # resident for the entire block
+                        time.sleep(0.01)
+                        assert "slow" in store.resident()
+                        assert float(pinned.lengths([(vs[0], vs[-1])])[0]) == want
+            except Exception as exc:  # pragma: no cover - failure capture
+                failures.append(exc)
+            finally:
+                stop.set()
+
+        t = threading.Thread(target=reader)
+        t.start()
+        # hammer the budget from the main thread: every get() of "noisy"
+        # tries to evict everything else
+        while not stop.is_set():
+            store.get("noisy")
+            store.evict("noisy")
+        t.join()
+        assert not failures
+
     def test_concurrent_get_builds_once(self):
         calls = []
         barrier = threading.Barrier(8)
@@ -514,6 +757,16 @@ class TestQueryServer:
         assert stats["batches"] == 1
         assert stats["coalesced_groups"] == 2
         assert stats["largest_group"] == 2
+        # batch-size histogram: one observation of a 5-request batch
+        assert stats["batch_size_hist"] == {"5-8": 1}
+
+    def test_batch_size_histogram_buckets(self, served):
+        server, store = served
+        va = store.get("a").vertices()
+        for size in (1, 2, 3, 9):
+            server.submit([("a", va[0], va[-1])] * size)
+        hist = server.stats()["batch_size_hist"]
+        assert hist == {"1": 1, "2": 1, "3-4": 1, "9-16": 1}
 
     def test_coalesced_matches_per_request(self, served):
         server, store = served
@@ -661,6 +914,18 @@ class TestServeCLI:
             main(["query", missing, "0,0", "1,1"])
         with pytest.raises(SystemExit, match="nope.rsp"):
             main(["serve-bench", missing, "--requests", "1"])
+
+    def test_serve_bench_reports_percentiles_and_histogram(
+        self, tmp_path, scene_file, capsys
+    ):
+        path, _ = scene_file
+        assert main(["serve-bench", str(path), "--requests", "40", "--batch", "8"]) == 0
+        out = capsys.readouterr().out
+        # percentiles, not mean-only
+        for token in ("p50", "p95", "p99"):
+            assert token in out
+        assert "batch-size histogram:" in out
+        assert "batch_size_hist" in out  # server stats line carries the key
 
     def test_serve_bench_record_and_replay(self, tmp_path, scene_file, capsys):
         path, _ = scene_file

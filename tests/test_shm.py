@@ -1,0 +1,258 @@
+"""Shared-memory lifecycle tests: publish/attach/unlink under both
+``fork`` and ``spawn``, leak detection, and byte-identical crosschecks
+between shm-attached workers and in-process indexes."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core.api import ShortestPathIndex
+from repro.errors import ClusterError
+from repro.serve import shm as rshm
+from repro.serve.snapshot import save
+from repro.serve.store import SceneStore, resident_bytes
+from repro.workloads.generators import (
+    random_disjoint_rects,
+    random_polygon_scene,
+)
+
+# -- leak fixture -------------------------------------------------------
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = set(rshm.list_segments())
+    yield
+    leaked = set(rshm.list_segments()) - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def _probe_child(manifest, pairs, queue):
+    """Child-process probe (module-level for spawn picklability): attach,
+    answer, detach — never unlink."""
+    from repro.serve import shm as rshm_child
+
+    idx = rshm_child.attach(manifest)
+    queue.put(np.asarray(idx.lengths(pairs)).tobytes())
+    idx.shm_handle.close()
+
+
+def _sample_pairs(idx, stride=3):
+    vs = idx.vertices()
+    return [(vs[i], vs[-1 - i]) for i in range(0, len(vs), stride)]
+
+
+class TestPublishAttach:
+    def test_zero_copy_read_only_attach(self):
+        idx = ShortestPathIndex.build(random_disjoint_rects(8, seed=1))
+        with rshm.ShmPublisher() as pub:
+            manifest = pub.publish("s", idx)
+            att = rshm.attach(manifest)
+            mat = att.index.matrix
+            assert not mat.flags.owndata  # view into the segment
+            assert not mat.flags.writeable
+            with pytest.raises((ValueError, OSError)):
+                mat[0, 0] = 1.0
+            pairs = _sample_pairs(idx)
+            assert idx.lengths(pairs).tobytes() == att.lengths(pairs).tobytes()
+            assert rshm.is_shm_backed(att) and not rshm.is_shm_backed(idx)
+            att.shm_handle.close()
+
+    def test_manifest_is_json_plain(self):
+        import json
+
+        idx = ShortestPathIndex.build(random_disjoint_rects(5, seed=2))
+        with rshm.ShmPublisher() as pub:
+            manifest = pub.publish("s", idx)
+            json.dumps(manifest)  # must survive the wire / spawn pickling
+
+    def test_publish_duplicate_scene_rejected(self):
+        idx = ShortestPathIndex.build(random_disjoint_rects(4, seed=3))
+        with rshm.ShmPublisher() as pub:
+            pub.publish("s", idx)
+            with pytest.raises(ClusterError, match="already published"):
+                pub.publish("s", idx)
+
+    def test_release_unlinks_segment(self):
+        idx = ShortestPathIndex.build(random_disjoint_rects(4, seed=4))
+        pub = rshm.ShmPublisher()
+        manifest = pub.publish("s", idx)
+        assert manifest["segment"] in rshm.list_segments()
+        pub.release("s")
+        assert manifest["segment"] not in rshm.list_segments()
+        with pytest.raises(ClusterError, match="not published"):
+            pub.manifest("s")
+        pub.close()
+
+    def test_attach_after_unlink_is_one_line_error(self):
+        idx = ShortestPathIndex.build(random_disjoint_rects(4, seed=5))
+        pub = rshm.ShmPublisher()
+        manifest = pub.publish("s", idx)
+        pub.close()
+        with pytest.raises(ClusterError, match="does not exist") as exc:
+            rshm.attach(manifest)
+        assert "\n" not in str(exc.value)
+
+    def test_bad_manifest_rejected(self):
+        with pytest.raises(ClusterError, match="manifest"):
+            rshm.attach({"format": "something-else"})
+        with pytest.raises(ClusterError, match="version"):
+            rshm.attach({"format": "repro-shm", "version": 99})
+
+    def test_close_is_idempotent(self):
+        idx = ShortestPathIndex.build(random_disjoint_rects(4, seed=6))
+        pub = rshm.ShmPublisher()
+        pub.publish("s", idx)
+        pub.close()
+        pub.close()
+        with pytest.raises(ClusterError, match="closed"):
+            pub.publish("t", idx)
+
+    def test_same_index_shares_one_refcounted_segment(self):
+        """Publishing one built index under many scene names must alias
+        a single segment (this is the bench_cluster RSS sweep's shape);
+        the segment unlinks only when the last name is released."""
+        idx = ShortestPathIndex.build(random_disjoint_rects(6, seed=21))
+        pairs = _sample_pairs(idx)
+        pub = rshm.ShmPublisher()
+        manifests = [pub.publish(f"c{i}", idx) for i in range(3)]
+        assert len({m["segment"] for m in manifests}) == 1
+        assert len(rshm.list_segments()) == 1
+        att = rshm.attach(manifests[2])
+        assert idx.lengths(pairs).tobytes() == att.lengths(pairs).tobytes()
+        att.shm_handle.close()
+        pub.release("c0")
+        pub.release("c1")
+        assert len(rshm.list_segments()) == 1  # still one name left
+        pub.release("c2")
+        assert rshm.list_segments() == []
+        # a fresh publish after full release starts a fresh segment
+        pub.publish("again", idx)
+        assert len(rshm.list_segments()) == 1
+        pub.close()
+
+    def test_distinct_indexes_get_distinct_segments(self):
+        a = ShortestPathIndex.build(random_disjoint_rects(4, seed=22))
+        b = ShortestPathIndex.build(random_disjoint_rects(4, seed=23))
+        with rshm.ShmPublisher() as pub:
+            ma = pub.publish("a", a)
+            mb = pub.publish("b", b)
+            assert ma["segment"] != mb["segment"]
+
+    def test_publish_snapshot_raw_and_npz(self, tmp_path):
+        idx = ShortestPathIndex.build(random_disjoint_rects(7, seed=7))
+        raw = save(idx, tmp_path / "r.rsp", layout="raw")
+        npz = save(idx, tmp_path / "n.rsp", layout="npz")
+        pairs = _sample_pairs(idx)
+        with rshm.ShmPublisher() as pub:
+            for name, path in (("raw", raw), ("npz", npz)):
+                att = rshm.attach(pub.publish_snapshot(name, path))
+                assert idx.lengths(pairs).tobytes() == att.lengths(pairs).tobytes()
+                att.shm_handle.close()
+
+    def test_polygon_scene_attach_keeps_solid_semantics(self):
+        obstacles = random_polygon_scene(2, 2, seed=8)
+        idx = ShortestPathIndex.build(obstacles)
+        with rshm.ShmPublisher() as pub:
+            att = rshm.attach(pub.publish("p", idx))
+            assert att.seams == idx.seams
+            pairs = _sample_pairs(idx, stride=5)
+            assert idx.lengths(pairs).tobytes() == att.lengths(pairs).tobytes()
+            from repro.errors import QueryError
+
+            # a strictly interior seam point must still be rejected
+            tall = [s for s in idx.seams if s.yhi - s.ylo >= 2]
+            assert tall, "scene generator produced no seam with interior room"
+            seam = tall[0]
+            with pytest.raises(QueryError):
+                att.length((seam.x, (seam.ylo + seam.yhi) // 2), idx.vertices()[0])
+            att.shm_handle.close()
+
+
+class TestChildProcesses:
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_child_attach_byte_identical(self, method):
+        """The crosscheck the cluster relies on: a worker attached from
+        shared memory answers byte-for-byte what the in-process index
+        answers, under both start methods."""
+        idx = ShortestPathIndex.build(random_disjoint_rects(9, seed=10))
+        pairs = _sample_pairs(idx)
+        with rshm.ShmPublisher() as pub:
+            manifest = pub.publish("s", idx)
+            ctx = mp.get_context(method)
+            queue = ctx.Queue()
+            proc = ctx.Process(target=_probe_child, args=(manifest, pairs, queue))
+            proc.start()
+            got = queue.get(timeout=60)
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+            assert got == np.asarray(idx.lengths(pairs)).tobytes()
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_many_children_share_one_segment(self, method):
+        idx = ShortestPathIndex.build(random_disjoint_rects(6, seed=11))
+        pairs = _sample_pairs(idx)
+        want = np.asarray(idx.lengths(pairs)).tobytes()
+        with rshm.ShmPublisher() as pub:
+            manifest = pub.publish("s", idx)
+            ctx = mp.get_context(method)
+            queue = ctx.Queue()
+            procs = [
+                ctx.Process(target=_probe_child, args=(manifest, pairs, queue))
+                for _ in range(3)
+            ]
+            for p in procs:
+                p.start()
+            results = [queue.get(timeout=60) for _ in procs]
+            for p in procs:
+                p.join(timeout=60)
+                assert p.exitcode == 0
+            assert all(r == want for r in results)
+            # exactly one segment despite three attachments
+            assert len(rshm.list_segments()) == 1
+
+    def test_fuzz_scene_crosscheck(self):
+        """Mixed rect+polygon fuzz scenes: shm-attached answers equal the
+        in-process ShortestPathIndex exactly (lengths are bit-identical
+        doubles, not approximately equal)."""
+        for seed in (1, 2):
+            obstacles = random_polygon_scene(1, 3, seed=seed)
+            idx = ShortestPathIndex.build(obstacles)
+            pairs = _sample_pairs(idx, stride=4)
+            with rshm.ShmPublisher() as pub:
+                manifest = pub.publish(f"f{seed}", idx)
+                ctx = mp.get_context("fork")
+                queue = ctx.Queue()
+                proc = ctx.Process(
+                    target=_probe_child, args=(manifest, pairs, queue)
+                )
+                proc.start()
+                got = queue.get(timeout=60)
+                proc.join(timeout=60)
+                assert got == np.asarray(idx.lengths(pairs)).tobytes()
+
+
+class TestStoreIntegration:
+    def test_resident_bytes_discounts_shared_matrix(self):
+        idx = ShortestPathIndex.build(random_disjoint_rects(8, seed=12))
+        with rshm.ShmPublisher() as pub:
+            att = rshm.attach(pub.publish("s", idx))
+            assert resident_bytes(att) < resident_bytes(idx)
+            assert resident_bytes(att) < idx.index.matrix.nbytes
+            att.shm_handle.close()
+
+    def test_store_evicts_and_reattaches(self):
+        idx = ShortestPathIndex.build(random_disjoint_rects(6, seed=13))
+        pairs = _sample_pairs(idx)
+        with rshm.ShmPublisher() as pub:
+            manifest = pub.publish("s", idx)
+            from repro.serve.shm import attach
+
+            store = SceneStore()
+            store.add_builder("s", lambda: attach(manifest))
+            first = store.get("s")
+            assert store.evict("s")
+            second = store.get("s")
+            assert second is not first
+            assert idx.lengths(pairs).tobytes() == second.lengths(pairs).tobytes()
+            assert store.stats()["builds"] == 2
