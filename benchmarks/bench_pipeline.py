@@ -1,0 +1,117 @@
+"""P1 — the staged build pipeline: per-stage cost breakdown and the
+artifact cache's rebuild economics.
+
+Two claims are measured and recorded in ``BENCH_pipeline.json``:
+
+* **cached rebuild** — rebuilding the *same scene under the same engine*
+  through a warm :class:`~repro.pipeline.StageCache` must beat the cold
+  build by ≥ 2× (it is typically thousands of times faster: every stage
+  artifact, the solved matrix included, is content-addressed by the
+  scene hash and replayed instead of recomputed);
+* **cross-engine geometry reuse** — building the same scene under a
+  *second* engine reuses the cached decompose/graph artifacts (asserted
+  via the provenance ``cached`` flags; the solve stage runs anew, as it
+  must).
+
+The per-stage table also records where a cold build's wall clock and
+simulated PRAM cost actually go, which is the breakdown ``python -m
+repro plan`` prints for one scene.
+
+Smoke mode (``BENCH_SMOKE=1``) shrinks the scene and skips the ratio
+assertion (CI machines are noisy); the JSON artifact is always written.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.common import SMOKE, emit, emit_json, format_table
+from repro.pipeline import StageCache, build_index
+from repro.scene import Scene
+from repro.workloads.generators import random_disjoint_rects
+
+N = 16 if SMOKE else 96
+SECOND_ENGINE = "sequential"
+MIN_CACHED_SPEEDUP = 2.0
+
+
+def _build(scene, engine, cache):
+    t0 = time.perf_counter()
+    idx = build_index(scene, engine=engine, cache=cache)
+    return time.perf_counter() - t0, idx
+
+
+def test_p1_pipeline_stages_and_cache():
+    scene = Scene.from_obstacles(random_disjoint_rects(N, seed=7))
+    cache = StageCache()
+
+    cold_s, cold = _build(scene, "parallel", cache)
+    warm_s, warm = _build(scene, "parallel", cache)
+    other_s, other = _build(scene, SECOND_ENGINE, cache)
+
+    # answers are unchanged whichever path produced the matrix
+    assert np.array_equal(cold.index.matrix, warm.index.matrix)
+    assert np.array_equal(
+        cold.index.submatrix(cold.index.points),
+        other.index.submatrix(cold.index.points),
+    )
+    # simulated PRAM costs replay exactly on the cache hit
+    assert cold.build_stats() == warm.build_stats()
+
+    flags_warm = {st["name"]: st["cached"] for st in warm.provenance["stages"]}
+    assert flags_warm["decompose"] and flags_warm["graph"] and flags_warm["solve"]
+    flags_other = {st["name"]: st["cached"] for st in other.provenance["stages"]}
+    assert flags_other["decompose"] and flags_other["graph"]
+    assert not flags_other["solve"]
+
+    cached_speedup = cold_s / max(warm_s, 1e-9)
+    rows = []
+    for st_cold, st_warm in zip(
+        cold.provenance["stages"], warm.provenance["stages"]
+    ):
+        rows.append(
+            [
+                st_cold["name"],
+                st_cold["wall_s"],
+                st_cold["pram_time"],
+                st_cold["pram_work"],
+                st_warm["wall_s"],
+                "yes" if st_warm["cached"] else "no",
+            ]
+        )
+    rows.append(["total", cold_s, cold.pram.time, cold.pram.work, warm_s, ""])
+    table = format_table(
+        ["stage", "cold wall s", "PRAM T", "PRAM W", "warm wall s", "cached"],
+        rows,
+        title=(
+            f"P1: staged pipeline over n={N} rects — cold vs warm rebuild "
+            f"(cached speedup {cached_speedup:.1f}x; second engine "
+            f"'{SECOND_ENGINE}' reused geometry stages)"
+        ),
+    )
+    emit("P1_pipeline", table)
+    emit_json(
+        "pipeline",
+        {
+            "n_rects": N,
+            "stages": cold.provenance["stages"],
+            "warm_stages": warm.provenance["stages"],
+            "second_engine": SECOND_ENGINE,
+            "second_engine_stages": other.provenance["stages"],
+            "cold_build_s": cold_s,
+            "cached_rebuild_s": warm_s,
+            "cached_rebuild_speedup": cached_speedup,
+            "second_engine_build_s": other_s,
+            "cache": cache.stats(),
+            "floor": {"cached_rebuild_speedup": MIN_CACHED_SPEEDUP},
+        },
+    )
+    if not SMOKE:
+        assert cached_speedup >= MIN_CACHED_SPEEDUP, (
+            f"cached rebuild speedup {cached_speedup:.2f}x under the "
+            f"{MIN_CACHED_SPEEDUP}x floor"
+        )
+
+
+if __name__ == "__main__":
+    test_p1_pipeline_stages_and_cache()

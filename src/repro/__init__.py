@@ -14,6 +14,8 @@ High-level entry point::
 Sub-packages: :mod:`repro.geometry` (exact rectilinear geometry),
 :mod:`repro.pram` (metered CREW-PRAM simulator), :mod:`repro.monge`
 (Monge (min,+) machinery), :mod:`repro.core` (the paper's algorithms),
+:mod:`repro.scene` (the canonical scene layer), :mod:`repro.pipeline`
+(the staged build pipeline: engine registry + per-stage artifact cache),
 :mod:`repro.workloads` (scene generators), :mod:`repro.serve` (snapshot
 persistence, multi-scene store, batching query server), :mod:`repro.viz`
 (ASCII renderings, including the paper's figures).
@@ -39,6 +41,7 @@ __all__ = [
     "Point",
     "Rect",
     "RectilinearPolygon",
+    "Scene",
     "dist",
     "ReproError",
     "GeometryError",
@@ -58,6 +61,10 @@ def __getattr__(name: str):
         from repro.geometry.polygon import RectilinearPolygon
 
         return RectilinearPolygon
+    if name == "Scene":
+        from repro.scene import Scene
+
+        return Scene
     if name == "ShortestPathIndex":
         from repro.core.api import ShortestPathIndex
 

@@ -17,8 +17,17 @@ Commands
 ``fuzz``                        differential fuzz smoke: cross-check the
                                 parallel/sequential/baseline engines on
                                 random mixed rect+polygon scenes
+                                (``--engine`` adds another registered
+                                engine to the comparison)
+``plan SCENE [--json]``         run the staged build pipeline and print
+                                the stage graph with per-stage wall-clock
+                                and simulated PRAM timings
 ``figures [N]``                 print paper figure(s)
-``bench-info SCENE.json``       build and report simulated PRAM costs
+``bench-info SCENE``            build a JSON scene and report simulated
+                                PRAM costs + per-stage timings, or print
+                                the stored stage provenance of a ``.rsp``
+                                snapshot (``--require-provenance`` exits
+                                nonzero when a snapshot predates it)
 
 Scene files are JSON (schema v2, see :mod:`repro.workloads.scenefile`)::
 
@@ -40,25 +49,13 @@ import time
 from typing import Optional, Sequence
 
 from repro import ShortestPathIndex
-from repro.errors import GeometryError, SnapshotError
+from repro.errors import ReproError, SnapshotError
 from repro.geometry.polygon import RectilinearPolygon
+from repro.pipeline import engine_names
 from repro.pram import PRAM, speedup_table
+from repro.scene import load_scene_cli
 from repro.viz.ascii import render_scene
 from repro.workloads.generators import random_disjoint_rects
-
-
-def _load_scene(path: str):
-    """``(obstacles, container)`` of a v1/v2 JSON scene, CLI-validated."""
-    from repro.workloads.scenefile import load_scene, validate_scene
-
-    try:
-        obstacles, container = load_scene(path)
-        validate_scene(obstacles, container)
-    except GeometryError as exc:
-        raise SystemExit(f"{path}: invalid scene: {exc}")
-    except OSError as exc:
-        raise SystemExit(str(exc))
-    return obstacles, container
 
 
 def _parse_point(text: str) -> tuple[int, int]:
@@ -111,17 +108,23 @@ def cmd_query(args: argparse.Namespace) -> int:
             raise SystemExit(str(exc))
         scene_obs = list(idx.rects)
     else:
-        obstacles, container = _load_scene(args.scene)
+        scene = load_scene_cli(args.scene)
         print(
             f"note: rebuilding the index from {args.scene}; snapshot it once "
             f"with `python -m repro snapshot {args.scene} "
             f"{pathlib.Path(args.scene).stem}.rsp` to skip this on every query",
             file=sys.stderr,
         )
-        idx = ShortestPathIndex.build(
-            obstacles, extra_points=[p, q], engine=args.engine, container=container
-        )
-        scene_obs = obstacles
+        try:
+            idx = ShortestPathIndex.build(
+                scene.obstacles,
+                extra_points=[p, q, *scene.extra_points],
+                engine=args.engine,
+                container=scene.container,
+            )
+        except ReproError as exc:
+            raise SystemExit(str(exc))
+        scene_obs = list(scene.obstacles)
     print(f"length = {idx.length(p, q)}")
     if args.path:
         path = idx.shortest_path(p, q)
@@ -134,16 +137,24 @@ def cmd_query(args: argparse.Namespace) -> int:
 def cmd_snapshot(args: argparse.Namespace) -> int:
     from repro.serve.snapshot import save
 
-    obstacles, container = _load_scene(args.scene)
+    scene = load_scene_cli(args.scene)
     t0 = time.perf_counter()
-    idx = ShortestPathIndex.build(obstacles, engine=args.engine, container=container)
+    try:
+        idx = ShortestPathIndex.build(
+            scene.obstacles,
+            extra_points=scene.extra_points,
+            engine=args.engine,
+            container=scene.container,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
     build_s = time.perf_counter() - t0
     t0 = time.perf_counter()
     out = save(idx, args.out, include_query=not args.no_query)
     save_s = time.perf_counter() - t0
     size = out.stat().st_size
     print(
-        f"{args.scene}: n={len(obstacles)} built in {build_s:.3f}s "
+        f"{args.scene}: n={len(scene.obstacles)} built in {build_s:.3f}s "
         f"({args.engine} engine), snapshot {out} ({size:,} bytes) "
         f"written in {save_s:.3f}s"
     )
@@ -167,12 +178,20 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         if _looks_like_snapshot(scene):
             store.add_snapshot(name, scene)
         else:
-            obstacles, container = _load_scene(scene)
-            store.add_scene(name, obstacles, engine=args.engine, container=container)
+            parsed = load_scene_cli(scene)
+            store.add_scene(
+                name,
+                parsed.obstacles,
+                engine=args.engine,
+                container=parsed.container,
+                extra_points=parsed.extra_points,
+            )
     t0 = time.perf_counter()
     try:
+        # materialization happens here: snapshot loads and engine builds
+        # alike must exit with one line, not a traceback
         endpoints = {n: scene_endpoints(store.get(n), seed=args.seed) for n in names}
-    except (SnapshotError, OSError) as exc:
+    except (ReproError, OSError) as exc:
         raise SystemExit(str(exc))
     warm_s = time.perf_counter() - t0
     if args.workload:
@@ -245,8 +264,12 @@ def _cluster_scene_specs(paths: Sequence[str]) -> dict:
         if _looks_like_snapshot(scene):
             specs[name] = {"snapshot": scene}
         else:
-            obstacles, container = _load_scene(scene)
-            specs[name] = {"obstacles": obstacles, "container": container}
+            parsed = load_scene_cli(scene)
+            specs[name] = {
+                "obstacles": list(parsed.obstacles),
+                "container": parsed.container,
+                "extra_points": list(parsed.extra_points),
+            }
     return specs
 
 
@@ -322,7 +345,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
     try:
         asyncio.run(run())
-    except ClusterError as exc:
+    except ReproError as exc:  # cluster failures and scene-build failures
         raise SystemExit(str(exc))
     return 0
 
@@ -392,6 +415,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     )
     from repro.workloads.scenefile import save_scene
 
+    from repro.core.crosscheck import DEFAULT_ENGINES
+
+    engines = list(DEFAULT_ENGINES)
+    if getattr(args, "engine", None) and args.engine not in engines:
+        engines.append(args.engine)
     failures = 0
     for i in range(args.scenes):
         seed = args.seed * 10007 + i
@@ -409,7 +437,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
             _, _, all_rects, _ = split_obstacles(obstacles)
             container = random_container_polygon(all_rects, seed=seed)
-        problems = check_scene(obstacles, container, seed=seed)
+        problems = check_scene(obstacles, container, seed=seed, engines=engines)
         label = ("rects", "mixed", "polygons", "container")[kind]
         if not problems:
             print(f"scene {i:3d} [{label:9s}] ok ({len(obstacles)} obstacles)")
@@ -418,7 +446,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(f"scene {i:3d} [{label:9s}] FAILED: {problems[0]}")
         small, small_container = shrink_scene(
             obstacles, container,
-            lambda obs, cont: bool(check_scene(obs, cont, seed=seed)),
+            lambda obs, cont: bool(
+                check_scene(obs, cont, seed=seed, engines=engines)
+            ),
         )
         out = pathlib.Path(args.out_dir) / f"fuzz_fail_{seed}.json"
         out.parent.mkdir(parents=True, exist_ok=True)
@@ -428,11 +458,86 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Run the staged pipeline once (cold cache) and print the stage
+    graph with per-stage wall-clock and simulated PRAM timings."""
+    from repro.pipeline import StageCache, build_index, format_plan
+
+    scene = load_scene_cli(args.scene)
+    # a fresh private cache: `plan` reports what a cold build costs, and
+    # must neither read nor pollute the process-default artifact cache
+    try:
+        idx = build_index(scene, engine=args.engine, cache=StageCache())
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    prov = idx.provenance
+    if args.json:
+        print(json.dumps({"scene": str(args.scene), **prov}, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.scene}: {scene.describe()}  (scene hash {prov['scene_hash'][:12]})")
+    print(
+        f"pipeline: scene -> decompose -> graph -> solve[{args.engine}] "
+        f"-> query-structures"
+    )
+    print(f"registered engines: {', '.join(engine_names())}")
+    print(format_plan(prov))
+    t, w = idx.build_stats()
+    print(f"simulated PRAM: T={t}, W={w}")
+    return 0
+
+
 def cmd_bench_info(args: argparse.Namespace) -> int:
-    obstacles, container = _load_scene(args.scene)
+    if _looks_like_snapshot(args.scene):
+        from repro.pipeline import format_plan
+        from repro.serve.snapshot import read_header
+
+        try:
+            header = read_header(args.scene)
+        except (SnapshotError, OSError) as exc:
+            raise SystemExit(str(exc))
+        print(
+            f"{args.scene}: engine={header.get('engine')}, "
+            f"n_points={header.get('n_points')}, n_rects={header.get('n_rects')}, "
+            f"simulated T={header.get('build_time')}, W={header.get('build_work')}"
+        )
+        prov = header.get("provenance")
+        if prov:
+            print(format_plan(prov))
+        else:
+            print("no stage provenance (pre-pipeline snapshot)")
+            if args.require_provenance:
+                print(
+                    f"{args.scene}: provenance required but missing; re-snapshot "
+                    f"the scene with this version to record it"
+                )
+                return 1
+        return 0
+    from repro.pipeline import format_plan
+
+    if args.require_provenance:
+        # a CI gate pointed at the wrong artifact must fail loudly, not
+        # pass vacuously: only snapshots store provenance to check
+        raise SystemExit(
+            f"{args.scene}: --require-provenance applies to .rsp snapshots, "
+            f"not JSON scenes"
+        )
+    scene = load_scene_cli(args.scene)
     pram = PRAM("cli")
-    ShortestPathIndex.build(obstacles, engine="parallel", pram=pram, container=container)
-    print(f"n={len(obstacles)}: simulated parallel time T={pram.time}, work W={pram.work}")
+    try:
+        idx = ShortestPathIndex.build(
+            scene.obstacles,
+            extra_points=scene.extra_points,
+            engine=args.engine,
+            pram=pram,
+            container=scene.container,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"n={len(scene.obstacles)}: simulated time T={pram.time}, "
+        f"work W={pram.work} ({args.engine} engine)"
+    )
+    print(format_plan(idx.provenance))
     print(f"{'p':>8} {'T_p':>12} {'speedup':>9}")
     for p_, tp, s, _ in speedup_table(pram.work, pram.time, [1, 16, 256, 4096]):
         print(f"{p_:>8} {tp:>12} {s:>9.1f}")
@@ -446,13 +551,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "obstacles (Atallah & Chen 1990/91)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    # every --engine flag below accepts exactly the registry's engines, so
+    # a newly registered engine is a first-class CLI citizen immediately
+    engines = engine_names()
 
     d = sub.add_parser("demo", help="random scene demo")
     d.add_argument("-n", type=int, default=12)
     d.add_argument("--seed", type=int, default=0)
     d.add_argument("--polygons", type=int, default=0,
                    help="also place this many random polygonal obstacles")
-    d.add_argument("--engine", choices=["parallel", "sequential"], default="parallel")
+    d.add_argument("--engine", choices=engines, default="parallel")
     d.set_defaults(fn=cmd_demo)
 
     q = sub.add_parser("query", help="query a scene file or snapshot")
@@ -461,16 +569,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     q.add_argument("q")
     q.add_argument("--path", action="store_true")
     q.add_argument("--render", action="store_true")
-    q.add_argument("--engine", choices=["parallel", "sequential"], default="sequential")
+    q.add_argument("--engine", choices=engines, default="sequential")
     q.set_defaults(fn=cmd_query)
 
     s = sub.add_parser("snapshot", help="build a scene once and persist it")
     s.add_argument("scene", help="JSON scene file")
     s.add_argument("out", help="output .rsp artifact")
-    s.add_argument("--engine", choices=["parallel", "sequential"], default="parallel")
+    s.add_argument("--engine", choices=engines, default="parallel")
     s.add_argument("--no-query", action="store_true",
                    help="skip persisting the arbitrary-point query structure")
     s.set_defaults(fn=cmd_snapshot)
+
+    pl = sub.add_parser(
+        "plan", help="print the staged build pipeline with per-stage timings"
+    )
+    pl.add_argument("scene", help="JSON scene file")
+    pl.add_argument("--engine", choices=engines, default="parallel")
+    pl.add_argument("--json", action="store_true",
+                    help="print the provenance record as JSON")
+    pl.set_defaults(fn=cmd_plan)
 
     sb = sub.add_parser("serve-bench", help="replay a workload through the server")
     sb.add_argument("scenes", nargs="+", help="JSON scenes and/or .rsp snapshots")
@@ -481,7 +598,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     help="fraction of arbitrary-point length requests")
     sb.add_argument("--paths", type=float, default=0.02,
                     help="fraction of path-report requests")
-    sb.add_argument("--engine", choices=["parallel", "sequential"], default="parallel")
+    sb.add_argument("--engine", choices=engines, default="parallel")
     sb.add_argument("--record", help="write the generated workload to this JSON file")
     sb.add_argument("--workload", help="replay a recorded workload JSON file")
     sb.set_defaults(fn=cmd_serve_bench)
@@ -503,7 +620,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     help="bounded per-worker queue; overflow is shed")
     cl.add_argument("--pin", action="append", default=[], metavar="SCENE=WID",
                     help="pin a scene to a worker id (overrides HRW hashing)")
-    cl.add_argument("--engine", choices=["parallel", "sequential"], default="parallel")
+    cl.add_argument("--engine", choices=engines, default="parallel")
     cl.add_argument("--no-shm", action="store_true",
                     help="workers materialize scenes privately (copy path)")
     cl.add_argument("--start-method", choices=["fork", "spawn", "forkserver"],
@@ -545,6 +662,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     fz.add_argument("--scenes", type=int, default=25)
     fz.add_argument("--seed", type=int, default=0)
+    fz.add_argument("--engine", choices=engines, default=None,
+                    help="cross-check this registered engine too "
+                    "(on top of parallel and sequential)")
     fz.add_argument("--out-dir", default=".",
                     help="directory for shrunk failing-scene JSON dumps")
     fz.set_defaults(fn=cmd_fuzz)
@@ -553,8 +673,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     f.add_argument("n", nargs="?", type=int)
     f.set_defaults(fn=cmd_figures)
 
-    b = sub.add_parser("bench-info", help="simulated PRAM costs for a scene")
-    b.add_argument("scene")
+    b = sub.add_parser(
+        "bench-info",
+        help="simulated PRAM costs for a scene, or a snapshot's stored "
+        "stage provenance",
+    )
+    b.add_argument("scene", help="JSON scene or .rsp snapshot")
+    b.add_argument("--engine", choices=engines, default="parallel")
+    b.add_argument("--require-provenance", action="store_true",
+                   help="exit nonzero if a snapshot lacks stage provenance")
     b.set_defaults(fn=cmd_bench_info)
 
     args = parser.parse_args(argv)

@@ -170,10 +170,19 @@ class ClusterFrontend:
         if "snapshot" in src:
             return self.publisher.publish_snapshot(name, src["snapshot"])
         if "obstacles" in src:
-            from repro.core.api import ShortestPathIndex
+            from repro.pipeline import build_index
+            from repro.scene import Scene
 
-            idx = ShortestPathIndex.build(
-                src["obstacles"], engine=self.engine, container=src.get("container")
+            # build through the staged pipeline (process-default stage
+            # cache): publishing N scenes that share geometry — or a
+            # scene the front-end already built — reuses stage artifacts
+            idx = build_index(
+                Scene.from_obstacles(
+                    src["obstacles"],
+                    container=src.get("container"),
+                    extra_points=src.get("extra_points") or (),
+                ),
+                engine=self.engine,
             )
             return self.publisher.publish(name, idx)
         raise ClusterError(f"scene {name!r}: unrecognized source {sorted(src)}")
@@ -182,23 +191,17 @@ class ClusterFrontend:
         if "snapshot" in src:
             return {"name": name, "kind": "snapshot", "path": str(src["snapshot"])}
         if "obstacles" in src:
-            from repro.geometry.primitives import Rect
+            from repro.scene import Scene
 
-            rects, polys = [], []
-            for obs in src["obstacles"]:
-                if isinstance(obs, Rect):
-                    rects.append([obs.xlo, obs.ylo, obs.xhi, obs.yhi])
-                else:
-                    polys.append([list(map(int, v)) for v in obs.loop])
-            container = src.get("container")
+            scene = Scene.from_obstacles(
+                src["obstacles"],
+                container=src.get("container"),
+                extra_points=src.get("extra_points") or (),
+            )
             return {
                 "name": name,
                 "kind": "build",
-                "rects": rects,
-                "polygons": polys,
-                "container": (
-                    [list(map(int, v)) for v in container.loop] if container else None
-                ),
+                "scene": scene.to_dict(),
                 "engine": self.engine,
             }
         raise ClusterError(

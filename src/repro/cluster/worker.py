@@ -28,8 +28,6 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.errors import ReproError
-from repro.geometry.polygon import RectilinearPolygon
-from repro.geometry.primitives import Rect
 from repro.serve.metrics import BatchHistogram, LatencyRecorder
 from repro.serve.server import QueryServer, Request
 from repro.serve.store import SceneStore
@@ -43,23 +41,12 @@ def _as_point(v) -> tuple:
         raise ReproError(f"not a point: {v!r}")
 
 
-def _rebuild_obstacles(spec: dict):
-    """Obstacles + container of a ``build`` scene spec (plain lists in,
-    geometry objects out — specs must survive pickling under spawn)."""
-    obstacles: list = [Rect(*r) for r in spec.get("rects") or []]
-    for loop in spec.get("polygons") or []:
-        obstacles.append(RectilinearPolygon([(int(x), int(y)) for x, y in loop]))
-    container = None
-    if spec.get("container"):
-        container = RectilinearPolygon(
-            [(int(x), int(y)) for x, y in spec["container"]]
-        )
-    return obstacles, container
-
-
 def register_scene(store: SceneStore, spec: dict) -> None:
     """Register one scene spec: ``{"name", "kind", ...}`` where kind is
-    ``shm`` (manifest), ``snapshot`` (path), or ``build`` (geometry)."""
+    ``shm`` (manifest), ``snapshot`` (path), or ``build`` (a JSON scene
+    dict under ``"scene"`` — the canonical :mod:`repro.scene` schema, so
+    specs survive pickling under spawn and a malformed scene fails with
+    the same one-line message the CLI prints)."""
     name, kind = spec["name"], spec["kind"]
     if kind == "shm":
         manifest = spec["manifest"]
@@ -73,13 +60,15 @@ def register_scene(store: SceneStore, spec: dict) -> None:
     elif kind == "snapshot":
         store.add_snapshot(name, spec["path"])
     elif kind == "build":
-        obstacles, container = _rebuild_obstacles(spec)
+        from repro.scene import Scene
+
+        scene = Scene.from_dict(spec["scene"])
 
         def build_builder():
-            from repro.core.api import ShortestPathIndex
+            from repro.pipeline import build_index
 
-            return ShortestPathIndex.build(
-                obstacles, engine=spec.get("engine", "parallel"), container=container
+            return build_index(
+                scene, engine=spec.get("engine", "parallel"), cache=store.stage_cache
             )
 
         store.add_builder(name, build_builder)

@@ -58,6 +58,17 @@ INF = float("inf")
 DEFAULT_LEAF_SIZE = 6
 
 
+def exact_length(v) -> float:
+    """A matrix entry as a query answer: int for the integer domain,
+    exact float for fractional lengths (non-integer extra points), inf
+    passed through.  Single lookups and batched gathers must agree, so
+    every length accessor normalizes through this one helper."""
+    if not np.isfinite(v):
+        return float(v)
+    i_v = int(v)
+    return i_v if i_v == v else float(v)
+
+
 @dataclass
 class BuildStats:
     """Instrumentation for the experiments (E3)."""
@@ -91,8 +102,7 @@ class DistanceIndex:
             j = self.index[q]
         except KeyError as exc:
             raise QueryError(f"{exc.args[0]} is not an indexed point") from None
-        v = self.matrix[i, j]
-        return int(v) if np.isfinite(v) else v  # type: ignore[return-value]
+        return exact_length(self.matrix[i, j])  # type: ignore[return-value]
 
     def has_point(self, p: Point) -> bool:
         return p in self.index
@@ -123,8 +133,36 @@ class DistanceIndex:
     def export_arrays(self) -> dict[str, np.ndarray]:
         """The index as plain arrays: vertex order ``(n, 2)`` plus the
         matrix.  Together with :meth:`from_arrays` this is the whole
-        persistence contract — row/column ``i`` belongs to ``points[i]``."""
-        pts = np.array(self.points, dtype=np.int64).reshape(len(self.points), 2)
+        persistence contract — row/column ``i`` belongs to ``points[i]``.
+
+        Points are int64 when every coordinate is an integer (the normal
+        domain — exact at any magnitude, byte-compatible with existing
+        snapshots) and float64 otherwise — non-integer extra points are
+        indexed verbatim and must not be silently truncated on the way
+        to disk (the snapshot TOC records the dtype, so either loads
+        back exactly)."""
+        pts_list = list(self.points)
+        if all(isinstance(c, (int, np.integer)) for p in pts_list for c in p):
+            try:
+                pts = np.array(pts_list, dtype=np.int64).reshape(len(pts_list), 2)
+            except OverflowError:
+                raise QueryError(
+                    "point coordinates exceed the int64 snapshot range"
+                ) from None
+        else:
+            # float64 must represent every coordinate exactly (a huge
+            # integer mixed with one float extra would otherwise round
+            # silently); refuse loudly when it cannot
+            try:
+                exact = all(float(c) == c for p in pts_list for c in p)
+            except OverflowError:  # int too large for float at all
+                exact = False
+            if not exact:
+                raise QueryError(
+                    "point coordinates cannot be represented exactly in a "
+                    "float64 snapshot"
+                )
+            pts = np.array(pts_list, dtype=np.float64).reshape(len(pts_list), 2)
         return {"points": pts, "matrix": self.matrix}
 
     @classmethod

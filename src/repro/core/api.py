@@ -20,28 +20,28 @@ instead (see :class:`_SolidQuery`).
 from __future__ import annotations
 
 import threading
-from typing import Literal, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.allpairs import DistanceIndex, ParallelEngine
+from repro.core.allpairs import DistanceIndex
 from repro.core.baseline import clear_l1_block, path_is_clear
 from repro.core.pathreport import PathReporter
 from repro.core.query import QueryStructure
-from repro.core.sequential import SequentialEngine
 from repro.errors import GeometryError, QueryError
 from repro.geometry.decompose import Seam
-from repro.geometry.polygon import RectilinearPolygon, pockets_to_rects
+from repro.geometry.polygon import RectilinearPolygon
 from repro.geometry.primitives import (
     Point,
     Rect,
     points_in_any_interior,
     rect_coord_array,
-    validate_disjoint,
 )
 from repro.pram.machine import PRAM
 
-Engine = Literal["parallel", "sequential"]
+#: engine names are resolved through :mod:`repro.pipeline`'s registry —
+#: any registered name is valid ("parallel", "sequential", "grid", ...)
+Engine = str
 
 #: what ``ShortestPathIndex.build`` accepts as one obstacle
 Obstacle = Union[Rect, RectilinearPolygon]
@@ -106,6 +106,10 @@ class ShortestPathIndex:
         self.engine = engine
         self.polygons = list(polygons)
         self.seams = list(seams)
+        #: stage-by-stage build report (engine, timings, cache hits) set
+        #: by :func:`repro.pipeline.build_index`; None for indexes built
+        #: by hand or reloaded from pre-provenance snapshots
+        self.provenance: Optional[dict] = None
         self._query: Optional[object] = None
         self._query_parents = query_parents  # persisted §6.4 forests, if any
         self._reporter: Optional[PathReporter] = None
@@ -138,36 +142,24 @@ class ShortestPathIndex:
         polygon ``P``; its pockets are decomposed into rectangles and added
         as obstacles, so the metric becomes "inside P" exactly as in the
         paper (§1).
+
+        This is a thin call into the staged pipeline of
+        :mod:`repro.pipeline` (``decompose → graph → solve[engine] →
+        query-structures``): ``engine`` resolves through the engine
+        registry (an unknown name fails with one line listing what is
+        registered), stage artifacts are cached content-addressed by the
+        scene (so rebuilding the same scene — or solving it under a second
+        engine — reuses the geometry stages), and the per-stage report is
+        attached as ``idx.provenance``.  Use
+        :func:`repro.pipeline.build_index` directly to control the cache.
         """
-        pram = pram or PRAM("build")
-        _plain, polygons, all_rects, seams = split_obstacles(obstacles)
-        validate_disjoint(all_rects)
-        if container is not None:
-            for obs, rs in zip(obstacles, _obstacle_rect_groups(obstacles)):
-                for r in rs:
-                    if not container.contains_rect(r):
-                        raise QueryError(
-                            f"obstacle {obs} is not inside the container"
-                        )
-            all_rects = all_rects + pockets_to_rects(container)
-        if engine == "parallel":
-            idx = ParallelEngine(
-                all_rects,
-                extra_points,
-                pram,
-                leaf_size=leaf_size,
-                validate=False,
-                seams=seams,
-            ).build()
-        elif engine == "sequential":
-            idx = SequentialEngine(
-                all_rects, extra_points, validate=False, seams=seams
-            ).build(pram)
-        else:
-            raise ValueError(f"unknown engine {engine!r}")
-        return cls(
-            all_rects, idx, pram, container, engine, polygons=polygons, seams=seams
+        from repro.pipeline import build_index
+        from repro.scene import Scene
+
+        scene = Scene.from_obstacles(
+            obstacles, container=container, extra_points=extra_points
         )
+        return build_index(scene, engine=engine, pram=pram, leaf_size=leaf_size)
 
     # ------------------------------------------------------------------
     @property
@@ -517,8 +509,9 @@ class _SolidQuery:
         self._owner = owner
 
     def length(self, p: Point, q: Point) -> float:
-        v = self.lengths([(p, q)])[0]
-        return int(v) if np.isfinite(v) else float(v)
+        from repro.core.allpairs import exact_length
+
+        return exact_length(self.lengths([(p, q)])[0])
 
     def lengths(self, pairs: Sequence[tuple[Point, Point]]) -> np.ndarray:
         owner = self._owner

@@ -86,6 +86,11 @@ def _matrix_diff(name_a: str, ma, pts_a, name_b: str, mb, pts_b) -> list[str]:
     ]
 
 
+#: the engine pair every scene is cross-checked with by default; ``fuzz
+#: --engine`` (and callers) may extend this with any registered engine
+DEFAULT_ENGINES = ("parallel", "sequential")
+
+
 def check_scene(
     obstacles: Sequence[Obstacle],
     container: Optional[RectilinearPolygon] = None,
@@ -93,38 +98,61 @@ def check_scene(
     n_paths: int = 6,
     n_arbitrary: int = 4,
     seed: int = 0,
+    engines: Sequence[str] = DEFAULT_ENGINES,
 ) -> list[str]:
-    """Differentially check one scene; returns problems (empty = agree)."""
+    """Differentially check one scene; returns problems (empty = agree).
+
+    ``engines`` names the registered engines to build and compare (the
+    first is the reference the baseline oracle and arbitrary-point
+    queries are checked against).
+    """
     rng = random.Random(f"xcheck|{seed}")
+    engines = list(dict.fromkeys(engines)) or list(DEFAULT_ENGINES)
+    idxs: dict[str, ShortestPathIndex] = {}
     try:
-        idx_par = ShortestPathIndex.build(
-            obstacles, extra_points=extra_points, engine="parallel",
-            container=container,
-        )
-        idx_seq = ShortestPathIndex.build(
-            obstacles, extra_points=extra_points, engine="sequential",
-            container=container,
-        )
+        for name in engines:
+            idxs[name] = ShortestPathIndex.build(
+                obstacles, extra_points=extra_points, engine=name,
+                container=container,
+            )
     except ReproError as exc:
         return [f"build failed: {exc}"]
-    pts = idx_par.index.points
-    problems = _matrix_diff(
-        "parallel", idx_par.index.matrix, pts,
-        "sequential", idx_seq.index.matrix, idx_seq.index.points,
-    )
+    ref = engines[0]
+    idx_ref = idxs[ref]
+    pts = idx_ref.index.points
+    problems = []
+    for name in engines[1:]:
+        problems += _matrix_diff(
+            ref, idx_ref.index.matrix, pts,
+            name, idxs[name].index.matrix, idxs[name].index.points,
+        )
     _, _, _, seams = split_obstacles(obstacles)
-    oracle = GridOracle(idx_par.rects, pts, seams=seams)
-    base = oracle.dist_matrix(pts)
-    problems += _matrix_diff(
-        "parallel", idx_par.index.matrix, pts, "baseline", base, pts
-    )
+    if "grid" in engines:
+        # the grid engine IS the baseline oracle computation; when it is
+        # the reference its matrix simply *is* the baseline, and when it
+        # is a comparison engine the diff above already checked ref
+        # against it — either way, rerunning the full Hanan-grid
+        # Dijkstra here would double the most expensive step of every
+        # fuzz scene for zero extra coverage.  A vertex-set mismatch was
+        # recorded by _matrix_diff above; report it rather than KeyError
+        # on the reindex below
+        if problems:
+            return problems
+        grid_idx = idxs["grid"].index
+        order = [grid_idx.index[p] for p in pts]
+        base = np.asarray(grid_idx.matrix)[np.ix_(order, order)]
+    else:
+        base = GridOracle(idx_ref.rects, pts, seams=seams).dist_matrix(pts)
+        problems += _matrix_diff(
+            ref, idx_ref.index.matrix, pts, "baseline", base, pts
+        )
     if problems:
         return problems
     # sampled path reports must realise the agreed lengths exactly; only
     # queryable vertices qualify (container-pocket corners sit outside P)
     def queryable(p) -> bool:
         try:
-            idx_par._check_inside(p)
+            idx_ref._check_inside(p)
         except ReproError:
             return False
         return True
@@ -138,7 +166,7 @@ def check_scene(
     ]
     rng.shuffle(finite_pairs)
     for p, q in finite_pairs[:n_paths]:
-        for name, idx in (("parallel", idx_par), ("sequential", idx_seq)):
+        for name, idx in idxs.items():
             try:
                 path = idx.shortest_path(p, q)
             except ReproError as exc:
@@ -149,14 +177,14 @@ def check_scene(
                 for msg in validate_path(idx, path, p, q, idx.length(p, q))
             ]
     # arbitrary-point queries against the oracle
-    free = _free_points(idx_par, n_arbitrary, rng)
+    free = _free_points(idx_ref, n_arbitrary, rng)
     if free and qpts:
-        arb_oracle = GridOracle(idx_par.rects, list(pts) + free, seams=seams)
+        arb_oracle = GridOracle(idx_ref.rects, list(pts) + free, seams=seams)
         for p in free:
             q = pts[qpts[rng.randrange(len(qpts))]]
             want = arb_oracle.dist(p, q)
             try:
-                got = idx_par.length(p, q)
+                got = idx_ref.length(p, q)
             except ReproError as exc:
                 problems.append(f"arbitrary length {p} -> {q} failed: {exc}")
                 continue

@@ -35,6 +35,15 @@ class MongeError(ReproError):
     """A matrix required to be Monge is not (and no fallback was allowed)."""
 
 
+class EngineError(ReproError, ValueError):
+    """An unknown or misconfigured build engine was requested.
+
+    Also a :class:`ValueError`: engine names used to be checked by a
+    string ``if/elif`` that raised ``ValueError``, and callers catching
+    that keep working against the registry.
+    """
+
+
 class QueryError(ReproError):
     """A query was made against a structure that cannot answer it."""
 

@@ -6,8 +6,11 @@ the build output the natural unit of persistence.  A snapshot is a single
 ``.rsp`` file capturing everything the query side needs:
 
 ``header``       JSON: format name + version, repro version, engine,
-                 element counts, simulated build cost, matrix checksum
+                 element counts, simulated build cost, matrix checksum,
+                 and (when present) the pipeline's stage provenance
 ``points``       ``(n, 2)`` int64 — the vertex order of the matrix rows
+                 (float64 when a non-integer extra point is indexed; the
+                 TOC/npz member records the dtype either way)
 ``matrix``       ``(n, n)`` float64 — all-pairs lengths (§6.3 output)
 ``rects``        ``(m, 4)`` int64 — obstacles: plain rects, polygon
                  decomposition tiles, pocket rects
@@ -129,7 +132,7 @@ def _export_arrays(idx: ShortestPathIndex, include_query: bool) -> tuple[dict, b
 
 def _base_header(idx: ShortestPathIndex, include_query: bool, matrix) -> dict:
     polygons = getattr(idx, "polygons", [])
-    return {
+    header = {
         "format": SNAPSHOT_FORMAT,
         "repro_version": __version__,
         "engine": idx.engine,
@@ -142,6 +145,14 @@ def _base_header(idx: ShortestPathIndex, include_query: bool, matrix) -> dict:
         "build_work": idx.pram.work,
         "matrix_sha256": _matrix_digest(matrix),
     }
+    # stage provenance from repro.pipeline (engine + per-stage wall/PRAM
+    # timings + cache hits): carried verbatim so `repro bench-info SNAP`
+    # can report how the artifact was built.  Pre-pipeline snapshots
+    # simply lack the key — old readers ignore it, old artifacts load.
+    provenance = getattr(idx, "provenance", None)
+    if provenance is not None:
+        header["provenance"] = provenance
+    return header
 
 
 def save(
@@ -331,7 +342,7 @@ def reconstruct(header: dict, arrays: dict, label: str = "<arrays>") -> Shortest
                 f"{label}: query-structure parents shape {parents.shape} does "
                 f"not match {len(rects)} obstacles"
             )
-    return ShortestPathIndex(
+    idx = ShortestPathIndex(
         rects,
         index,
         PRAM("snapshot-load"),
@@ -341,6 +352,9 @@ def reconstruct(header: dict, arrays: dict, label: str = "<arrays>") -> Shortest
         polygons=polygons,
         seams=seams,
     )
+    # round-trip the build provenance (None for pre-pipeline artifacts)
+    idx.provenance = header.get("provenance")
+    return idx
 
 
 # -- raw (v3) container ------------------------------------------------

@@ -71,8 +71,14 @@ class SceneStore:
     >>> store.get("campus").length(p, q)             # doctest: +SKIP
     """
 
-    def __init__(self, max_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self, max_bytes: Optional[int] = None, stage_cache: Optional[object] = None
+    ) -> None:
         self.max_bytes = max_bytes
+        #: the repro.pipeline StageCache scene builds go through (None →
+        #: the process default, so a scene published to shm by the
+        #: front-end and rebuilt here reuses its geometry artifacts)
+        self.stage_cache = stage_cache
         self._entries: Dict[str, _Entry] = {}
         self._lru: "OrderedDict[str, None]" = OrderedDict()
         self._lock = threading.Lock()
@@ -98,14 +104,22 @@ class SceneStore:
         extra_points: Sequence[Point] = (),
     ) -> None:
         """Register a scene built from raw obstacles (``Rect`` and/or
-        ``RectilinearPolygon``) on first use."""
-        obstacles = list(obstacles)
-        extra_points = list(extra_points)
+        ``RectilinearPolygon``) on first use.
+
+        Materialization runs through the staged pipeline
+        (:func:`repro.pipeline.build_index`), so two registered scenes
+        sharing geometry — or one scene registered under two engines —
+        reuse the cached decompose/graph stage artifacts."""
+        from repro.scene import Scene
+
+        scene = Scene.from_obstacles(
+            obstacles, container=container, extra_points=extra_points
+        )
 
         def build() -> ShortestPathIndex:
-            return ShortestPathIndex.build(
-                obstacles, extra_points=extra_points, engine=engine, container=container
-            )
+            from repro.pipeline import build_index
+
+            return build_index(scene, engine=engine, cache=self.stage_cache)
 
         self._register(name, _Entry(source=build, kind="build"))
 

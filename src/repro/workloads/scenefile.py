@@ -1,95 +1,48 @@
-"""Scene files: the JSON interchange format of the CLI and the fuzz tools.
+"""Scene files: thin compatibility wrappers over :mod:`repro.scene`.
 
-Schema v1 (still accepted)::
+The JSON interchange format (schema v1/v2), its parser, and the
+disjointness/degeneracy validation all live in :class:`repro.scene.Scene`
+— the single authoritative path shared by the CLI, the serving stack, and
+the fuzz tools.  This module keeps the original tuple-shaped functional
+API (``load_scene`` → ``(obstacles, container)``) for existing callers;
+new code should use :class:`~repro.scene.Scene` directly.
 
-    {"rects": [[xlo, ylo, xhi, yhi], ...]}
-
-Schema v2 adds polygonal obstacles and an optional container::
-
-    {"version": 2,
-     "rects": [[xlo, ylo, xhi, yhi], ...],
-     "polygons": [[[x, y], [x, y], ...], ...],
-     "container": [[x, y], ...]}          # optional, rectilinear convex
-
-Every entry is validated through the real geometry constructors, so a
-malformed scene fails with one :class:`~repro.errors.GeometryError`-family
-message (the CLI turns that into a one-line exit).  ``scene_to_dict`` /
-``scene_from_dict`` round-trip exactly, which is what makes shrunk fuzz
-failures replayable: ``python -m repro query fuzz_fail.json ...``.
+The tuple shape cannot carry the v2 ``extra_points`` field: these
+wrappers return geometry only, by contract.  Load scenes that register
+extra points through :meth:`Scene.load` / :meth:`Scene.from_dict`.
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import GeometryError
 from repro.geometry.polygon import RectilinearPolygon
-from repro.geometry.primitives import Rect, validate_disjoint
+from repro.scene import SCENE_VERSION, Obstacle, PathLike, Scene
 
-SCENE_VERSION = 2
-
-Obstacle = Union[Rect, RectilinearPolygon]
-PathLike = Union[str, pathlib.Path]
+__all__ = [
+    "SCENE_VERSION",
+    "Obstacle",
+    "scene_to_dict",
+    "scene_from_dict",
+    "validate_scene",
+    "save_scene",
+    "load_scene",
+]
 
 
 def scene_to_dict(
     obstacles: Sequence[Obstacle], container: Optional[RectilinearPolygon] = None
 ) -> dict:
     """The v2 JSON-ready dict of a mixed obstacle scene."""
-    rects = [[o.xlo, o.ylo, o.xhi, o.yhi] for o in obstacles if isinstance(o, Rect)]
-    polygons = [
-        [[x, y] for x, y in o.loop]
-        for o in obstacles
-        if isinstance(o, RectilinearPolygon)
-    ]
-    out: dict = {"version": SCENE_VERSION, "rects": rects, "polygons": polygons}
-    if container is not None:
-        out["container"] = [[x, y] for x, y in container.loop]
-    return out
+    return Scene.from_obstacles(obstacles, container).to_dict()
 
 
 def scene_from_dict(data: object) -> Tuple[list[Obstacle], Optional[RectilinearPolygon]]:
     """Parse and validate a v1/v2 scene dict into ``(obstacles, container)``."""
-    if not isinstance(data, dict):
-        raise GeometryError("scene file must be a JSON object")
-    version = data.get("version", 1)
-    if version not in (1, SCENE_VERSION):
-        raise GeometryError(
-            f"scene schema version {version!r}; this build reads 1 and {SCENE_VERSION}"
-        )
-    obstacles: list[Obstacle] = []
-    rows = data.get("rects", [])
-    if not isinstance(rows, list):
-        raise GeometryError("'rects' must be a list of [xlo, ylo, xhi, yhi] rows")
-    for row in rows:
-        try:
-            obstacles.append(Rect(*map(int, row)))
-        except (TypeError, ValueError) as exc:
-            raise GeometryError(f"bad rect row {row!r}: {exc}") from None
-    loops = data.get("polygons", [])
-    if version == 1 and loops:
-        raise GeometryError("schema v1 scenes cannot carry polygons")
-    if not isinstance(loops, list):
-        raise GeometryError("'polygons' must be a list of vertex loops")
-    for loop in loops:
-        try:
-            obstacles.append(
-                RectilinearPolygon([(int(x), int(y)) for x, y in loop])
-            )
-        except (TypeError, ValueError) as exc:
-            raise GeometryError(f"bad polygon loop {loop!r}: {exc}") from None
-    container = None
-    if data.get("container") is not None:
-        loop = data["container"]
-        try:
-            container = RectilinearPolygon([(int(x), int(y)) for x, y in loop])
-        except (TypeError, ValueError) as exc:
-            raise GeometryError(f"bad container loop {loop!r}: {exc}") from None
-    if not obstacles:
-        raise GeometryError("scene has no obstacles")
-    return obstacles, container
+    scene = Scene.from_dict(data)
+    return _geometry_tuple(scene)
 
 
 def validate_scene(
@@ -97,18 +50,7 @@ def validate_scene(
 ) -> None:
     """Disjointness/containment checks shared by the CLI and fuzz tools;
     raises with a one-line message naming the offending geometry."""
-    from repro.core.api import split_obstacles
-
-    _, _, all_rects, _ = split_obstacles(obstacles)
-    validate_disjoint(all_rects)
-    if container is not None:
-        if not container.is_convex:
-            raise GeometryError(
-                "container polygon is not rectilinear convex"
-            )
-        for r in all_rects:
-            if not container.contains_rect(r):
-                raise GeometryError(f"obstacle rect {r} is not inside the container")
+    Scene.from_obstacles(obstacles, container).validate()
 
 
 def save_scene(
@@ -116,15 +58,21 @@ def save_scene(
     obstacles: Sequence[Obstacle],
     container: Optional[RectilinearPolygon] = None,
 ) -> pathlib.Path:
-    path = pathlib.Path(path)
-    path.write_text(json.dumps(scene_to_dict(obstacles, container), indent=1))
-    return path
+    return Scene.from_obstacles(obstacles, container).save(path)
 
 
 def load_scene(path: PathLike) -> Tuple[list[Obstacle], Optional[RectilinearPolygon]]:
-    with open(path) as fh:
-        try:
-            data = json.load(fh)
-        except ValueError as exc:
-            raise GeometryError(f"{path}: not valid JSON: {exc}") from None
-    return scene_from_dict(data)
+    scene = Scene.load(path)
+    return _geometry_tuple(scene)
+
+
+def _geometry_tuple(
+    scene: Scene,
+) -> Tuple[list[Obstacle], Optional[RectilinearPolygon]]:
+    """The legacy tuple view, guarding its own contract: this API cannot
+    carry extra points, so a scene whose only content is extras must be
+    rejected here (returning an empty obstacle list would silently drop
+    everything the file said)."""
+    if not scene.obstacles:
+        raise GeometryError("scene has no obstacles")
+    return list(scene.obstacles), scene.container

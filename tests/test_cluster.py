@@ -175,12 +175,12 @@ class TestMetrics:
 
 # ----------------------------------------------------------------------
 def _build_spec(name, rects, engine="parallel"):
+    from repro.scene import Scene
+
     return {
         "name": name,
         "kind": "build",
-        "rects": [[r.xlo, r.ylo, r.xhi, r.yhi] for r in rects],
-        "polygons": [],
-        "container": None,
+        "scene": Scene.from_obstacles(rects).to_dict(),
         "engine": engine,
     }
 
