@@ -28,6 +28,14 @@ Two claims about :mod:`repro.cluster` are measured and recorded in
   too, but RSS counts shared pages in every process that touches them —
   private bytes is the honest copy-detector.
 
+* **availability under chaos** — a 2-worker closed loop with a
+  :class:`~repro.cluster.faults.FaultPlan` SIGKILLing a worker on a
+  fixed request cadence, clients retrying with backoff.  Availability
+  is the fraction of requests that ultimately succeeded; with failover
+  routing + supervised restarts it must be 100% (asserted when not
+  ``BENCH_SMOKE``), and the artifact records how many kills, restarts,
+  and client retries that took.
+
 Smoke mode (``BENCH_SMOKE=1``) shrinks everything and skips the ratio
 assertions; the JSON artifact is always written.
 """
@@ -36,8 +44,10 @@ import asyncio
 import os
 
 from benchmarks.common import SMOKE, emit, emit_json, format_table
+from repro.cluster.faults import FaultPlan
 from repro.cluster.frontend import ClusterFrontend
 from repro.cluster.loadgen import build_requests, discover, run_closed
+from repro.cluster.supervisor import RestartPolicy
 from repro.core.api import ShortestPathIndex
 from repro.workloads.generators import random_disjoint_rects
 
@@ -49,6 +59,10 @@ SLEEP_MS = 2.0
 QUERY_REQS = 60 if SMOKE else 400
 PAIRS = 32
 CONNS = 16
+
+CHAOS_REQS = 80 if SMOKE else 800
+CHAOS_KILL_EVERY = 40 if SMOKE else 150
+CHAOS_RETRIES = 8
 
 RSS_RECTS = 24 if SMOKE else 256
 RSS_COUNTS = (1, 3) if SMOKE else (1, 4, 8)
@@ -114,6 +128,43 @@ async def _measure_query(indexes, workers):
     return summary
 
 
+async def _measure_availability(indexes):
+    """Closed loop with a kill-every-N fault plan and client retries;
+    returns the summary plus kill/restart counts and the availability
+    fraction (requests that ultimately succeeded)."""
+    scenes = {name: {"index": idx} for name, idx in indexes.items()}
+    names = sorted(scenes)
+    plan = FaultPlan(kill_every=CHAOS_KILL_EVERY)
+    async with ClusterFrontend(
+        scenes,
+        workers=2,
+        pins=_pins(names, 2),
+        faults=plan,
+        restart_policy=RestartPolicy(max_restarts=1000, window_s=30.0),
+        queue_depth=4 * CONNS,
+    ) as fe:
+        pools = await discover(fe.host, fe.port, seed=5)
+        reqs = build_requests(
+            pools, CHAOS_REQS, seed=6, mix=(0.5, 0.1, 0.0), pairs_per_request=8
+        )
+        report = await run_closed(
+            fe.host,
+            fe.port,
+            reqs,
+            conns=CONNS,
+            retries=CHAOS_RETRIES,
+            retry_budget=CHAOS_REQS,
+            timeout_s=15.0,
+        )
+        kills = len(fe.injector.kills)
+        restarts = fe.supervisor.total_restarts
+    summary = report.summary()
+    summary["availability"] = summary["ok"] / max(summary["sent"], 1)
+    summary["kills"] = kills
+    summary["restarts"] = restarts
+    return summary
+
+
 async def _measure_private_bytes(idx, n_copies):
     """One worker, ``n_copies`` shm-published copies of the same scene;
     returns the worker's memory counters after touching every scene."""
@@ -157,6 +208,8 @@ def test_c1_cluster_scaling_and_flat_rss():
     dispatch_scaling = sleep_qps[w_hi] / sleep_qps[w_lo]
     query_scaling = query_qps[w_hi] / query_qps[w_lo]
 
+    chaos = asyncio.run(_measure_availability(indexes))
+
     idx = ShortestPathIndex.build(random_disjoint_rects(RSS_RECTS, seed=99))
     matrix_bytes = idx.index.matrix.nbytes
     memory: dict[int, dict] = {}
@@ -182,6 +235,11 @@ def test_c1_cluster_scaling_and_flat_rss():
          round((memory[k]["private_bytes"] or 0) / 2**20, 1), "",
          round((memory[k]["rss_bytes"] or 0) / 2**20, 1)]
         for k in RSS_COUNTS
+    ] + [
+        [f"chaos: kill every {CHAOS_KILL_EVERY} reqs, {CHAOS_RETRIES} retries",
+         round(chaos["qps"], 0),
+         f"{chaos['availability']:.3f} avail",
+         round(chaos["latency"]["p99_ms"], 1)]
     ]
     text = format_table(
         ["configuration", "qps | MB", "scaling", "p99ms | rssMB"],
@@ -191,7 +249,9 @@ def test_c1_cluster_scaling_and_flat_rss():
             f"{w_hi}-worker scaling: {dispatch_scaling:.1f}x fixed-service, "
             f"{query_scaling:.1f}x cpu-bound; worker private growth "
             f"{private_growth / 2**20:.1f} MB vs {copy_cost / 2**20:.0f} MB "
-            f"copy cost over {k_hi} scenes"
+            f"copy cost over {k_hi} scenes; availability "
+            f"{chaos['availability']:.3f} under {chaos['kills']} kills "
+            f"({chaos['restarts']} restarts, {chaos['retries']} retries)"
         ),
     )
     emit("C1_cluster", text)
@@ -220,9 +280,24 @@ def test_c1_cluster_scaling_and_flat_rss():
                 "private_growth_bytes": private_growth,
                 "copy_cost_bytes": copy_cost,
             },
+            "availability": {
+                "requests": CHAOS_REQS,
+                "kill_every": CHAOS_KILL_EVERY,
+                "retries_allowed": CHAOS_RETRIES,
+                "availability": chaos["availability"],
+                "ok": chaos["ok"],
+                "errors": chaos["errors"],
+                "shed": chaos["shed"],
+                "retries": chaos["retries"],
+                "timeouts": chaos["timeouts"],
+                "kills": chaos["kills"],
+                "restarts": chaos["restarts"],
+                "p99_ms": chaos["latency"]["p99_ms"],
+            },
             "targets": {
                 "scaling_min": 2.5,
                 "private_growth_max_fraction_of_copy_cost": 0.35,
+                "availability_min": 1.0,
             },
         },
     )
@@ -235,6 +310,11 @@ def test_c1_cluster_scaling_and_flat_rss():
             assert query_scaling >= 2.5, (
                 f"CPU-bound scaling only {query_scaling:.2f}x on {CPUS} cores"
             )
+        assert chaos["availability"] >= 1.0, (
+            f"availability {chaos['availability']:.4f} under chaos: "
+            f"{chaos['errors']} errors, {chaos['shed']} shed after "
+            f"{chaos['kills']} kills"
+        )
         if memory[k_hi]["private_bytes"] is not None:
             assert private_growth < 0.35 * copy_cost, (
                 f"worker private memory grew {private_growth / 2**20:.1f} MB "

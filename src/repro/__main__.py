@@ -288,11 +288,14 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from repro.cluster.faults import FaultPlan
     from repro.cluster.frontend import ClusterFrontend
+    from repro.cluster.supervisor import RestartPolicy
     from repro.errors import ClusterError
 
     specs = _cluster_scene_specs(args.scenes)
     try:
+        faults = FaultPlan.from_file(args.faults) if args.faults else None
         frontend = ClusterFrontend(
             specs,
             workers=args.workers,
@@ -305,17 +308,25 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             start_method=args.start_method,
             use_shm=not args.no_shm,
             engine=args.engine,
+            supervise=not args.no_supervise,
+            restart_policy=RestartPolicy(
+                max_restarts=args.max_restarts, window_s=args.restart_window_s
+            ),
+            faults=faults,
         )
     except (ClusterError, ValueError) as exc:  # e.g. a pin out of range
         raise SystemExit(str(exc))
 
     async def run() -> None:
         loop = asyncio.get_running_loop()
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(sig, frontend.request_stop)
-            except (NotImplementedError, RuntimeError):  # pragma: no cover
-                pass
+        # SIGINT stops immediately; SIGTERM drains first (stops admitting,
+        # finishes queued + in-flight work, then exits) — the shutdown a
+        # process manager should send
+        try:
+            loop.add_signal_handler(signal.SIGINT, frontend.request_stop)
+            loop.add_signal_handler(signal.SIGTERM, frontend.request_drain)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
         await frontend.start()
         shard_note = ", ".join(
             f"{name}->w{wid}" for name, wid in sorted(frontend.assignment.items())
@@ -370,6 +381,10 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 mix=(args.bulk, args.arbitrary, args.paths),
                 pairs_per_request=args.pairs,
+                retries=args.retries,
+                retry_budget=args.retry_budget,
+                deadline_ms=args.deadline_ms,
+                timeout_s=args.timeout_s,
             )
         )
     except (ClusterError, OSError) as exc:
@@ -380,7 +395,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     else:
         print(
             f"{mode} loop: {summary['sent']} sent, {summary['ok']} ok, "
-            f"{summary['errors']} errors, {summary['shed']} shed "
+            f"{summary['errors']} errors, {summary['shed']} shed, "
+            f"{summary['retries']} retries, "
+            f"{summary['deadline_expired']} deadline-expired "
             f"in {summary['elapsed_s']:.3f}s ({summary['qps']:,.0f} req/s)"
         )
         print(f"latency: {format_latency(summary['latency'])}")
@@ -629,6 +646,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                     help="write 'host port' here once the server is listening")
     cl.add_argument("--duration", type=float, default=None,
                     help="stop after this many seconds (default: run until signal)")
+    cl.add_argument("--no-supervise", action="store_true",
+                    help="do not restart crashed workers (scenes still fail "
+                    "over to survivors)")
+    cl.add_argument("--max-restarts", type=int, default=5,
+                    help="crashes tolerated per worker inside the restart "
+                    "window before its circuit breaker opens")
+    cl.add_argument("--restart-window-s", type=float, default=30.0,
+                    help="sliding crash-window length for the circuit breaker")
+    cl.add_argument("--faults", metavar="PLAN.json", default=None,
+                    help="chaos harness: a FaultPlan JSON file "
+                    "(kill_every, delay_every/delay_ms, duplicate_every, "
+                    "truncate_every, stall_every/stall_ms)")
     cl.set_defaults(fn=cmd_cluster)
 
     lg = sub.add_parser("loadgen", help="drive a running cluster front-end")
@@ -652,6 +681,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                     help="fraction of arbitrary-point requests (§6.4 path)")
     lg.add_argument("--paths", type=float, default=0.02,
                     help="fraction of path-report requests")
+    lg.add_argument("--retries", type=int, default=0,
+                    help="closed loop: per-request retries for retryable "
+                    "failures (shed, worker death, timeout, deadline expiry)")
+    lg.add_argument("--retry-budget", type=int, default=None,
+                    help="run-wide cap on total retries "
+                    "(default: half the request count)")
+    lg.add_argument("--deadline-ms", type=float, default=None,
+                    help="stamp every scene request with this latency budget")
+    lg.add_argument("--timeout-s", type=float, default=30.0,
+                    help="closed loop: per-attempt response timeout")
     lg.add_argument("--json", action="store_true", help="print the report as JSON")
     lg.add_argument("--check", action="store_true",
                     help="exit nonzero if any request errored or was shed")

@@ -1,0 +1,192 @@
+"""Deterministic fault injection for the cluster (the chaos harness).
+
+A :class:`FaultPlan` is a plain, JSON-serializable description of the
+faults one run should suffer; a :class:`FaultInjector` is its runtime —
+counters plus the hooks the front-end calls.  With no plan configured
+every hook site is a no-op (``frontend.injector is None``), so the
+production data path pays one attribute check and nothing else.
+
+Fault classes, and where they bite:
+
+* **kill_every** — after every Nth admitted scene request, SIGKILL one
+  live worker process (``kill_worker`` pins the victim; by default the
+  victims rotate).  Exercises the whole recovery stack: pipe-EOF
+  detection, in-flight batch redirection, failover routing, supervised
+  respawn and rejoin.
+* **delay_every/delay_ms, duplicate_every, truncate_every** — response
+  frame faults injected in the front-end's per-connection writer:
+  a late frame, the same frame twice, or half a frame followed by a
+  closed connection.  Exercises client-side timeouts, duplicate-id
+  skipping, and reconnect-and-retry.
+* **stall_every/stall_ms** — worker-side: every Nth batch sleeps before
+  answering.  Exercises deadline expiry of queued requests (the stalled
+  worker's queue goes stale while it naps).
+
+``bitflip_file`` flips one bit of an on-disk artifact — the canonical
+way to manufacture a corrupt ``.rsp`` snapshot for quarantine tests.
+
+>>> plan = FaultPlan(kill_every=200)
+>>> plan = FaultPlan.from_dict({"delay_every": 10, "delay_ms": 50})
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import pathlib
+import random
+import signal
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.cluster.protocol import encode_frame, write_frame
+from repro.errors import ClusterError
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One run's faults; all counts are 1-based 'every Nth' triggers."""
+
+    #: SIGKILL a live worker after every Nth admitted scene request
+    kill_every: int = 0
+    #: fixed victim worker id (None → rotate over live workers)
+    kill_worker: Optional[int] = None
+    #: stop killing after this many kills (0 → unlimited)
+    max_kills: int = 0
+    #: delay every Nth response frame ...
+    delay_every: int = 0
+    #: ... by this many milliseconds
+    delay_ms: float = 0.0
+    #: write every Nth response frame twice
+    duplicate_every: int = 0
+    #: cut every Nth response frame in half and close the connection
+    truncate_every: int = 0
+    #: worker-side: sleep before answering every Nth batch ...
+    stall_every: int = 0
+    #: ... for this many milliseconds
+    stall_ms: float = 0.0
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        known = {f.name for f in dataclasses.fields(cls)}
+        bad = sorted(set(d) - known)
+        if bad:
+            raise ClusterError(
+                f"unknown fault plan field(s) {bad} (known: {sorted(known)})"
+            )
+        return cls(**d)
+
+    @classmethod
+    def from_file(cls, path: PathLike) -> "FaultPlan":
+        try:
+            return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+        except (OSError, ValueError) as exc:
+            raise ClusterError(f"unreadable fault plan {path}: {exc}")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def worker_options(self) -> dict:
+        """The slice of the plan each worker process enforces itself."""
+        if not self.stall_every:
+            return {}
+        return {"stall_every": self.stall_every, "stall_ms": self.stall_ms}
+
+
+class FaultInjector:
+    """Runtime counters for one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.requests = 0
+        self.responses = 0
+        self.kills: list[dict] = []
+        self.delays = 0
+        self.duplicates = 0
+        self.truncations = 0
+
+    # -- front-end hooks -------------------------------------------------
+    def on_request(self, frontend) -> None:
+        """Called per admitted scene request; may SIGKILL a worker."""
+        plan = self.plan
+        if not plan.kill_every:
+            return
+        self.requests += 1
+        if self.requests % plan.kill_every:
+            return
+        if plan.max_kills and len(self.kills) >= plan.max_kills:
+            return
+        live = [
+            w
+            for w in frontend.workers
+            if not w.dead and w.proc.pid is not None and w.proc.is_alive()
+        ]
+        if plan.kill_worker is not None:
+            live = [w for w in live if w.id == plan.kill_worker]
+        if not live:
+            return
+        victim = live[len(self.kills) % len(live)]
+        try:
+            os.kill(victim.proc.pid, signal.SIGKILL)
+        except (OSError, ProcessLookupError):  # already gone
+            return
+        self.kills.append({"worker": victim.id, "at_request": self.requests})
+
+    async def on_response(self, writer, resp: dict) -> bool:
+        """Frame faults in the writer loop; True = the frame was handled
+        here (written, duplicated, or destroyed) — skip the normal write."""
+        plan = self.plan
+        self.responses += 1
+        if plan.delay_every and self.responses % plan.delay_every == 0:
+            self.delays += 1
+            await asyncio.sleep(plan.delay_ms / 1e3)
+        if plan.duplicate_every and self.responses % plan.duplicate_every == 0:
+            self.duplicates += 1
+            await write_frame(writer, resp)
+            await write_frame(writer, resp)
+            return True
+        if plan.truncate_every and self.responses % plan.truncate_every == 0:
+            self.truncations += 1
+            data = encode_frame(resp)
+            writer.write(data[: max(1, len(data) // 2)])
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return True
+        return False
+
+    def stats(self) -> dict:
+        return {
+            "plan": self.plan.to_dict(),
+            "requests_seen": self.requests,
+            "kills": list(self.kills),
+            "delays": self.delays,
+            "duplicates": self.duplicates,
+            "truncations": self.truncations,
+        }
+
+
+def bitflip_file(path: PathLike, *, offset: Optional[int] = None, seed: int = 0) -> int:
+    """Flip one bit of ``path`` in place; returns the byte offset flipped.
+
+    With no explicit ``offset`` a seeded position in the back half of the
+    file is chosen — for ``.rsp`` snapshots that lands in array payload,
+    the case the checksum (not the header parser) must catch.
+    """
+    p = pathlib.Path(path)
+    data = bytearray(p.read_bytes())
+    if not data:
+        raise ClusterError(f"cannot bitflip empty file {path}")
+    if offset is None:
+        offset = random.Random(f"bitflip|{seed}").randrange(len(data) // 2, len(data))
+    if not 0 <= offset < len(data):
+        raise ClusterError(f"bitflip offset {offset} outside file of {len(data)} bytes")
+    data[offset] ^= 0x01
+    p.write_bytes(data)
+    return offset

@@ -5,8 +5,11 @@ Data path::
     client ──TCP/JSON frames──▶ front-end ──pipe batches──▶ worker 0..N-1
            ◀─responses (in request order per connection)──┘
 
-* **Routing** — every scene is owned by one worker
-  (:mod:`repro.cluster.hashing`; rendezvous hashing with explicit pins).
+* **Routing** — every scene is owned by one worker, chosen by rendezvous
+  hashing over the *live* workers (:mod:`repro.cluster.hashing`, with
+  explicit pins).  When all workers are up this equals the static
+  assignment; when one dies its scenes rendezvous onto the survivors and
+  move back the moment a restart rejoins — no routing state to replay.
 * **Micro-batching** — each worker has one dispatch loop that drains its
   queue into a batch bounded by ``max_batch`` and ``batch_window_ms``;
   while the worker is busy answering, new arrivals pile into the queue,
@@ -14,17 +17,26 @@ Data path::
   analogue of the paper's build-side batching.
 * **Admission control** — per-worker queues are bounded; when one is
   full the front-end answers ``{"ok": false, "shed": true, ...}``
-  immediately (one line, no queuing), keeping p99 bounded instead of
-  letting latency grow without bound.
+  immediately (one line, no queuing).  Requests carrying ``deadline_ms``
+  that go stale in a queue are expired with
+  ``{"deadline_expired": true}`` instead of serving dead work.
 * **Ordering** — responses on a connection are written in request order
   even when requests fan out to different workers: each connection keeps
   a FIFO of response futures and a single writer drains it.
-* **Failure** — a worker that dies fails its in-flight batch (and all
-  queued requests) with one-line errors; requests routed to a dead
-  worker are refused immediately; the rest of the cluster keeps serving.
+* **Failure** — a dead worker's in-flight and queued requests are
+  *redirected* to the surviving workers (every scene op is an idempotent
+  read; a redirect cap stops ping-pong during cascades).  With
+  ``supervise=True`` (default) the slot is respawned under the
+  :class:`~repro.cluster.supervisor.Supervisor`'s backoff policy,
+  readiness-gated, and transparently rejoins routing.
+* **Lifecycle** — workers are readiness-gated at startup (one full
+  batch round trip each before the TCP port binds); the ``health`` and
+  ``drain`` verbs expose liveness and connection-draining shutdown.
 
 The front-end owns the shared-memory segments (it publishes every scene
 before spawning workers) and unlinks them in :meth:`ClusterFrontend.stop`.
+Because segments outlive any one worker process, a respawned worker
+re-attaches from the same manifests it was born with.
 """
 
 from __future__ import annotations
@@ -34,8 +46,10 @@ import multiprocessing
 import time
 from typing import Mapping, Optional, Sequence
 
-from repro.cluster.hashing import assignment
+from repro.cluster.faults import FaultInjector, FaultPlan
+from repro.cluster.hashing import assignment, hrw_score
 from repro.cluster.protocol import read_frame, write_frame
+from repro.cluster.supervisor import RestartPolicy, Supervisor
 from repro.cluster.worker import worker_main
 from repro.errors import ClusterError
 from repro.serve.metrics import BatchHistogram, LatencyRecorder
@@ -44,17 +58,28 @@ from repro.serve.shm import ShmPublisher
 #: ops the front-end forwards to a scene's owning worker
 _SCENE_OPS = ("length", "lengths", "path", "endpoints", "sleep")
 
+#: how many times one request may be re-routed after worker deaths
+_MAX_REDIRECTS = 2
+
 
 class _Item:
     """One queued request: wire dict + the future its response resolves."""
 
-    __slots__ = ("wire", "future", "t0", "scene")
+    __slots__ = ("wire", "future", "t0", "scene", "deadline", "redirects")
 
-    def __init__(self, wire: dict, future: asyncio.Future, scene: Optional[str]):
+    def __init__(
+        self,
+        wire: dict,
+        future: asyncio.Future,
+        scene: Optional[str],
+        deadline: Optional[float] = None,
+    ):
         self.wire = wire
         self.future = future
         self.t0 = time.perf_counter()
         self.scene = scene
+        self.deadline = deadline  # absolute event-loop time, or None
+        self.redirects = 0
 
 
 class _Worker:
@@ -67,6 +92,7 @@ class _Worker:
         self.dead = False
         self.batches = 0
         self.seq = 0
+        self.inflight = 0  # requests in the batch currently on the pipe
 
 
 class _SceneMetrics:
@@ -74,6 +100,7 @@ class _SceneMetrics:
         self.requests = 0
         self.shed = 0
         self.errors = 0
+        self.deadline_expired = 0
         self.latency = LatencyRecorder()
 
     def summary(self) -> dict:
@@ -81,6 +108,7 @@ class _SceneMetrics:
             "requests": self.requests,
             "shed": self.shed,
             "errors": self.errors,
+            "deadline_expired": self.deadline_expired,
             "latency": self.latency.summary(),
         }
 
@@ -98,6 +126,10 @@ class ClusterFrontend:
     once into shared memory and workers attach zero-copy; with ``False``
     each worker materializes privately (the copy path — kept for
     benchmarking the difference and for hosts without ``/dev/shm``).
+
+    Every worker receives the full scene-spec list and materializes
+    lazily, so residency follows routing — which is what lets any
+    survivor adopt a dead worker's scenes without re-provisioning.
     """
 
     def __init__(
@@ -115,6 +147,10 @@ class ClusterFrontend:
         use_shm: bool = True,
         engine: str = "parallel",
         worker_max_bytes: Optional[int] = None,
+        supervise: bool = True,
+        restart_policy: Optional[RestartPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        ready_timeout_s: float = 60.0,
     ) -> None:
         if not scenes:
             raise ClusterError("a cluster needs at least one scene")
@@ -132,15 +168,25 @@ class ClusterFrontend:
         self.use_shm = use_shm
         self.engine = engine
         self.worker_max_bytes = worker_max_bytes
+        self.supervise = supervise
+        self.supervisor = Supervisor(restart_policy)
+        self.faults = faults
+        self.injector = FaultInjector(faults) if faults is not None else None
+        self.ready_timeout_s = ready_timeout_s
         self.assignment = assignment(sorted(scenes), workers, self.pins)
         self.publisher: Optional[ShmPublisher] = None
         self.workers: list[_Worker] = []
+        self._worker_specs: list[dict] = []
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopped = asyncio.Event()
         self._started = False
+        self._closing = False
+        self._draining = False
+        self._restart_tasks: set[asyncio.Task] = set()
         # front-end metrics
         self.requests = 0
         self.sheds = 0
+        self.deadline_expired = 0
         self.batch_hist = BatchHistogram()
         self.scene_metrics: dict[str, _SceneMetrics] = {
             name: _SceneMetrics() for name in scenes
@@ -148,20 +194,20 @@ class ClusterFrontend:
         self._t_start = time.monotonic()
 
     # -- startup --------------------------------------------------------
-    def _prepare_specs(self) -> list[list[dict]]:
-        """Materialize/publish every scene; returns per-worker spec lists."""
-        shards: list[list[dict]] = [[] for _ in range(self.n_workers)]
+    def _prepare_specs(self) -> list[dict]:
+        """Materialize/publish every scene; returns the full spec list
+        (every worker gets all of it — materialization is lazy)."""
+        specs: list[dict] = []
         if self.use_shm:
             self.publisher = ShmPublisher()
         for name in sorted(self.scene_sources):
             src = self.scene_sources[name]
-            wid = self.assignment[name]
             if self.use_shm:
                 manifest = self._publish(name, src)
-                shards[wid].append({"name": name, "kind": "shm", "manifest": manifest})
+                specs.append({"name": name, "kind": "shm", "manifest": manifest})
             else:
-                shards[wid].append(self._plain_spec(name, src))
-        return shards
+                specs.append(self._plain_spec(name, src))
+        return specs
 
     def _publish(self, name: str, src: dict) -> dict:
         assert self.publisher is not None
@@ -189,7 +235,20 @@ class ClusterFrontend:
 
     def _plain_spec(self, name: str, src: dict) -> dict:
         if "snapshot" in src:
-            return {"name": name, "kind": "snapshot", "path": str(src["snapshot"])}
+            spec = {"name": name, "kind": "snapshot", "path": str(src["snapshot"])}
+            if "obstacles" in src:
+                from repro.scene import Scene
+
+                # rebuild-from-scene fallback: if the snapshot artifact
+                # is corrupt at load time the worker quarantines it and
+                # builds from geometry instead of crashing
+                spec["scene"] = Scene.from_obstacles(
+                    src["obstacles"],
+                    container=src.get("container"),
+                    extra_points=src.get("extra_points") or (),
+                ).to_dict()
+                spec["engine"] = self.engine
+            return spec
         if "obstacles" in src:
             from repro.scene import Scene
 
@@ -209,28 +268,60 @@ class ClusterFrontend:
             f"(or hand the workers a snapshot path)"
         )
 
+    def _spawn_worker(self, wid: int) -> _Worker:
+        """Fork/spawn one worker process on the shared spec list."""
+        ctx = multiprocessing.get_context(self.start_method)
+        options: dict = {"max_bytes": self.worker_max_bytes}
+        if self.faults is not None:
+            fault_opts = self.faults.worker_options()
+            if fault_opts:
+                options["faults"] = fault_opts
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=worker_main,
+            args=(child_conn, wid, self._worker_specs, options),
+            daemon=True,
+            name=f"repro-cluster-worker-{wid}",
+        )
+        proc.start()
+        child_conn.close()
+        return _Worker(wid, proc, parent_conn, self.queue_depth)
+
+    async def _ready_worker(self, worker: _Worker) -> None:
+        """Readiness gate: one full batch round trip through the worker
+        loop (imports done, store registered, pipe serviced) before any
+        client traffic may route to it."""
+        loop = asyncio.get_running_loop()
+
+        def round_trip():
+            worker.conn.send({"op": "batch", "seq": 0, "requests": [{"op": "ping"}]})
+            return worker.conn.recv()
+
+        try:
+            reply = await asyncio.wait_for(
+                loop.run_in_executor(None, round_trip), self.ready_timeout_s
+            )
+        except (asyncio.TimeoutError, EOFError, OSError, BrokenPipeError) as exc:
+            raise ClusterError(
+                f"worker {worker.id} failed readiness: {exc!r:.120}"
+            ) from exc
+        results = reply.get("results") or []
+        if not results or not results[0].get("ok"):
+            raise ClusterError(
+                f"worker {worker.id} failed readiness: bad ping reply {reply!r:.120}"
+            )
+
     async def start(self) -> None:
-        """Publish scenes, spawn workers, bind the TCP server."""
+        """Publish scenes, spawn workers, readiness-gate them, bind TCP."""
         if self._started:
             raise ClusterError("cluster already started")
         self._started = True
         try:
-            shards = self._prepare_specs()
-            ctx = multiprocessing.get_context(self.start_method)
-            options = {"max_bytes": self.worker_max_bytes}
-            for wid in range(self.n_workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=worker_main,
-                    args=(child_conn, wid, shards[wid], options),
-                    daemon=True,
-                    name=f"repro-cluster-worker-{wid}",
-                )
-                proc.start()
-                child_conn.close()
-                worker = _Worker(wid, proc, parent_conn, self.queue_depth)
+            self._worker_specs = self._prepare_specs()
+            self.workers = [self._spawn_worker(wid) for wid in range(self.n_workers)]
+            await asyncio.gather(*(self._ready_worker(w) for w in self.workers))
+            for worker in self.workers:
                 worker.task = asyncio.create_task(self._dispatch_loop(worker))
-                self.workers.append(worker)
             self._server = await asyncio.start_server(
                 self._handle_client, self.host, self.port
             )
@@ -253,6 +344,25 @@ class ClusterFrontend:
     def request_stop(self) -> None:
         self._stopped.set()
 
+    # -- routing --------------------------------------------------------
+    def _route(self, scene: Optional[str]) -> Optional[_Worker]:
+        """The live worker that owns ``scene`` right now: the pin if its
+        worker is up, else rendezvous hashing over the live set.  With
+        everyone alive this equals the static :attr:`assignment`."""
+        if scene is None:
+            return None
+        pinned = self.pins.get(scene)
+        if (
+            pinned is not None
+            and 0 <= pinned < len(self.workers)
+            and not self.workers[pinned].dead
+        ):
+            return self.workers[pinned]
+        live = [w for w in self.workers if not w.dead]
+        if not live:
+            return None
+        return max(live, key=lambda w: hrw_score(scene, w.id))
+
     # -- per-worker dispatch --------------------------------------------
     async def _dispatch_loop(self, worker: _Worker) -> None:
         loop = asyncio.get_running_loop()
@@ -260,6 +370,8 @@ class ClusterFrontend:
         try:
             while True:
                 item = await worker.queue.get()
+                if self._expire_if_late(item):
+                    continue
                 batch = [item]
                 deadline = loop.time() + self.batch_window
                 while len(batch) < self.max_batch:
@@ -267,12 +379,13 @@ class ClusterFrontend:
                     if timeout <= 0:
                         break
                     try:
-                        batch.append(
-                            await asyncio.wait_for(worker.queue.get(), timeout)
-                        )
+                        got = await asyncio.wait_for(worker.queue.get(), timeout)
                     except asyncio.TimeoutError:
                         break
+                    if not self._expire_if_late(got):
+                        batch.append(got)
                 worker.seq += 1
+                worker.inflight = len(batch)
                 payload = {
                     "op": "batch",
                     "seq": worker.seq,
@@ -282,8 +395,12 @@ class ClusterFrontend:
                     await loop.run_in_executor(None, worker.conn.send, payload)
                     reply = await loop.run_in_executor(None, worker.conn.recv)
                 except (EOFError, OSError, BrokenPipeError) as exc:
-                    self._fail_worker(worker, batch, f"worker {worker.id} died: {exc}")
+                    worker.inflight = 0
+                    self._on_worker_death(
+                        worker, batch, f"worker {worker.id} died: {exc!r:.80}"
+                    )
                     return
+                worker.inflight = 0
                 worker.batches += 1
                 self.batch_hist.observe(len(batch))
                 results = reply.get("results") or []
@@ -299,8 +416,34 @@ class ClusterFrontend:
                         it.future.set_result(res)
                 batch = []
         except asyncio.CancelledError:
+            worker.inflight = 0
             self._fail_batch(batch, f"worker {worker.id} shutting down")
             raise
+
+    def _expire_if_late(self, item: _Item) -> bool:
+        """Expire one queued request whose deadline already passed; the
+        distinct error (and flag) tells clients the work was *not* done."""
+        if item.deadline is None:
+            return False
+        if asyncio.get_running_loop().time() <= item.deadline:
+            return False
+        self.deadline_expired += 1
+        metrics = self.scene_metrics.get(item.scene) if item.scene else None
+        if metrics is not None:
+            metrics.deadline_expired += 1
+        if not item.future.done():
+            waited_ms = (time.perf_counter() - item.t0) * 1e3
+            item.future.set_result(
+                {
+                    "ok": False,
+                    "deadline_expired": True,
+                    "error": (
+                        f"deadline expired after {waited_ms:.0f}ms in queue "
+                        f"(scene {item.scene!r})"
+                    ),
+                }
+            )
+        return True
 
     def _record(self, item: _Item, res: dict, now: float) -> None:
         metrics = self.scene_metrics.get(item.scene) if item.scene else None
@@ -310,14 +453,105 @@ class ClusterFrontend:
             if not res.get("ok"):
                 metrics.errors += 1
 
-    def _fail_worker(self, worker: _Worker, batch: list, reason: str) -> None:
+    # -- failure handling -----------------------------------------------
+    def _on_worker_death(self, worker: _Worker, batch: list, reason: str) -> None:
+        """A worker's pipe broke: redirect its work, then (optionally)
+        hand the slot to the supervisor for a backoff-gated respawn."""
         worker.dead = True
-        self._fail_batch(batch, reason)
+        pending: list[_Item] = list(batch)
         while not worker.queue.empty():
             try:
-                self._fail_batch([worker.queue.get_nowait()], reason)
+                pending.append(worker.queue.get_nowait())
             except asyncio.QueueEmpty:  # pragma: no cover - race with put
                 break
+        for item in pending:
+            self._redirect(item, reason)
+        if self._closing:
+            return
+        self.supervisor.record_crash(worker.id, reason)
+        if self.supervise:
+            task = asyncio.get_running_loop().create_task(
+                self._restart_worker(worker.id)
+            )
+            self._restart_tasks.add(task)
+            task.add_done_callback(self._restart_tasks.discard)
+
+    def _redirect(self, item: _Item, reason: str) -> None:
+        """Re-route one orphaned request to a surviving worker.  Every
+        scene op is an idempotent read, so re-executing a request whose
+        worker died mid-batch is safe; the redirect cap bounds ping-pong
+        during a cascading failure."""
+        if item.future.done():
+            return
+        item.redirects += 1
+        target = self._route(item.scene)
+        if target is None or target.dead or item.redirects > _MAX_REDIRECTS:
+            item.future.set_result({"ok": False, "retryable": True, "error": reason})
+            return
+        if self._expire_if_late(item):
+            return
+        try:
+            target.queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.sheds += 1
+            metrics = self.scene_metrics.get(item.scene) if item.scene else None
+            if metrics is not None:
+                metrics.shed += 1
+            item.future.set_result(
+                {
+                    "ok": False,
+                    "shed": True,
+                    "error": (
+                        f"overloaded during failover: worker {target.id} "
+                        f"queue is full; retry later"
+                    ),
+                }
+            )
+
+    async def _restart_worker(self, wid: int) -> None:
+        """Supervised respawn of one worker slot: backoff, spawn,
+        readiness-gate, swap into routing.  Loops on failed attempts
+        until the circuit breaker opens."""
+        loop = asyncio.get_running_loop()
+        while not self._closing:
+            if not self.supervisor.allow_restart(wid):
+                return  # breaker open: slot stays down, scenes stay failed over
+            await asyncio.sleep(self.supervisor.next_backoff(wid))
+            if self._closing:
+                return
+            old = self.workers[wid]
+            await loop.run_in_executor(None, self._reap, old)
+            new: Optional[_Worker] = None
+            swapped = False
+            try:
+                new = self._spawn_worker(wid)
+                await self._ready_worker(new)
+                new.task = loop.create_task(self._dispatch_loop(new))
+                self.workers[wid] = new
+                swapped = True
+                self.supervisor.record_restart(wid)
+                return
+            except ClusterError as exc:
+                self.supervisor.record_crash(wid, str(exc))
+            except Exception as exc:  # noqa: BLE001 - spawn machinery failed
+                self.supervisor.record_crash(wid, f"respawn failed: {exc!r:.120}")
+            finally:
+                if new is not None and not swapped:
+                    self._reap(new, timeout=1.0)
+
+    def _reap(self, worker: _Worker, timeout: float = 5.0) -> None:
+        """Close the pipe and collect the process (terminate if needed)."""
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        try:
+            worker.proc.join(timeout=timeout)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=2.0)
+        except (OSError, ValueError):  # pragma: no cover - proc already reaped
+            pass
 
     @staticmethod
     def _fail_batch(batch: Sequence[_Item], reason: str) -> None:
@@ -363,6 +597,10 @@ class ClusterFrontend:
                     res = await fut
                     resp = dict(res)
                     resp["id"] = rid
+                if self.injector is not None and await self.injector.on_response(
+                    writer, resp
+                ):
+                    continue
                 await write_frame(writer, resp)
         except (ConnectionError, OSError):  # client went away mid-write
             pass
@@ -380,6 +618,11 @@ class ClusterFrontend:
         self.requests += 1
         if op == "ping":
             return {"id": rid, "ok": True, "result": "pong"}
+        if op == "health":
+            return {"id": rid, "ok": True, "result": self._health()}
+        if op == "drain":
+            fut = asyncio.ensure_future(self._drain_and_ack())
+            return (rid, fut)
         if op == "scenes":
             return {
                 "id": rid,
@@ -387,6 +630,7 @@ class ClusterFrontend:
                 "result": {
                     "scenes": dict(self.assignment),
                     "workers": self.n_workers,
+                    "alive": [w.id for w in self.workers if not w.dead],
                 },
             }
         if op == "stats":
@@ -402,15 +646,37 @@ class ClusterFrontend:
                 "ok": False,
                 "error": f"unknown scene {scene!r} (serving: {known})",
             }
-        worker = self.workers[self.assignment[scene]]
-        if worker.dead:
+        if self._draining:
             return {
                 "id": rid,
                 "ok": False,
-                "error": f"scene {scene!r}: worker {worker.id} is down",
+                "draining": True,
+                "error": "front-end is draining; no new requests accepted",
+            }
+        if self.injector is not None:
+            self.injector.on_request(self)
+        deadline = None
+        raw_deadline = msg.get("deadline_ms")
+        if raw_deadline is not None:
+            try:
+                deadline_ms = float(raw_deadline)
+            except (TypeError, ValueError):
+                return {
+                    "id": rid,
+                    "ok": False,
+                    "error": f"bad deadline_ms {raw_deadline!r}: expected a number",
+                }
+            deadline = asyncio.get_running_loop().time() + deadline_ms / 1e3
+        worker = self._route(scene)
+        if worker is None:
+            return {
+                "id": rid,
+                "ok": False,
+                "retryable": True,
+                "error": "no live workers (crashed or restarting); retry",
             }
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
-        item = _Item(msg, fut, scene)
+        item = _Item(msg, fut, scene, deadline)
         try:
             worker.queue.put_nowait(item)
         except asyncio.QueueFull:
@@ -428,13 +694,61 @@ class ClusterFrontend:
             }
         return (rid, fut)
 
+    # -- lifecycle verbs -------------------------------------------------
+    def _health(self) -> dict:
+        alive = [w.id for w in self.workers if not w.dead]
+        if self._draining:
+            status = "draining"
+        elif len(alive) == self.n_workers:
+            status = "serving"
+        elif alive:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "workers": self.n_workers,
+            "workers_alive": len(alive),
+            "restarts": self.supervisor.total_restarts,
+            "draining": self._draining,
+        }
+
+    async def drain(self, poll_s: float = 0.02) -> None:
+        """Refuse new scene requests, then wait until every worker queue
+        and in-flight batch is empty."""
+        self._draining = True
+        while any(
+            w.queue.qsize() + w.inflight for w in self.workers if not w.dead
+        ):
+            await asyncio.sleep(poll_s)
+
+    async def _drain_and_ack(self) -> dict:
+        await self.drain()
+        return {"ok": True, "result": "drained", "draining": True}
+
+    def request_drain(self) -> None:
+        """Signal-handler-safe graceful shutdown: drain, then stop."""
+        if self._draining:
+            return
+        self._draining = True
+        task = asyncio.ensure_future(self._drain_then_stop())
+        self._restart_tasks.add(task)
+        task.add_done_callback(self._restart_tasks.discard)
+
+    async def _drain_then_stop(self) -> None:
+        await self.drain()
+        self.request_stop()
+
     # -- stats ----------------------------------------------------------
     async def _cluster_stats(self) -> dict:
         worker_stats: dict[str, dict] = {}
         waits = []
         for w in self.workers:
             if w.dead:
-                worker_stats[str(w.id)] = {"dead": True}
+                worker_stats[str(w.id)] = {
+                    "dead": True,
+                    "last_crash": self.supervisor.last_crash(w.id),
+                }
                 continue
             fut: asyncio.Future = asyncio.get_running_loop().create_future()
             item = _Item({"op": "stats"}, fut, None)
@@ -452,13 +766,16 @@ class ClusterFrontend:
         return {"ok": True, "result": self._stats_payload(worker_stats)}
 
     def _stats_payload(self, worker_stats: dict) -> dict:
-        return {
+        payload = {
             "uptime_s": time.monotonic() - self._t_start,
             "workers": worker_stats,
             "assignment": dict(self.assignment),
+            "supervisor": self.supervisor.stats(),
+            "health": self._health(),
             "frontend": {
                 "requests": self.requests,
                 "sheds": self.sheds,
+                "deadline_expired": self.deadline_expired,
                 "qps": self.requests / max(time.monotonic() - self._t_start, 1e-9),
                 "batch_size_hist": self.batch_hist.as_dict(),
                 "scenes": {
@@ -466,6 +783,9 @@ class ClusterFrontend:
                 },
             },
         }
+        if self.injector is not None:
+            payload["faults"] = self.injector.stats()
+        return payload
 
     def stats(self) -> dict:
         """Front-end-side metrics only (synchronous; no worker round trip)."""
@@ -474,7 +794,16 @@ class ClusterFrontend:
     # -- shutdown -------------------------------------------------------
     async def stop(self) -> None:
         """Stop accepting, drain workers, unlink shared memory (idempotent)."""
+        self._closing = True
         self._stopped.set()
+        for task in list(self._restart_tasks):
+            task.cancel()
+        for task in list(self._restart_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._restart_tasks.clear()
         if self._server is not None:
             self._server.close()
             try:

@@ -17,6 +17,16 @@ protocol itself (``scenes`` + ``endpoints`` verbs), so it needs nothing
 but ``host:port`` — the same seeded stream can then be pointed at any
 cluster serving the same scene set.  Reports carry p50/p95/p99 latency,
 throughput, and shed/error counts, never bare means.
+
+The closed loop is fault-tolerant on request: with ``retries > 0`` a
+retryable failure (shed, worker-death redirect exhaustion, deadline
+expiry, connection error, timeout) is retried with jittered exponential
+backoff, bounded per-request by ``retries`` and run-wide by a shared
+retry *budget* — so a worker restart is invisible to the run, but a
+cluster that is actually down still fails fast instead of retrying
+forever.  Every retry, timeout, and deadline expiry is counted in the
+report (``--json`` carries them), which is what makes chaos runs
+machine-checkable.
 """
 
 from __future__ import annotations
@@ -35,12 +45,20 @@ from repro.serve.metrics import LatencyRecorder
 DEFAULT_MIX = (0.5, 0.2, 0.02)
 
 
-async def _rpc(reader, writer, msg: dict) -> dict:
+async def _rpc(reader, writer, msg: dict, *, max_skip: int = 16) -> dict:
+    """One matched request/response exchange.  Frames whose id does not
+    match are skipped (a faulty or adversarial server may duplicate
+    frames; counting a stale duplicate as this request's answer would
+    desync every response after it)."""
     await write_frame(writer, msg)
-    resp = await read_frame(reader)
-    if resp is None:
-        raise ClusterError("server closed the connection")
-    return resp
+    want = msg.get("id")
+    for _ in range(max_skip):
+        resp = await read_frame(reader)
+        if resp is None:
+            raise ClusterError("server closed the connection")
+        if want is None or resp.get("id") == want:
+            return resp
+    raise ClusterError(f"no response for id {want!r} within {max_skip} frames")
 
 
 async def discover(host: str, port: int, *, seed: int = 0, k: int = 48) -> dict:
@@ -128,6 +146,44 @@ def build_requests(
     return out
 
 
+def _classify(resp: dict) -> str:
+    """One-word error class for a failed response (report aggregation)."""
+    if resp.get("shed"):
+        return "shed"
+    if resp.get("deadline_expired"):
+        return "deadline_expired"
+    err = str(resp.get("error") or "unknown")
+    return err.split(":")[0].strip()[:48] or "unknown"
+
+
+def _retryable(resp: dict) -> bool:
+    """Safe to re-send?  Every cluster op is an idempotent read, so the
+    question is only whether a retry could plausibly succeed."""
+    return bool(
+        resp.get("shed") or resp.get("retryable") or resp.get("deadline_expired")
+    )
+
+
+def _backoff_s(attempt: int, rng: random.Random) -> float:
+    """Jittered exponential backoff: 50ms doubling, capped at 1s."""
+    return min(0.05 * (2 ** (attempt - 1)), 1.0) * (0.5 + rng.random())
+
+
+class _RetryBudget:
+    """A run-wide token pool shared by every connection: each retry
+    spends one token, so a down cluster costs at most ``tokens`` extra
+    requests instead of ``retries × requests``."""
+
+    def __init__(self, tokens: int) -> None:
+        self.tokens = max(0, int(tokens))
+
+    def take(self) -> bool:
+        if self.tokens <= 0:
+            return False
+        self.tokens -= 1
+        return True
+
+
 class Report:
     """Aggregated outcome of one load-generation run."""
 
@@ -137,6 +193,10 @@ class Report:
         self.ok = 0
         self.errors = 0
         self.shed = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.deadline_expired = 0
+        self.error_classes: dict[str, int] = {}
         self.latency = LatencyRecorder(capacity=1 << 16)
         self.elapsed_s = 0.0
         self.first_error: Optional[str] = None
@@ -145,12 +205,17 @@ class Report:
         self.latency.record(seconds)
         if resp.get("ok"):
             self.ok += 1
-        elif resp.get("shed"):
+            return
+        cls = _classify(resp)
+        self.error_classes[cls] = self.error_classes.get(cls, 0) + 1
+        if resp.get("shed"):
             self.shed += 1
-        else:
-            self.errors += 1
-            if self.first_error is None:
-                self.first_error = str(resp.get("error"))
+            return
+        if resp.get("deadline_expired"):
+            self.deadline_expired += 1
+        self.errors += 1
+        if self.first_error is None:
+            self.first_error = str(resp.get("error"))
 
     def summary(self) -> dict:
         qps = self.sent / self.elapsed_s if self.elapsed_s else float("nan")
@@ -160,6 +225,10 @@ class Report:
             "ok": self.ok,
             "errors": self.errors,
             "shed": self.shed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "deadline_expired": self.deadline_expired,
+            "error_classes": dict(sorted(self.error_classes.items())),
             "elapsed_s": self.elapsed_s,
             "qps": qps,
             "latency": self.latency.summary(),
@@ -170,41 +239,115 @@ class Report:
 
 
 async def run_closed(
-    host: str, port: int, requests: Sequence[dict], conns: int = 4
+    host: str,
+    port: int,
+    requests: Sequence[dict],
+    conns: int = 4,
+    *,
+    retries: int = 0,
+    retry_budget: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
+    timeout_s: float = 30.0,
 ) -> Report:
-    """Closed loop: ``conns`` connections, one request in flight each."""
+    """Closed loop: ``conns`` connections, one request in flight each.
+
+    With ``retries > 0``, retryable failures are re-sent with jittered
+    backoff (reconnecting first when the failure was a timeout or a
+    broken/desynced connection), bounded by the shared retry budget
+    (default: half the request count)."""
     report = Report("closed")
+    budget = _RetryBudget(
+        retry_budget if retry_budget is not None else max(1, len(requests) // 2)
+    )
     chunks = [list(requests[i::conns]) for i in range(conns)]
     t0 = time.perf_counter()
 
-    async def one_conn(chunk: list[dict]) -> None:
+    async def one_conn(cid: int, chunk: list[dict]) -> None:
         if not chunk:
             return
-        reader, writer = await asyncio.open_connection(host, port)
+        rng = random.Random(f"retry|{cid}|{len(chunk)}")
+        reader = writer = None
+
+        async def connect() -> None:
+            nonlocal reader, writer
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+            last: Optional[BaseException] = None
+            for i in range(3):
+                try:
+                    reader, writer = await asyncio.open_connection(host, port)
+                    return
+                except (ConnectionError, OSError) as exc:
+                    last = exc
+                    await asyncio.sleep(0.05 * (i + 1))
+            raise ClusterError(f"cannot reconnect to {host}:{port}: {last}")
+
+        await connect()
         try:
             for k, wire in enumerate(chunk):
                 msg = dict(wire, id=k)
+                if deadline_ms is not None and "scene" in msg:
+                    msg["deadline_ms"] = deadline_ms
                 t = time.perf_counter()
-                resp = await _rpc(reader, writer, msg)
+                attempt = 0
+                while True:
+                    try:
+                        resp = await asyncio.wait_for(
+                            _rpc(reader, writer, msg), timeout_s
+                        )
+                    except asyncio.TimeoutError:
+                        report.timeouts += 1
+                        resp = {
+                            "ok": False,
+                            "retryable": True,
+                            "error": f"timeout: no response in {timeout_s}s",
+                        }
+                        await connect()  # the stream is desynced; start clean
+                    except (ClusterError, ConnectionError, OSError) as exc:
+                        resp = {
+                            "ok": False,
+                            "retryable": True,
+                            "error": f"connection: {exc}",
+                        }
+                        await connect()
+                    if resp.get("ok") or not _retryable(resp):
+                        break
+                    if attempt >= retries or not budget.take():
+                        break
+                    attempt += 1
+                    report.retries += 1
+                    await asyncio.sleep(_backoff_s(attempt, rng))
                 report.record(resp, time.perf_counter() - t)
                 report.sent += 1
         finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
-                pass
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):  # pragma: no cover
+                    pass
 
-    await asyncio.gather(*(one_conn(c) for c in chunks))
+    await asyncio.gather(*(one_conn(i, c) for i, c in enumerate(chunks)))
     report.elapsed_s = time.perf_counter() - t0
     return report
 
 
 async def run_open(
-    host: str, port: int, requests: Sequence[dict], rps: float, conns: int = 4
+    host: str,
+    port: int,
+    requests: Sequence[dict],
+    rps: float,
+    conns: int = 4,
+    *,
+    deadline_ms: Optional[float] = None,
 ) -> Report:
     """Open loop: fire at ``rps`` on a fixed schedule across ``conns``
-    pipelined connections; responses are matched by id."""
+    pipelined connections; responses are matched by id.  Duplicate or
+    unsolicited frames (a faulty server) are dropped, never recorded."""
     if rps <= 0:
         raise ClusterError(f"open loop needs rps > 0, got {rps}")
     report = Report("open")
@@ -226,8 +369,9 @@ async def run_open(
                 if resp is None:
                     break
                 t_sent = sent_at.pop(resp.get("id"), None)
-                lat = time.perf_counter() - t_sent if t_sent is not None else 0.0
-                report.record(resp, lat)
+                if t_sent is None:
+                    continue  # duplicate or unsolicited frame
+                report.record(resp, time.perf_counter() - t_sent)
                 remaining -= 1
             done.set()
 
@@ -239,8 +383,11 @@ async def run_open(
                 delay = target - time.perf_counter()
                 if delay > 0:
                     await asyncio.sleep(delay)
+                msg = dict(wire, id=k)
+                if deadline_ms is not None and "scene" in msg:
+                    msg["deadline_ms"] = deadline_ms
                 sent_at[k] = time.perf_counter()
-                await write_frame(writer, dict(wire, id=k))
+                await write_frame(writer, msg)
                 report.sent += 1
             await asyncio.wait_for(done.wait(), timeout=60.0)
         finally:
@@ -267,6 +414,10 @@ async def run(
     seed: int = 0,
     mix: Sequence[float] = DEFAULT_MIX,
     pairs_per_request: int = 16,
+    retries: int = 0,
+    retry_budget: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
+    timeout_s: float = 30.0,
 ) -> Report:
     """Discover, generate, and drive one full load-generation run."""
     pools = await discover(host, port, seed=seed)
@@ -274,7 +425,18 @@ async def run(
         pools, n_requests, seed=seed, mix=mix, pairs_per_request=pairs_per_request
     )
     if mode == "closed":
-        return await run_closed(host, port, requests, conns=conns)
+        return await run_closed(
+            host,
+            port,
+            requests,
+            conns=conns,
+            retries=retries,
+            retry_budget=retry_budget,
+            deadline_ms=deadline_ms,
+            timeout_s=timeout_s,
+        )
     if mode == "open":
-        return await run_open(host, port, requests, rps, conns=conns)
+        return await run_open(
+            host, port, requests, rps, conns=conns, deadline_ms=deadline_ms
+        )
     raise ClusterError(f"unknown loadgen mode {mode!r}")

@@ -12,19 +12,34 @@ Request objects::
     {"id": 8, "op": "lengths", "scene": "a", "pairs": [[[x,y],[x,y]], ...]}
     {"id": 9, "op": "path",    "scene": "a", "p": [x, y], "q": [x, y]}
     {"id": 0, "op": "endpoints", "scene": "a", "k": 32, "seed": 0}
-    {"id": 1, "op": "scenes"}          # scene → worker assignment
+    {"id": 1, "op": "scenes"}          # scene → worker assignment + live set
     {"id": 2, "op": "stats"}           # cluster-wide metrics
     {"id": 3, "op": "ping"}
+    {"id": 4, "op": "health"}          # liveness: status/workers_alive/restarts
+    {"id": 5, "op": "drain"}           # graceful drain; acks once queues empty
+
+Every scene op may carry ``"deadline_ms": <number>`` — a *relative*
+latency budget.  A request still queued when its budget runs out is
+expired with a distinct error instead of serving stale work.
 
 Response objects::
 
     {"id": 7, "ok": true,  "result": 42.0}
     {"id": 8, "ok": false, "error": "one-line reason"}
     {"id": 9, "ok": false, "error": "overloaded: ...", "shed": true}
+    {"id": 5, "ok": false, "error": "worker 1 died: ...", "retryable": true}
+    {"id": 6, "ok": false, "error": "deadline expired ...",
+     "deadline_expired": true}
 
 ``shed: true`` marks a load-shedding rejection — the request was never
 queued and it is safe (and expected) for the client to retry elsewhere
-or later; any other error is a real per-request failure.
+or later.  ``retryable: true`` marks a failure the front-end could not
+redirect (a worker died and no survivor could take the work *right
+now*); every scene op is an idempotent read, so re-sending is always
+safe and usually succeeds once the supervisor restarts the worker.
+``deadline_expired: true`` means the work was *not* executed — the
+request aged out in a queue; a retry starts a fresh budget.  Any other
+error is a real per-request failure that a retry will not fix.
 
 Frames above :data:`MAX_FRAME` are refused on both sides: a front-end
 must never be OOM-able by one client, and a malformed length prefix

@@ -58,7 +58,22 @@ def register_scene(store: SceneStore, spec: dict) -> None:
 
         store.add_builder(name, attach_builder)
     elif kind == "snapshot":
-        store.add_snapshot(name, spec["path"])
+        fallback = None
+        if spec.get("scene") is not None:
+            from repro.scene import Scene
+
+            scene = Scene.from_dict(spec["scene"])
+
+            def fallback():
+                from repro.pipeline import build_index
+
+                return build_index(
+                    scene,
+                    engine=spec.get("engine", "parallel"),
+                    cache=store.stage_cache,
+                )
+
+        store.add_snapshot(name, spec["path"], fallback=fallback)
     elif kind == "build":
         from repro.scene import Scene
 
@@ -208,6 +223,15 @@ class _WorkerState:
                 return {"ok": True, "result": self._endpoints(r)}
             if op == "ping":
                 return {"ok": True, "result": "pong"}
+            if op == "health":
+                return {
+                    "ok": True,
+                    "result": {
+                        "worker": self.worker_id,
+                        "status": "serving",
+                        "uptime_s": time.monotonic() - self.started,
+                    },
+                }
             if op == "sleep":
                 # diagnostic: occupy this worker for a bounded interval
                 # (load-shedding tests and drain drills)
@@ -270,6 +294,12 @@ def worker_main(
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
     state = _WorkerState(worker_id, scene_specs, options or {})
+    # fault injection (chaos harness): stall every Nth batch; absent from
+    # the options dict in production, so the hot loop only pays an `if`
+    faults = (options or {}).get("faults") or {}
+    stall_every = int(faults.get("stall_every") or 0)
+    stall_ms = float(faults.get("stall_ms") or 0.0)
+    batches = 0
     try:
         while True:
             try:
@@ -281,6 +311,9 @@ def worker_main(
                 conn.send({"seq": msg.get("seq"), "bye": True})
                 break
             if op == "batch":
+                batches += 1
+                if stall_every and stall_ms > 0 and batches % stall_every == 0:
+                    time.sleep(min(stall_ms, 5000.0) / 1e3)
                 requests = msg.get("requests") or []
                 try:
                     results = state.answer_batch(requests)

@@ -261,8 +261,33 @@ class ShortestPathIndex:
         if self.seams:
             return self._solid_path(p, q)
         if self.index.has_point(p) and self.index.has_point(q):
-            return self.reporter.path(p, q)
-        return self._arbitrary_path(p, q)
+            path = self.reporter.path(p, q)
+        elif self.container is None:
+            return self._arbitrary_path(p, q)
+        else:
+            try:
+                path = self._arbitrary_path(p, q)
+            except QueryError:
+                return self._solid_path(p, q)
+        return self._confine(path, p, q)
+
+    def _confine(self, path: list[Point], p: Point, q: Point) -> list[Point]:
+        """Container-confinement pass over an assembled polyline.
+
+        The §8 tracing reporter knows obstacles only as rectangle
+        *interiors*, so on container scenes it can graze along
+        pocket-pocket shared edges that lie strictly outside ``P`` (the
+        reported length is still the correct in-``P`` distance — ``P`` is
+        rectilinear convex, so leaving it never shortens a path).  When
+        any polyline vertex escapes, reassemble with the container-aware
+        corner-hop machinery instead; ``P``'s convexity means checking
+        the vertices confines every axis-parallel segment between them.
+        """
+        if self.container is not None and any(
+            not self.container.contains(pt) for pt in path
+        ):
+            return self._solid_path(p, q)
+        return path
 
     def vertices(self) -> list[Point]:
         return list(self.index.points)

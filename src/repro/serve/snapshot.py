@@ -256,6 +256,21 @@ def is_snapshot(path: PathLike) -> bool:
         return False
 
 
+def quarantine(path: PathLike) -> Optional[pathlib.Path]:
+    """Move a corrupt snapshot aside as ``<name>.quarantined`` so nothing
+    retries loading (or overwrites the evidence); returns the new path,
+    or ``None`` if the artifact could not be moved (already gone, or a
+    read-only filesystem).  If a previous quarantine of the same name
+    exists it is replaced — the freshest corpse is the useful one."""
+    p = pathlib.Path(path)
+    target = p.with_name(p.name + ".quarantined")
+    try:
+        os.replace(p, target)
+    except OSError:
+        return None
+    return target
+
+
 def load(path: PathLike, mmap: bool = True) -> ShortestPathIndex:
     """Reconstruct a fully queryable :class:`ShortestPathIndex` from a
     snapshot; raises :class:`SnapshotError` on any malformed artifact.

@@ -25,10 +25,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, Optional, Sequence, Union
 
 from repro.core.api import Engine, ShortestPathIndex
-from repro.errors import QueryError
+from repro.errors import QueryError, SnapshotError
 from repro.geometry.polygon import RectilinearPolygon
 from repro.geometry.primitives import Point, Rect
 from repro.serve.snapshot import load as load_snapshot
+from repro.serve.snapshot import quarantine as quarantine_snapshot
 
 Builder = Callable[[], ShortestPathIndex]
 
@@ -61,6 +62,11 @@ class _Entry:
     nbytes: int = 0
     pins: int = 0  # in-flight readers; pinned entries are never evicted
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: snapshot entries only: the on-disk artifact (for quarantine)
+    path: Optional[pathlib.Path] = None
+    #: snapshot entries only: rebuild-from-scene fallback used when the
+    #: artifact fails to load (checksum mismatch, truncation, ...)
+    fallback: Optional[Builder] = None
 
 
 class SceneStore:
@@ -87,12 +93,34 @@ class SceneStore:
         self.evictions = 0
         self.loads = 0  # snapshot materializations
         self.builds = 0  # engine-build materializations
+        #: scene name → one-line reason for every quarantined snapshot
+        self.quarantines: Dict[str, str] = {}
 
     # -- registration ---------------------------------------------------
-    def add_snapshot(self, name: str, path: Union[str, pathlib.Path]) -> None:
-        """Register a scene backed by a ``.rsp`` snapshot (lazy load)."""
+    def add_snapshot(
+        self,
+        name: str,
+        path: Union[str, pathlib.Path],
+        *,
+        fallback: Optional[Builder] = None,
+    ) -> None:
+        """Register a scene backed by a ``.rsp`` snapshot (lazy load).
+
+        If the artifact turns out to be corrupt at load time it is
+        *quarantined* (renamed to ``<name>.quarantined``) rather than
+        retried; with a ``fallback`` builder the scene then rebuilds from
+        source instead of erroring — degraded (slow first query) but
+        alive, which is what a serving worker needs."""
         p = pathlib.Path(path)
-        self._register(name, _Entry(source=lambda: load_snapshot(p), kind="snapshot"))
+        self._register(
+            name,
+            _Entry(
+                source=lambda: load_snapshot(p),
+                kind="snapshot",
+                path=p,
+                fallback=fallback,
+            ),
+        )
 
     def add_scene(
         self,
@@ -161,7 +189,7 @@ class SceneStore:
         # responsive; the per-entry lock makes this build-or-load-once
         with entry.lock:
             if entry.idx is None:
-                idx = entry.source()
+                idx = self._materialize(name, entry)
                 with self._lock:
                     self.misses += 1
                     if entry.kind == "snapshot":
@@ -184,6 +212,28 @@ class SceneStore:
             if idx is not None:
                 return idx
         return self.get(name)  # evicted while we waited; re-materialize
+
+    def _materialize(self, name: str, entry: _Entry) -> ShortestPathIndex:
+        """Run the entry's source; a corrupt snapshot is quarantined and —
+        when a fallback builder exists — transparently rebuilt from its
+        scene instead of failing every caller forever.  Caller holds
+        ``entry.lock``."""
+        try:
+            return entry.source()
+        except SnapshotError as exc:
+            if entry.kind != "snapshot":
+                raise
+            if entry.path is not None:
+                quarantine_snapshot(entry.path)
+            with self._lock:
+                self.quarantines[name] = str(exc).splitlines()[0][:200]
+            if entry.fallback is None:
+                raise
+            # permanently demote the entry: later evict/re-materialize
+            # cycles rebuild from scene, never re-touch the bad artifact
+            entry.source = entry.fallback
+            entry.kind = "builder"
+            return entry.source()
 
     # -- pinning --------------------------------------------------------
     def pin(self, name: str) -> ShortestPathIndex:
@@ -274,9 +324,11 @@ class SceneStore:
             self._drop(name, entry)
 
     # -- introspection --------------------------------------------------
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict:
         with self._lock:
             return {
+                "quarantined": len(self.quarantines),
+                "quarantined_scenes": sorted(self.quarantines),
                 "scenes": len(self._entries),
                 "resident": sum(1 for e in self._entries.values() if e.idx is not None),
                 "resident_bytes": sum(

@@ -480,7 +480,71 @@ class TestClusterEndToEnd:
                 assert resp["result"]["workers"] == 2
         asyncio.run(run())
 
-    def test_worker_death_is_contained(self, scene_data):
+    def test_worker_death_fails_over_to_survivor(self, scene_data):
+        # unsupervised: kill the worker owning scene "a" and its traffic
+        # must fail over to the survivor with *correct* answers (every
+        # worker holds every spec; routing is HRW over the live set)
+        async def run():
+            scenes = {
+                name: {"obstacles": rects} for name, (rects, _) in scene_data.items()
+            }
+            async with ClusterFrontend(
+                scenes, workers=2, pins={"a": 0, "b": 1}, supervise=False
+            ) as fe:
+                os.kill(fe.workers[0].proc.pid, signal.SIGKILL)
+                fe.workers[0].proc.join(timeout=10)
+                _, idx_a = scene_data["a"]
+                _, idx_b = scene_data["b"]
+                va, vb = idx_a.vertices(), idx_b.vertices()
+                ra, rb = await _rpc(
+                    fe.host,
+                    fe.port,
+                    {"id": 0, "op": "length", "scene": "a",
+                     "p": list(va[0]), "q": list(va[-1])},
+                    {"id": 1, "op": "length", "scene": "b",
+                     "p": list(vb[0]), "q": list(vb[-1])},
+                )
+                assert ra["ok"] and ra["result"] == idx_a.length(va[0], va[-1])
+                assert rb["ok"] and rb["result"] == idx_b.length(vb[0], vb[-1])
+                # the failed round trip is what detects the death, so
+                # health only reports degraded on a *later* request
+                (h,) = await _rpc(fe.host, fe.port, {"id": 2, "op": "health"})
+                assert h["result"]["status"] == "degraded"
+                assert h["result"]["workers_alive"] == 1
+        asyncio.run(run())
+
+    def test_worker_death_mid_batch_redirects(self, scene_data):
+        # kill the worker while its batch is on the pipe: the front-end
+        # re-routes the failed batch (idempotent reads) to the survivor
+        # and the client still sees successes, not "worker died"
+        async def run():
+            scenes = {
+                name: {"obstacles": rects} for name, (rects, _) in scene_data.items()
+            }
+            async with ClusterFrontend(
+                scenes, workers=2, pins={"a": 0, "b": 1}, supervise=False
+            ) as fe:
+                _, idx_a = scene_data["a"]
+                vs = idx_a.vertices()
+                client = asyncio.ensure_future(
+                    _rpc(
+                        fe.host,
+                        fe.port,
+                        {"id": 0, "op": "sleep", "scene": "a", "ms": 400},
+                        {"id": 1, "op": "length", "scene": "a",
+                         "p": list(vs[0]), "q": list(vs[-1])},
+                    )
+                )
+                await asyncio.sleep(0.15)  # let the batch reach worker 0
+                os.kill(fe.workers[0].proc.pid, signal.SIGKILL)
+                r0, r1 = await client
+                assert r0["ok"] and r0["result"] == "slept"
+                assert r1["ok"] and r1["result"] == idx_a.length(vs[0], vs[-1])
+        asyncio.run(run())
+
+    def test_supervised_restart_rejoins(self, scene_data):
+        # with supervision (the default) a killed worker is respawned,
+        # passes readiness, and transparently rejoins the routing set
         async def run():
             scenes = {
                 name: {"obstacles": rects} for name, (rects, _) in scene_data.items()
@@ -488,20 +552,48 @@ class TestClusterEndToEnd:
             async with ClusterFrontend(
                 scenes, workers=2, pins={"a": 0, "b": 1}
             ) as fe:
-                os.kill(fe.workers[0].proc.pid, signal.SIGKILL)
-                fe.workers[0].proc.join(timeout=10)
-                _, idx_b = scene_data["b"]
-                vs = idx_b.vertices()
-                # scene "a" fails with a one-line error; scene "b" still serves
-                ra, rb = await _rpc(
+                pid0 = fe.workers[0].proc.pid
+                os.kill(pid0, signal.SIGKILL)
+                _, idx_a = scene_data["a"]
+                vs = idx_a.vertices()
+                # death is detected by the next round trip to the slot
+                (r,) = await _rpc(
                     fe.host,
                     fe.port,
-                    {"id": 0, "op": "length", "scene": "a", "p": [0, 0], "q": [1, 1]},
-                    {"id": 1, "op": "length", "scene": "b",
+                    {"id": 0, "op": "length", "scene": "a",
                      "p": list(vs[0]), "q": list(vs[-1])},
                 )
-                assert not ra["ok"] and "worker 0" in ra["error"]
-                assert rb["ok"] and rb["result"] == idx_b.length(vs[0], vs[-1])
+                assert r["ok"], r
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    (h,) = await _rpc(fe.host, fe.port, {"id": 0, "op": "health"})
+                    if h["result"]["workers_alive"] == 2:
+                        break
+                    # queries keep succeeding throughout the outage
+                    (r,) = await _rpc(
+                        fe.host,
+                        fe.port,
+                        {"id": 0, "op": "length", "scene": "a",
+                         "p": list(vs[0]), "q": list(vs[-1])},
+                    )
+                    assert r["ok"], r
+                    await asyncio.sleep(0.05)
+                else:
+                    pytest.fail("worker 0 never rejoined")
+                assert fe.workers[0].proc.pid != pid0
+                (ra,) = await _rpc(
+                    fe.host,
+                    fe.port,
+                    {"id": 0, "op": "length", "scene": "a",
+                     "p": list(vs[0]), "q": list(vs[-1])},
+                )
+                assert ra["ok"] and ra["result"] == idx_a.length(vs[0], vs[-1])
+                (st,) = await _rpc(fe.host, fe.port, {"id": 1, "op": "stats"})
+                sup = st["result"]["supervisor"]
+                assert sup["total_restarts"] >= 1
+                assert sup["workers"]["0"]["restarts"] >= 1
+                assert sup["workers"]["0"]["last_crash"]
+                assert st["result"]["health"]["status"] == "serving"
         asyncio.run(run())
 
     def test_loadgen_closed_and_open(self, scene_data):

@@ -7,8 +7,9 @@ instead of ad-hoc clear/length asserts.
 
 import pytest
 
-from harness import assert_valid_path_raw
+from harness import assert_engines_agree, assert_valid_path, assert_valid_path_raw
 from repro.core.allpairs import ParallelEngine
+from repro.core.api import ShortestPathIndex
 from repro.core.baseline import GridOracle
 from repro.core.pathreport import PathReporter
 from repro.core.query import QueryStructure
@@ -16,7 +17,11 @@ from repro.core.sequential import SequentialEngine
 from repro.errors import QueryError
 from repro.geometry.primitives import Rect
 from repro.pram import PRAM
-from repro.workloads.generators import random_disjoint_rects, random_free_points
+from repro.workloads.generators import (
+    random_container_polygon,
+    random_disjoint_rects,
+    random_free_points,
+)
 
 
 def build_setup(n, seed, extra=0):
@@ -130,6 +135,33 @@ class TestPathReporter:
         rep.path(p, q)
         dt, dw = pram.since(before)
         assert dt > 0 and dw > 0
+
+
+class TestContainerConfinement:
+    """Regression: §8 path assembly used to graze pocket-pocket shared
+    edges strictly outside the container polygon ``P`` (the tracing
+    reporter only avoids rectangle *interiors*)."""
+
+    def test_seed2_repro_stays_inside_container(self):
+        # This exact scene used to report "path ... leaves the container"
+        # for both engines before the confinement pass.
+        rects = random_disjoint_rects(6, seed=2)
+        poly = random_container_polygon(rects, seed=2)
+        assert_engines_agree(rects, poly, seed=2, label="confinement")
+
+    @pytest.mark.parametrize("seed", [0, 2, 5, 7])
+    def test_shortest_path_never_exits_container(self, seed):
+        rects = random_disjoint_rects(8, seed=seed)
+        poly = random_container_polygon(rects, seed=seed)
+        idx = ShortestPathIndex.build(rects, container=poly)
+        pts = [v for r in rects[:4] for v in r.vertices]
+        pts += random_free_points(rects, 4, seed=seed + 13)
+        pts = [p for p in pts if poly.contains(p)]
+        for i in range(0, len(pts) - 1, 2):
+            p, q = pts[i], pts[i + 1]
+            path = idx.shortest_path(p, q)
+            assert all(poly.contains(v) for v in path), (p, q, path)
+            assert_valid_path(idx, path, p, q)
 
 
 class TestCrossValidationAllPairsEngines:
