@@ -128,6 +128,37 @@ async def _measure_query(indexes, workers):
     return summary
 
 
+async def _measure_obs_overhead(indexes):
+    """Fixed-service-time throughput with observability on vs off
+    (``obs=False`` skips histograms and tracing; counters stay).  The
+    sleep workload maximizes the relative cost of per-request metric
+    work, so the measured overhead is an upper bound for real queries."""
+    qps = {}
+    for obs in (True, False):
+        scenes = {name: {"index": idx} for name, idx in indexes.items()}
+        names = sorted(scenes)
+        async with ClusterFrontend(
+            scenes,
+            workers=2,
+            pins=_pins(names, 2),
+            max_batch=1,
+            batch_window_ms=0.0,
+            queue_depth=4 * CONNS,
+            obs=obs,
+        ) as fe:
+            reqs = [
+                {"op": "sleep", "scene": names[i % len(names)], "ms": 0.0}
+                for i in range(SLEEP_REQS)
+            ]
+            await run_closed(fe.host, fe.port, reqs[: SLEEP_REQS // 4], conns=CONNS)
+            report = await run_closed(fe.host, fe.port, reqs, conns=CONNS)
+        summary = report.summary()
+        assert summary["errors"] == 0, summary
+        qps[obs] = summary["qps"]
+    overhead = max(0.0, 1.0 - qps[True] / qps[False]) if qps[False] else 0.0
+    return {"qps_obs_on": qps[True], "qps_obs_off": qps[False], "overhead": overhead}
+
+
 async def _measure_availability(indexes):
     """Closed loop with a kill-every-N fault plan and client retries;
     returns the summary plus kill/restart counts and the availability
@@ -209,6 +240,7 @@ def test_c1_cluster_scaling_and_flat_rss():
     query_scaling = query_qps[w_hi] / query_qps[w_lo]
 
     chaos = asyncio.run(_measure_availability(indexes))
+    obs = asyncio.run(_measure_obs_overhead(indexes))
 
     idx = ShortestPathIndex.build(random_disjoint_rects(RSS_RECTS, seed=99))
     matrix_bytes = idx.index.matrix.nbytes
@@ -240,6 +272,11 @@ def test_c1_cluster_scaling_and_flat_rss():
          round(chaos["qps"], 0),
          f"{chaos['availability']:.3f} avail",
          round(chaos["latency"]["p99_ms"], 1)]
+    ] + [
+        ["metrics+tracing overhead (0ms service)",
+         round(obs["qps_obs_on"], 0),
+         f"{obs['overhead']:.1%}",
+         round(obs["qps_obs_off"], 0)]
     ]
     text = format_table(
         ["configuration", "qps | MB", "scaling", "p99ms | rssMB"],
@@ -251,7 +288,8 @@ def test_c1_cluster_scaling_and_flat_rss():
             f"{private_growth / 2**20:.1f} MB vs {copy_cost / 2**20:.0f} MB "
             f"copy cost over {k_hi} scenes; availability "
             f"{chaos['availability']:.3f} under {chaos['kills']} kills "
-            f"({chaos['restarts']} restarts, {chaos['retries']} retries)"
+            f"({chaos['restarts']} restarts, {chaos['retries']} retries); "
+            f"obs overhead {obs['overhead']:.1%}"
         ),
     )
     emit("C1_cluster", text)
@@ -294,10 +332,12 @@ def test_c1_cluster_scaling_and_flat_rss():
                 "restarts": chaos["restarts"],
                 "p99_ms": chaos["latency"]["p99_ms"],
             },
+            "obs_overhead": obs,
             "targets": {
                 "scaling_min": 2.5,
                 "private_growth_max_fraction_of_copy_cost": 0.35,
                 "availability_min": 1.0,
+                "obs_overhead_max": 0.05,
             },
         },
     )
@@ -314,6 +354,11 @@ def test_c1_cluster_scaling_and_flat_rss():
             f"availability {chaos['availability']:.4f} under chaos: "
             f"{chaos['errors']} errors, {chaos['shed']} shed after "
             f"{chaos['kills']} kills"
+        )
+        assert obs["overhead"] < 0.05, (
+            f"metrics+tracing cost {obs['overhead']:.1%} of throughput "
+            f"({obs['qps_obs_on']:.0f} vs {obs['qps_obs_off']:.0f} qps) — "
+            f"the observability layer must stay under 5%"
         )
         if memory[k_hi]["private_bytes"] is not None:
             assert private_growth < 0.35 * copy_cost, (

@@ -26,6 +26,7 @@ import time
 import numpy as np
 
 from benchmarks.common import SMOKE, emit, emit_json, format_table
+from repro.obs.registry import MetricsRegistry, set_default_registry
 from repro.pipeline import StageCache, build_index
 from repro.scene import Scene
 from repro.workloads.generators import random_disjoint_rects
@@ -41,13 +42,46 @@ def _build(scene, engine, cache):
     return time.perf_counter() - t0, idx
 
 
+def _registry_profile(registry) -> list:
+    """Per-stage profile rows read back from the obs registry — the same
+    counters ``build_index`` emits for every build (wall vs simulated
+    PRAM, cache hits split out), proving they flow through ``repro.obs``
+    rather than being recomputed here."""
+    snap = registry.snapshot()
+    rows: dict = {}
+    for fam, field in (
+        ("repro.pipeline.stage_wall_seconds", "wall_s"),
+        ("repro.pipeline.stage_pram_time", "pram_time"),
+        ("repro.pipeline.stage_pram_work", "pram_work"),
+    ):
+        for s in snap.get(fam, {}).get("series", []):
+            key = (s["labels"]["stage"], s["labels"]["engine"])
+            rows.setdefault(key, {})[field] = s["value"]
+    for s in snap.get("repro.pipeline.stage_runs", {}).get("series", []):
+        lab = s["labels"]
+        row = rows.setdefault((lab["stage"], lab["engine"]), {})
+        field = "cached_runs" if lab["cached"] == "true" else "cold_runs"
+        row[field] = int(s["value"])
+    return [
+        {"stage": stage, "engine": engine, **vals}
+        for (stage, engine), vals in sorted(rows.items())
+    ]
+
+
 def test_p1_pipeline_stages_and_cache():
     scene = Scene.from_obstacles(random_disjoint_rects(N, seed=7))
     cache = StageCache()
 
-    cold_s, cold = _build(scene, "parallel", cache)
-    warm_s, warm = _build(scene, "parallel", cache)
-    other_s, other = _build(scene, SECOND_ENGINE, cache)
+    # a private default registry for the duration: the emitted profile
+    # covers exactly this benchmark's three builds
+    registry = MetricsRegistry()
+    old_registry = set_default_registry(registry)
+    try:
+        cold_s, cold = _build(scene, "parallel", cache)
+        warm_s, warm = _build(scene, "parallel", cache)
+        other_s, other = _build(scene, SECOND_ENGINE, cache)
+    finally:
+        set_default_registry(old_registry)
 
     # answers are unchanged whichever path produced the matrix
     assert np.array_equal(cold.index.matrix, warm.index.matrix)
@@ -103,9 +137,18 @@ def test_p1_pipeline_stages_and_cache():
             "cached_rebuild_speedup": cached_speedup,
             "second_engine_build_s": other_s,
             "cache": cache.stats(),
+            "profile": _registry_profile(registry),
             "floor": {"cached_rebuild_speedup": MIN_CACHED_SPEEDUP},
         },
     )
+    profile = _registry_profile(registry)
+    assert {(r["stage"], r["engine"]) for r in profile} >= {
+        ("solve", "parallel"), ("solve", SECOND_ENGINE), ("decompose", "parallel")
+    }
+    solve_cold = next(
+        r for r in profile if r["stage"] == "solve" and r["engine"] == "parallel"
+    )
+    assert solve_cold.get("cold_runs", 0) >= 1 and solve_cold.get("cached_runs", 0) >= 1
     if not SMOKE:
         assert cached_speedup >= MIN_CACHED_SPEEDUP, (
             f"cached rebuild speedup {cached_speedup:.2f}x under the "

@@ -215,7 +215,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"recorded {len(reqs)} requests to {args.record}")
     server = QueryServer(store)
     from repro.errors import QueryError
-    from repro.serve.metrics import LatencyRecorder, format_latency
+    from repro.obs.recorders import LatencyRecorder, format_latency
 
     per_lat = LatencyRecorder()
     batch_lat = LatencyRecorder()
@@ -313,6 +313,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 max_restarts=args.max_restarts, window_s=args.restart_window_s
             ),
             faults=faults,
+            metrics_port=args.metrics_port,
         )
     except (ClusterError, ValueError) as exc:  # e.g. a pin out of range
         raise SystemExit(str(exc))
@@ -337,6 +338,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             f"{shard_note})",
             flush=True,
         )
+        if frontend.metrics_port is not None:
+            print(
+                f"metrics: http://{frontend.host}:{frontend.metrics_port}/metrics",
+                flush=True,
+            )
         if args.ready_file:
             pathlib.Path(args.ready_file).write_text(
                 f"{frontend.host} {frontend.port}\n"
@@ -366,7 +372,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
     from repro.cluster import loadgen
     from repro.errors import ClusterError
-    from repro.serve.metrics import format_latency
+    from repro.obs.recorders import format_latency
 
     mode = "open" if args.open else "closed"
     try:
@@ -385,6 +391,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 retry_budget=args.retry_budget,
                 deadline_ms=args.deadline_ms,
                 timeout_s=args.timeout_s,
+                trace_sample=args.trace_sample,
             )
         )
     except (ClusterError, OSError) as exc:
@@ -401,6 +408,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             f"in {summary['elapsed_s']:.3f}s ({summary['qps']:,.0f} req/s)"
         )
         print(f"latency: {format_latency(summary['latency'])}")
+        split = report.split_line()
+        if split:
+            print(split)
         if summary.get("first_error"):
             print(f"first error: {summary['first_error']}")
     if args.check and (summary["errors"] or summary["shed"]):
@@ -410,6 +420,109 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Dump request spans — from a running cluster front-end (the
+    ``trace`` protocol verb) or from a self-contained in-process demo —
+    as plain JSON or Chrome trace-event format (``chrome://tracing``)."""
+    import asyncio
+
+    from repro.errors import ClusterError
+    from repro.obs.tracing import chrome_trace
+
+    async def fetch() -> dict:
+        from repro.cluster.loadgen import _rpc
+
+        reader, writer = await asyncio.open_connection(args.host, args.port)
+        try:
+            msg: dict = {"id": 0, "op": "trace", "limit": args.limit}
+            if args.trace_id:
+                msg["trace_id"] = args.trace_id
+            resp = await _rpc(reader, writer, msg)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        if not resp.get("ok"):
+            raise ClusterError(f"trace verb failed: {resp.get('error')}")
+        return resp["result"]
+
+    try:
+        if args.demo:
+            result = asyncio.run(_trace_demo(args.limit))
+        else:
+            if args.port is None:
+                raise SystemExit(
+                    "trace: --port required (or --demo for a self-contained run)"
+                )
+            result = asyncio.run(fetch())
+    except (ClusterError, OSError, ReproError) as exc:
+        raise SystemExit(f"trace: {exc}")
+
+    spans = result["spans"]
+    if args.chrome:
+        doc = chrome_trace(spans)
+    else:
+        doc = {"spans": spans, "dropped": result.get("dropped", 0)}
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        pathlib.Path(args.out).write_text(text + "\n")
+        kind = "chrome trace" if args.chrome else "span dump"
+        print(f"wrote {kind} ({len(spans)} spans) to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+async def _trace_demo(limit: int) -> dict:
+    """A self-contained traced run: build a small scene through the
+    pipeline, serve it from an in-process 2-worker cluster, issue a few
+    traced requests, and return build spans + request spans together.
+    Used by CI as an end-to-end tracing smoke with no background
+    process management."""
+    import asyncio
+
+    from repro.cluster.frontend import ClusterFrontend
+    from repro.cluster.loadgen import _rpc
+    from repro.errors import ClusterError
+    from repro.pipeline import BUILD_SPANS
+    from repro.workloads.generators import random_disjoint_rects
+
+    obstacles = list(random_disjoint_rects(8, seed=7))
+    frontend = ClusterFrontend({"demo": {"obstacles": obstacles}}, workers=2)
+    await frontend.start()
+    try:
+        reader, writer = await asyncio.open_connection(frontend.host, frontend.port)
+        try:
+            ep = await _rpc(
+                reader, writer,
+                {"id": 0, "op": "endpoints", "scene": "demo", "k": 8, "seed": 1},
+            )
+            verts = ep["result"]["vertices"]
+            for i in range(3):
+                p, q = verts[i % len(verts)], verts[-1 - i % len(verts)]
+                resp = await _rpc(
+                    reader, writer,
+                    {
+                        "id": i + 1, "op": "length", "scene": "demo",
+                        "p": p, "q": q, "trace": True,
+                    },
+                )
+                if not resp.get("ok"):
+                    raise ClusterError(f"demo request failed: {resp.get('error')}")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        spans = BUILD_SPANS.snapshot() + frontend.span_buffer.snapshot(limit=limit)
+        return {"spans": spans, "dropped": frontend.span_buffer.dropped}
+    finally:
+        await frontend.stop()
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -488,8 +601,12 @@ def cmd_plan(args: argparse.Namespace) -> int:
     except ReproError as exc:
         raise SystemExit(str(exc))
     prov = idx.provenance
+    profile = _build_profile_rows() if args.profile else None
     if args.json:
-        print(json.dumps({"scene": str(args.scene), **prov}, indent=2, sort_keys=True))
+        doc = {"scene": str(args.scene), **prov}
+        if profile is not None:
+            doc["profile"] = profile
+        print(json.dumps(doc, indent=2, sort_keys=True))
         return 0
     print(f"{args.scene}: {scene.describe()}  (scene hash {prov['scene_hash'][:12]})")
     print(
@@ -500,7 +617,38 @@ def cmd_plan(args: argparse.Namespace) -> int:
     print(format_plan(prov))
     t, w = idx.build_stats()
     print(f"simulated PRAM: T={t}, W={w}")
+    if profile is not None:
+        print(f"{'stage':<18} {'wall_ms':>9} {'pram_T':>8} {'pram_W':>10} cached")
+        for row in profile:
+            print(
+                f"{row['stage']:<18} {row['wall_ms']:>9.3f} "
+                f"{row['pram_time']:>8} {row['pram_work']:>10} {row['cached']}"
+            )
     return 0
+
+
+def _build_profile_rows() -> list:
+    """Per-stage profile rows for the most recent ``build_index`` call,
+    read back from the observability layer (``repro.pipeline.BUILD_SPANS``)
+    rather than from the index itself — `plan --profile` doubles as a
+    smoke test that build profiling actually flows through ``repro.obs``."""
+    from repro.pipeline import BUILD_SPANS, STAGES
+
+    spans = BUILD_SPANS.snapshot(limit=len(STAGES))
+    rows = []
+    for sp in spans:
+        attrs = sp.get("attrs", {})
+        rows.append(
+            {
+                "stage": sp["name"].removeprefix("build."),
+                "wall_ms": (sp["dur"] or 0.0) * 1e3,
+                "pram_time": attrs.get("pram_time", 0),
+                "pram_work": attrs.get("pram_work", 0),
+                "cached": bool(attrs.get("cached")),
+                "trace_id": sp["trace_id"],
+            }
+        )
+    return rows
 
 
 def cmd_bench_info(args: argparse.Namespace) -> int:
@@ -604,6 +752,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     pl.add_argument("--engine", choices=engines, default="parallel")
     pl.add_argument("--json", action="store_true",
                     help="print the provenance record as JSON")
+    pl.add_argument("--profile", action="store_true",
+                    help="also print per-stage profile rows (wall vs "
+                    "simulated PRAM) read back from the obs span buffer")
     pl.set_defaults(fn=cmd_plan)
 
     sb = sub.add_parser("serve-bench", help="replay a workload through the server")
@@ -658,6 +809,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                     help="chaos harness: a FaultPlan JSON file "
                     "(kill_every, delay_every/delay_ms, duplicate_every, "
                     "truncate_every, stall_every/stall_ms)")
+    cl.add_argument("--metrics-port", type=int, default=None,
+                    help="also serve GET /metrics (OpenMetrics text, merged "
+                    "front-end + worker registries) on this port; 0 picks "
+                    "a free one (printed on startup)")
     cl.set_defaults(fn=cmd_cluster)
 
     lg = sub.add_parser("loadgen", help="drive a running cluster front-end")
@@ -691,10 +846,34 @@ def main(argv: Sequence[str] | None = None) -> int:
                     help="stamp every scene request with this latency budget")
     lg.add_argument("--timeout-s", type=float, default=30.0,
                     help="closed loop: per-attempt response timeout")
+    lg.add_argument("--trace-sample", type=int, default=0,
+                    help="mark this many scene requests with trace: true and "
+                    "report a queue-wait vs service-time latency split")
     lg.add_argument("--json", action="store_true", help="print the report as JSON")
     lg.add_argument("--check", action="store_true",
                     help="exit nonzero if any request errored or was shed")
     lg.set_defaults(fn=cmd_loadgen)
+
+    tr = sub.add_parser(
+        "trace",
+        help="dump request spans from a cluster front-end (or a "
+        "self-contained demo) as JSON or Chrome trace format",
+    )
+    tr.add_argument("--host", default="127.0.0.1")
+    tr.add_argument("--port", type=int, default=None,
+                    help="cluster front-end port (omit with --demo)")
+    tr.add_argument("--limit", type=int, default=512,
+                    help="newest spans to fetch from the buffer")
+    tr.add_argument("--trace-id", default=None,
+                    help="only spans belonging to this trace")
+    tr.add_argument("--chrome", action="store_true",
+                    help="emit Chrome trace-event JSON (load in "
+                    "chrome://tracing or https://ui.perfetto.dev)")
+    tr.add_argument("--out", default=None, help="write JSON here instead of stdout")
+    tr.add_argument("--demo", action="store_true",
+                    help="self-contained: build a scene, run an in-process "
+                    "2-worker cluster, trace a few requests, dump the spans")
+    tr.set_defaults(fn=cmd_trace)
 
     fz = sub.add_parser(
         "fuzz", help="cross-check parallel/sequential/baseline on random scenes"

@@ -52,11 +52,23 @@ from repro.cluster.protocol import read_frame, write_frame
 from repro.cluster.supervisor import RestartPolicy, Supervisor
 from repro.cluster.worker import worker_main
 from repro.errors import ClusterError
-from repro.serve.metrics import BatchHistogram, LatencyRecorder
+from repro.obs.openmetrics import CONTENT_TYPE, merge_snapshots, render_openmetrics
+from repro.obs.recorders import BatchHistogram, LatencyRecorder
+from repro.obs.registry import (
+    DEFAULT_MAX_SERIES,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.logging import get_logger
+from repro.obs.tracing import SpanBuffer, finish, new_trace_id, span
 from repro.serve.shm import ShmPublisher
 
 #: ops the front-end forwards to a scene's owning worker
 _SCENE_OPS = ("length", "lengths", "path", "endpoints", "sleep")
+
+#: ops answered by the front-end itself (the `verb` label value set)
+_LOCAL_OPS = ("ping", "health", "drain", "scenes", "stats", "metrics", "trace")
 
 #: how many times one request may be re-routed after worker deaths
 _MAX_REDIRECTS = 2
@@ -65,7 +77,7 @@ _MAX_REDIRECTS = 2
 class _Item:
     """One queued request: wire dict + the future its response resolves."""
 
-    __slots__ = ("wire", "future", "t0", "scene", "deadline", "redirects")
+    __slots__ = ("wire", "future", "t0", "scene", "deadline", "redirects", "trace")
 
     def __init__(
         self,
@@ -80,6 +92,8 @@ class _Item:
         self.scene = scene
         self.deadline = deadline  # absolute event-loop time, or None
         self.redirects = 0
+        # tracing context, or None: {"trace_id", "root", "spans", "queue"?}
+        self.trace: Optional[dict] = None
 
 
 class _Worker:
@@ -96,12 +110,30 @@ class _Worker:
 
 
 class _SceneMetrics:
-    def __init__(self) -> None:
-        self.requests = 0
-        self.shed = 0
-        self.errors = 0
-        self.deadline_expired = 0
+    """Per-scene stats *view*: counters live in the registry (one source
+    of truth for `stats`, `metrics`, and `/metrics`); only the exact
+    percentile reservoir is kept here."""
+
+    def __init__(self, name: str, frontend: "ClusterFrontend") -> None:
+        self._name = name
+        self._fe = frontend
         self.latency = LatencyRecorder()
+
+    @property
+    def requests(self) -> int:
+        return int(self._fe._m_scene_requests.value(scene=self._name))
+
+    @property
+    def shed(self) -> int:
+        return int(self._fe._m_shed.value(scene=self._name))
+
+    @property
+    def errors(self) -> int:
+        return int(self._fe._m_errors.value(scene=self._name))
+
+    @property
+    def deadline_expired(self) -> int:
+        return int(self._fe._m_deadline.value(scene=self._name))
 
     def summary(self) -> dict:
         return {
@@ -151,6 +183,10 @@ class ClusterFrontend:
         restart_policy: Optional[RestartPolicy] = None,
         faults: Optional[FaultPlan] = None,
         ready_timeout_s: float = 60.0,
+        registry: Optional[MetricsRegistry] = None,
+        metrics_port: Optional[int] = None,
+        obs: bool = True,
+        trace_capacity: int = 2048,
     ) -> None:
         if not scenes:
             raise ClusterError("a cluster needs at least one scene")
@@ -169,7 +205,13 @@ class ClusterFrontend:
         self.engine = engine
         self.worker_max_bytes = worker_max_bytes
         self.supervise = supervise
-        self.supervisor = Supervisor(restart_policy)
+        # per-front-end registry (scene-labeled families need headroom
+        # past the default cardinality bound when serving many scenes);
+        # the supervisor records its crash/restart counters into it
+        self.registry = registry if registry is not None else MetricsRegistry(
+            max_series=max(DEFAULT_MAX_SERIES, 2 * len(scenes) + 16)
+        )
+        self.supervisor = Supervisor(restart_policy, registry=self.registry)
         self.faults = faults
         self.injector = FaultInjector(faults) if faults is not None else None
         self.ready_timeout_s = ready_timeout_s
@@ -183,15 +225,60 @@ class ClusterFrontend:
         self._closing = False
         self._draining = False
         self._restart_tasks: set[asyncio.Task] = set()
-        # front-end metrics
-        self.requests = 0
-        self.sheds = 0
-        self.deadline_expired = 0
+        # front-end metrics: counters/histograms live in the registry;
+        # `stats` and the legacy attributes are views over it
+        self.obs = obs
+        self.metrics_port = metrics_port
+        self._metrics_server: Optional[asyncio.base_events.Server] = None
+        self.span_buffer = SpanBuffer(trace_capacity)
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "repro.frontend.requests", "requests admitted, by verb", labels=["verb"]
+        )
+        self._m_scene_requests = reg.counter(
+            "repro.frontend.scene_requests", "scene requests served", labels=["scene"]
+        )
+        self._m_shed = reg.counter(
+            "repro.frontend.shed", "requests shed (queue full)", labels=["scene"]
+        )
+        self._m_errors = reg.counter(
+            "repro.frontend.errors", "scene requests answered not-ok", labels=["scene"]
+        )
+        self._m_deadline = reg.counter(
+            "repro.frontend.deadline_expired",
+            "requests expired in queue past their deadline", labels=["scene"],
+        )
+        self._m_redirects = reg.counter(
+            "repro.frontend.redirects",
+            "requests re-routed after a worker death", labels=["scene"],
+        )
+        self._m_latency = reg.histogram(
+            "repro.frontend.latency_seconds",
+            "end-to-end request latency", labels=["scene", "verb"],
+        )
+        self._m_batch = reg.histogram(
+            "repro.frontend.batch_size", "dispatched batch sizes",
+            labels=["worker"], buckets=DEFAULT_SIZE_BUCKETS,
+        )
         self.batch_hist = BatchHistogram()
         self.scene_metrics: dict[str, _SceneMetrics] = {
-            name: _SceneMetrics() for name in scenes
+            name: _SceneMetrics(name, self) for name in scenes
         }
+        self.log = get_logger("frontend")
         self._t_start = time.monotonic()
+
+    # legacy counter attributes, now views over the registry ------------
+    @property
+    def requests(self) -> int:
+        return int(self._m_requests.total())
+
+    @property
+    def sheds(self) -> int:
+        return int(self._m_shed.total())
+
+    @property
+    def deadline_expired(self) -> int:
+        return int(self._m_deadline.total())
 
     # -- startup --------------------------------------------------------
     def _prepare_specs(self) -> list[dict]:
@@ -326,6 +413,11 @@ class ClusterFrontend:
                 self._handle_client, self.host, self.port
             )
             self.port = self._server.sockets[0].getsockname()[1]
+            if self.metrics_port is not None:
+                self._metrics_server = await asyncio.start_server(
+                    self._handle_metrics, self.host, self.metrics_port
+                )
+                self.metrics_port = self._metrics_server.sockets[0].getsockname()[1]
         except BaseException:
             await self.stop()
             raise
@@ -372,6 +464,7 @@ class ClusterFrontend:
                 item = await worker.queue.get()
                 if self._expire_if_late(item):
                     continue
+                self._trace_dequeue(item)
                 batch = [item]
                 deadline = loop.time() + self.batch_window
                 while len(batch) < self.max_batch:
@@ -383,6 +476,7 @@ class ClusterFrontend:
                     except asyncio.TimeoutError:
                         break
                     if not self._expire_if_late(got):
+                        self._trace_dequeue(got)
                         batch.append(got)
                 worker.seq += 1
                 worker.inflight = len(batch)
@@ -391,6 +485,7 @@ class ClusterFrontend:
                     "seq": worker.seq,
                     "requests": [it.wire for it in batch],
                 }
+                rpc_t0 = time.time()
                 try:
                     await loop.run_in_executor(None, worker.conn.send, payload)
                     reply = await loop.run_in_executor(None, worker.conn.recv)
@@ -403,6 +498,9 @@ class ClusterFrontend:
                 worker.inflight = 0
                 worker.batches += 1
                 self.batch_hist.observe(len(batch))
+                if self.obs:
+                    self._m_batch.observe(len(batch), worker=str(worker.id))
+                self._trace_rpc(batch, worker, rpc_t0, time.time())
                 results = reply.get("results") or []
                 now = time.perf_counter()
                 for k, it in enumerate(batch):
@@ -412,8 +510,7 @@ class ClusterFrontend:
                         else {"ok": False, "error": reply.get("error", "no result")}
                     )
                     self._record(it, res, now)
-                    if not it.future.done():
-                        it.future.set_result(res)
+                    self._finish_item(it, res)
                 batch = []
         except asyncio.CancelledError:
             worker.inflight = 0
@@ -427,31 +524,113 @@ class ClusterFrontend:
             return False
         if asyncio.get_running_loop().time() <= item.deadline:
             return False
-        self.deadline_expired += 1
-        metrics = self.scene_metrics.get(item.scene) if item.scene else None
-        if metrics is not None:
-            metrics.deadline_expired += 1
-        if not item.future.done():
-            waited_ms = (time.perf_counter() - item.t0) * 1e3
-            item.future.set_result(
-                {
-                    "ok": False,
-                    "deadline_expired": True,
-                    "error": (
-                        f"deadline expired after {waited_ms:.0f}ms in queue "
-                        f"(scene {item.scene!r})"
-                    ),
-                }
-            )
+        if item.scene:
+            self._m_deadline.inc(scene=item.scene)
+        waited_ms = (time.perf_counter() - item.t0) * 1e3
+        self.log.event("deadline_expired", scene=item.scene,
+                       waited_ms=round(waited_ms, 3))
+        self._trace_dequeue(item)
+        self._finish_item(
+            item,
+            {
+                "ok": False,
+                "deadline_expired": True,
+                "error": (
+                    f"deadline expired after {waited_ms:.0f}ms in queue "
+                    f"(scene {item.scene!r})"
+                ),
+            },
+        )
         return True
 
     def _record(self, item: _Item, res: dict, now: float) -> None:
-        metrics = self.scene_metrics.get(item.scene) if item.scene else None
+        if not item.scene:
+            return
+        self._m_scene_requests.inc(scene=item.scene)
+        if not res.get("ok"):
+            self._m_errors.inc(scene=item.scene)
+        metrics = self.scene_metrics.get(item.scene)
         if metrics is not None:
-            metrics.requests += 1
             metrics.latency.record(now - item.t0)
-            if not res.get("ok"):
-                metrics.errors += 1
+        if self.obs:
+            verb = item.wire.get("op")
+            self._m_latency.observe(
+                now - item.t0,
+                scene=item.scene,
+                verb=verb if verb in _SCENE_OPS else "other",
+            )
+
+    # -- tracing hooks ---------------------------------------------------
+    def _trace_enqueue(self, item: _Item, worker: _Worker) -> None:
+        """Open a queue-wait span for one (re-)enqueued traced request."""
+        if item.trace is None:
+            return
+        tr = item.trace
+        sp = span(
+            "queue_wait",
+            tr["trace_id"],
+            tr["root"]["span_id"],
+            worker=worker.id,
+            hop=item.redirects,
+        )
+        tr["queue"] = sp
+        tr["spans"].append(sp)
+
+    def _trace_dequeue(self, item: _Item) -> None:
+        if item.trace is not None:
+            sp = item.trace.pop("queue", None)
+            if sp is not None:
+                finish(sp)
+
+    def _trace_rpc(self, batch, worker: _Worker, t0: float, t1: float) -> None:
+        """One worker_rpc span per traced batch member (send → recv)."""
+        for it in batch:
+            if it.trace is None:
+                continue
+            tr = it.trace
+            sp = span(
+                "worker_rpc",
+                tr["trace_id"],
+                tr["root"]["span_id"],
+                t0=t0,
+                worker=worker.id,
+                seq=worker.seq,
+                batch_size=len(batch),
+            )
+            finish(sp, t1)
+            tr["spans"].append(sp)
+
+    def _finish_item(self, item: _Item, res: dict) -> None:
+        """Single exit point for a scene request: fold the worker's span,
+        close the root, publish the trace, resolve the future."""
+        if item.future.done():
+            return
+        ws = res.pop("worker_span", None) if isinstance(res, dict) else None
+        if item.trace is not None:
+            tr = item.trace
+            self._trace_dequeue(item)
+            if isinstance(ws, dict):
+                sp = span(
+                    ws.get("name", "worker.service"),
+                    tr["trace_id"],
+                    tr["root"]["span_id"],
+                    t0=ws.get("t0"),
+                    **(ws.get("attrs") or {}),
+                )
+                finish(sp, float(ws.get("t0", 0.0)) + float(ws.get("dur") or 0.0))
+                tr["spans"].append(sp)
+            finish(
+                tr["root"],
+                ok=bool(res.get("ok")),
+                redirects=item.redirects or None,
+            )
+            self.span_buffer.extend(tr["spans"])
+            res = dict(res)
+            res["trace"] = {
+                "trace_id": tr["trace_id"],
+                "spans": [dict(sp) for sp in tr["spans"]],
+            }
+        item.future.set_result(res)
 
     # -- failure handling -----------------------------------------------
     def _on_worker_death(self, worker: _Worker, batch: list, reason: str) -> None:
@@ -469,6 +648,8 @@ class ClusterFrontend:
         if self._closing:
             return
         self.supervisor.record_crash(worker.id, reason)
+        self.log.event("worker_death", force=True, worker=worker.id,
+                       reason=str(reason)[:200])
         if self.supervise:
             task = asyncio.get_running_loop().create_task(
                 self._restart_worker(worker.id)
@@ -484,20 +665,40 @@ class ClusterFrontend:
         if item.future.done():
             return
         item.redirects += 1
+        self._trace_dequeue(item)
         target = self._route(item.scene)
         if target is None or target.dead or item.redirects > _MAX_REDIRECTS:
-            item.future.set_result({"ok": False, "retryable": True, "error": reason})
+            self._finish_item(
+                item, {"ok": False, "retryable": True, "error": reason}
+            )
             return
         if self._expire_if_late(item):
             return
+        if item.scene:
+            self._m_redirects.inc(scene=item.scene)
+        if item.trace is not None:
+            tr = item.trace
+            sp = span(
+                "redirect",
+                tr["trace_id"],
+                tr["root"]["span_id"],
+                hop=item.redirects,
+                to_worker=target.id,
+                reason=str(reason)[:120],
+            )
+            finish(sp)
+            tr["spans"].append(sp)
+        self._trace_enqueue(item, target)
         try:
             target.queue.put_nowait(item)
         except asyncio.QueueFull:
-            self.sheds += 1
-            metrics = self.scene_metrics.get(item.scene) if item.scene else None
-            if metrics is not None:
-                metrics.shed += 1
-            item.future.set_result(
+            if item.scene:
+                self._m_shed.inc(scene=item.scene)
+            self.log.event("shed", scene=item.scene, worker=target.id,
+                           failover=True)
+            self._trace_dequeue(item)
+            self._finish_item(
+                item,
                 {
                     "ok": False,
                     "shed": True,
@@ -505,7 +706,7 @@ class ClusterFrontend:
                         f"overloaded during failover: worker {target.id} "
                         f"queue is full; retry later"
                     ),
-                }
+                },
             )
 
     async def _restart_worker(self, wid: int) -> None:
@@ -553,11 +754,9 @@ class ClusterFrontend:
         except (OSError, ValueError):  # pragma: no cover - proc already reaped
             pass
 
-    @staticmethod
-    def _fail_batch(batch: Sequence[_Item], reason: str) -> None:
+    def _fail_batch(self, batch: Sequence[_Item], reason: str) -> None:
         for it in batch:
-            if not it.future.done():
-                it.future.set_result({"ok": False, "error": reason})
+            self._finish_item(it, {"ok": False, "error": reason})
 
     # -- client connections ---------------------------------------------
     async def _handle_client(self, reader, writer) -> None:
@@ -615,7 +814,9 @@ class ClusterFrontend:
         """Route one request: an immediate response dict, or (id, future)."""
         rid = msg.get("id")
         op = msg.get("op")
-        self.requests += 1
+        self._m_requests.inc(
+            verb=op if op in _SCENE_OPS or op in _LOCAL_OPS else "other"
+        )
         if op == "ping":
             return {"id": rid, "ok": True, "result": "pong"}
         if op == "health":
@@ -636,6 +837,22 @@ class ClusterFrontend:
         if op == "stats":
             fut = asyncio.ensure_future(self._cluster_stats())
             return (rid, fut)
+        if op == "metrics":
+            fut = asyncio.ensure_future(self._cluster_metrics())
+            return (rid, fut)
+        if op == "trace":
+            limit = msg.get("limit")
+            return {
+                "id": rid,
+                "ok": True,
+                "result": {
+                    "spans": self.span_buffer.snapshot(
+                        limit=int(limit) if limit is not None else 512,
+                        trace_id=msg.get("trace_id"),
+                    ),
+                    "dropped": self.span_buffer.dropped,
+                },
+            }
         if op not in _SCENE_OPS:
             return {"id": rid, "ok": False, "error": f"unknown op {op!r}"}
         scene = msg.get("scene")
@@ -677,21 +894,31 @@ class ClusterFrontend:
             }
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         item = _Item(msg, fut, scene, deadline)
+        if self.obs and msg.get("trace"):
+            trace_id = str(msg.get("trace_id") or new_trace_id())
+            msg["trace_id"] = trace_id  # propagated to the worker verbatim
+            root = span("request", trace_id, scene=scene, verb=op)
+            item.trace = {"trace_id": trace_id, "root": root, "spans": [root]}
+        self._trace_enqueue(item, worker)
         try:
             worker.queue.put_nowait(item)
         except asyncio.QueueFull:
             # load shedding: fast one-line rejection, nothing queued
-            self.sheds += 1
-            self.scene_metrics[scene].shed += 1
-            return {
-                "id": rid,
-                "ok": False,
-                "shed": True,
-                "error": (
-                    f"overloaded: worker {worker.id} queue is full "
-                    f"({self.queue_depth} deep); retry later"
-                ),
-            }
+            self._m_shed.inc(scene=scene)
+            self.log.event("shed", scene=scene, worker=worker.id,
+                           depth=self.queue_depth)
+            self._trace_dequeue(item)
+            self._finish_item(
+                item,
+                {
+                    "ok": False,
+                    "shed": True,
+                    "error": (
+                        f"overloaded: worker {worker.id} queue is full "
+                        f"({self.queue_depth} deep); retry later"
+                    ),
+                },
+            )
         return (rid, fut)
 
     # -- lifecycle verbs -------------------------------------------------
@@ -791,6 +1018,79 @@ class ClusterFrontend:
         """Front-end-side metrics only (synchronous; no worker round trip)."""
         return self._stats_payload({})
 
+    # -- metrics exposition ---------------------------------------------
+    async def _merged_snapshot(self) -> dict:
+        """The front-end registry snapshot merged with every live
+        worker's, the worker series labeled ``worker="<id>"``."""
+        worker_snaps: dict[str, dict] = {}
+        waits = []
+        for w in self.workers:
+            if w.dead:
+                continue
+            fut: asyncio.Future = asyncio.get_running_loop().create_future()
+            item = _Item({"op": "metrics"}, fut, None)
+            try:
+                w.queue.put_nowait(item)
+            except asyncio.QueueFull:
+                continue  # busy worker: scrape covers it next time
+            waits.append((w, fut))
+        for w, fut in waits:
+            res = await fut
+            if res.get("ok") and isinstance(res.get("result"), dict):
+                worker_snaps[str(w.id)] = res["result"]
+        base = self.registry.snapshot()
+        process = default_registry()
+        if process is not self.registry:
+            # shm scene builds run in *this* process and profile into the
+            # process-default registry (repro.pipeline.*); fold them into
+            # the scrape without letting them shadow front-end families
+            for fam, data in process.snapshot().items():
+                base.setdefault(fam, data)
+        return merge_snapshots(base, worker_snaps)
+
+    async def _cluster_metrics(self) -> dict:
+        snapshot = await self._merged_snapshot()
+        return {"ok": True, "result": snapshot}
+
+    async def _handle_metrics(self, reader, writer) -> None:
+        """A deliberately minimal HTTP/1.0 responder for ``GET /metrics``
+        on the event loop — enough for a Prometheus scrape or curl, with
+        no HTTP dependency."""
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), 10.0)
+            while True:  # drain headers up to the blank line
+                line = await asyncio.wait_for(reader.readline(), 10.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            if parts and parts[0] == "GET" and path.split("?")[0] == "/metrics":
+                body = render_openmetrics(await self._merged_snapshot()).encode()
+                head = (
+                    "HTTP/1.0 200 OK\r\n"
+                    f"Content-Type: {CONTENT_TYPE}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+            else:
+                body = b"try GET /metrics\n"
+                head = (
+                    "HTTP/1.0 404 Not Found\r\n"
+                    "Content-Type: text/plain\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+            writer.write(head + body)
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
     # -- shutdown -------------------------------------------------------
     async def stop(self) -> None:
         """Stop accepting, drain workers, unlink shared memory (idempotent)."""
@@ -811,6 +1111,13 @@ class ClusterFrontend:
             except Exception:  # pragma: no cover - server already gone
                 pass
             self._server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            try:
+                await self._metrics_server.wait_closed()
+            except Exception:  # pragma: no cover - server already gone
+                pass
+            self._metrics_server = None
         for w in self.workers:
             if w.task is not None:
                 w.task.cancel()

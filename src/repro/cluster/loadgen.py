@@ -38,7 +38,7 @@ from typing import Optional, Sequence
 
 from repro.cluster.protocol import read_frame, write_frame
 from repro.errors import ClusterError
-from repro.serve.metrics import LatencyRecorder
+from repro.obs.recorders import LatencyRecorder
 
 #: default request mix: (bulk-lengths fraction, arbitrary-point fraction,
 #: path fraction); the remainder are single vertex-pair lengths
@@ -169,6 +169,19 @@ def _backoff_s(attempt: int, rng: random.Random) -> float:
     return min(0.05 * (2 ** (attempt - 1)), 1.0) * (0.5 + rng.random())
 
 
+def _mark_traced(requests: Sequence[dict], trace_sample: int) -> list[dict]:
+    """Copy the stream with ``trace_sample`` requests marked ``trace: true``,
+    spread evenly so the sample sees steady state, not just warm-up."""
+    out = [dict(r) for r in requests]
+    scene_idx = [i for i, r in enumerate(out) if "scene" in r]
+    n = min(max(0, int(trace_sample)), len(scene_idx))
+    if n:
+        stride = max(1, len(scene_idx) // n)
+        for k in scene_idx[::stride][:n]:
+            out[k]["trace"] = True
+    return out
+
+
 class _RetryBudget:
     """A run-wide token pool shared by every connection: each retry
     spends one token, so a down cluster costs at most ``tokens`` extra
@@ -200,9 +213,16 @@ class Report:
         self.latency = LatencyRecorder(capacity=1 << 16)
         self.elapsed_s = 0.0
         self.first_error: Optional[str] = None
+        # traced-request sample: per-hop breakdowns plus the aggregated
+        # queue-wait vs service-time split (where does latency come from?)
+        self.traces: list[dict] = []
+        self.queue_wait = LatencyRecorder()
+        self.service = LatencyRecorder()
 
     def record(self, resp: dict, seconds: float) -> None:
         self.latency.record(seconds)
+        if isinstance(resp.get("trace"), dict):
+            self._add_trace(resp["trace"])
         if resp.get("ok"):
             self.ok += 1
             return
@@ -216,6 +236,41 @@ class Report:
         self.errors += 1
         if self.first_error is None:
             self.first_error = str(resp.get("error"))
+
+    def _add_trace(self, trace: dict) -> None:
+        spans = trace.get("spans") or []
+        by_name: dict[str, float] = {}
+        for sp in spans:
+            name = str(sp.get("name"))
+            by_name[name] = by_name.get(name, 0.0) + float(sp.get("dur") or 0.0)
+        root = next((sp for sp in spans if sp.get("name") == "request"), None)
+        self.traces.append(
+            {
+                "trace_id": trace.get("trace_id"),
+                "total_ms": float(root.get("dur") or 0.0) * 1e3 if root else None,
+                "queue_ms": by_name.get("queue_wait", 0.0) * 1e3,
+                "rpc_ms": by_name.get("worker_rpc", 0.0) * 1e3,
+                "service_ms": by_name.get("worker.service", 0.0) * 1e3,
+                "redirects": sum(1 for sp in spans if sp.get("name") == "redirect"),
+                "spans": spans,
+            }
+        )
+        self.queue_wait.record(by_name.get("queue_wait", 0.0))
+        self.service.record(by_name.get("worker.service", 0.0))
+
+    def split_line(self) -> Optional[str]:
+        """One line: where traced-request time went (queue vs service)."""
+        if not self.traces:
+            return None
+        q = self.queue_wait.summary()
+        s = self.service.summary()
+        return (
+            f"traced {len(self.traces)}:"
+            f"  queue-wait p50 {q['p50_ms']:.3g}ms p95 {q['p95_ms']:.3g}ms "
+            f"p99 {q['p99_ms']:.3g}ms"
+            f"  |  service p50 {s['p50_ms']:.3g}ms p95 {s['p95_ms']:.3g}ms "
+            f"p99 {s['p99_ms']:.3g}ms"
+        )
 
     def summary(self) -> dict:
         qps = self.sent / self.elapsed_s if self.elapsed_s else float("nan")
@@ -233,6 +288,10 @@ class Report:
             "qps": qps,
             "latency": self.latency.summary(),
         }
+        if self.traces:
+            out["trace_sample"] = list(self.traces)
+            out["queue_wait"] = self.queue_wait.summary()
+            out["service"] = self.service.summary()
         if self.first_error is not None:
             out["first_error"] = self.first_error
         return out
@@ -248,17 +307,22 @@ async def run_closed(
     retry_budget: Optional[int] = None,
     deadline_ms: Optional[float] = None,
     timeout_s: float = 30.0,
+    trace_sample: int = 0,
 ) -> Report:
     """Closed loop: ``conns`` connections, one request in flight each.
 
     With ``retries > 0``, retryable failures are re-sent with jittered
     backoff (reconnecting first when the failure was a timeout or a
     broken/desynced connection), bounded by the shared retry budget
-    (default: half the request count)."""
+    (default: half the request count).  ``trace_sample=N`` marks N
+    requests with the protocol's ``trace`` flag; their end-to-end span
+    breakdowns land in the report (``trace_sample`` / ``queue_wait`` /
+    ``service``)."""
     report = Report("closed")
     budget = _RetryBudget(
         retry_budget if retry_budget is not None else max(1, len(requests) // 2)
     )
+    requests = _mark_traced(requests, trace_sample)
     chunks = [list(requests[i::conns]) for i in range(conns)]
     t0 = time.perf_counter()
 
@@ -344,6 +408,7 @@ async def run_open(
     conns: int = 4,
     *,
     deadline_ms: Optional[float] = None,
+    trace_sample: int = 0,
 ) -> Report:
     """Open loop: fire at ``rps`` on a fixed schedule across ``conns``
     pipelined connections; responses are matched by id.  Duplicate or
@@ -352,6 +417,7 @@ async def run_open(
         raise ClusterError(f"open loop needs rps > 0, got {rps}")
     report = Report("open")
     interval = 1.0 / rps
+    requests = _mark_traced(requests, trace_sample)
     chunks = [list(requests[i::conns]) for i in range(conns)]
     t0 = time.perf_counter()
 
@@ -418,6 +484,7 @@ async def run(
     retry_budget: Optional[int] = None,
     deadline_ms: Optional[float] = None,
     timeout_s: float = 30.0,
+    trace_sample: int = 0,
 ) -> Report:
     """Discover, generate, and drive one full load-generation run."""
     pools = await discover(host, port, seed=seed)
@@ -434,9 +501,16 @@ async def run(
             retry_budget=retry_budget,
             deadline_ms=deadline_ms,
             timeout_s=timeout_s,
+            trace_sample=trace_sample,
         )
     if mode == "open":
         return await run_open(
-            host, port, requests, rps, conns=conns, deadline_ms=deadline_ms
+            host,
+            port,
+            requests,
+            rps,
+            conns=conns,
+            deadline_ms=deadline_ms,
+            trace_sample=trace_sample,
         )
     raise ClusterError(f"unknown loadgen mode {mode!r}")

@@ -13,14 +13,28 @@ Request objects::
     {"id": 9, "op": "path",    "scene": "a", "p": [x, y], "q": [x, y]}
     {"id": 0, "op": "endpoints", "scene": "a", "k": 32, "seed": 0}
     {"id": 1, "op": "scenes"}          # scene → worker assignment + live set
-    {"id": 2, "op": "stats"}           # cluster-wide metrics
+    {"id": 2, "op": "stats"}           # cluster-wide stats (registry view)
     {"id": 3, "op": "ping"}
     {"id": 4, "op": "health"}          # liveness: status/workers_alive/restarts
     {"id": 5, "op": "drain"}           # graceful drain; acks once queues empty
+    {"id": 6, "op": "metrics"}         # merged MetricsRegistry snapshot
+                                       # (front-end + every live worker,
+                                       # worker series labeled worker="<id>")
+    {"id": 7, "op": "trace",           # recent spans from the front-end's
+     "limit": 512,                     # bounded SpanBuffer; optionally one
+     "trace_id": "..."}                # trace only
 
 Every scene op may carry ``"deadline_ms": <number>`` — a *relative*
 latency budget.  A request still queued when its budget runs out is
 expired with a distinct error instead of serving stale work.
+
+Every scene op may also carry ``"trace": true`` to request end-to-end
+tracing: the front-end generates (or adopts, from ``"trace_id"``) a
+trace id, records spans for queue wait, worker RPC, redirect hops, and
+the worker's service time, and attaches them to the response as
+``"trace": {"trace_id": ..., "spans": [...]}``.  Traced responses also
+land in the front-end's span buffer, where the ``trace`` verb (and
+``python -m repro trace``) can read them later.
 
 Response objects::
 

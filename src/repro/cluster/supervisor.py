@@ -20,7 +20,12 @@ front-end calls it at three points and obeys its answers:
   breaker).
 
 Everything is observable through :meth:`stats`, which the cluster
-``stats`` verb embeds.
+``stats`` verb embeds.  Crash and restart *counts* live in the shared
+:class:`~repro.obs.registry.MetricsRegistry` (``repro.supervisor.crashes``
+/ ``repro.supervisor.restarts``, labeled by worker slot) — the front-end
+passes its registry in, so the ``stats`` verb, the ``health`` verb, and a
+``/metrics`` scrape all read the *same* counter instead of three
+book-keeping copies that can drift.
 """
 
 from __future__ import annotations
@@ -30,6 +35,9 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
+
+from repro.obs.logging import get_logger
+from repro.obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -58,18 +66,13 @@ class RestartPolicy:
 
 
 class _Slot:
-    """Failure history of one worker id."""
+    """Failure history of one worker id (counts live in the registry)."""
 
-    __slots__ = (
-        "crashes", "crash_count", "attempts", "restarts", "last_crash",
-        "breaker_open",
-    )
+    __slots__ = ("crashes", "attempts", "last_crash", "breaker_open")
 
     def __init__(self) -> None:
         self.crashes: deque = deque()  # monotonic timestamps inside the window
-        self.crash_count = 0  # lifetime crashes
         self.attempts = 0  # consecutive failures since the last good restart
-        self.restarts = 0  # successful restarts over the slot's lifetime
         self.last_crash: Optional[str] = None
         self.breaker_open = False
 
@@ -83,11 +86,23 @@ class Supervisor:
         *,
         seed: int = 0,
         time_fn: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.policy = policy or RestartPolicy()
         self._time = time_fn
         self._rng = random.Random(f"supervisor|{seed}")
         self._slots: Dict[int, _Slot] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_crashes = self.registry.counter(
+            "repro.supervisor.crashes",
+            "worker-slot crashes (pipe EOF, readiness failure, respawn error)",
+            labels=["worker"],
+        )
+        self._m_restarts = self.registry.counter(
+            "repro.supervisor.restarts",
+            "worker-slot respawns that passed the readiness gate",
+            labels=["worker"],
+        )
 
     def _slot(self, wid: int) -> _Slot:
         if wid not in self._slots:
@@ -103,9 +118,9 @@ class Supervisor:
     def record_crash(self, wid: int, reason: str) -> None:
         slot = self._slot(wid)
         slot.crashes.append(self._time())
-        slot.crash_count += 1
         slot.attempts += 1
         slot.last_crash = str(reason).splitlines()[0][:200] if reason else "unknown"
+        self._m_crashes.inc(worker=str(wid))
 
     def allow_restart(self, wid: int) -> bool:
         slot = self._slot(wid)
@@ -114,6 +129,11 @@ class Supervisor:
         self._prune(slot)
         if len(slot.crashes) > self.policy.max_restarts:
             slot.breaker_open = True
+            get_logger("supervisor").event(
+                "breaker_open", force=True, worker=wid,
+                crashes_in_window=len(slot.crashes),
+                window_s=self.policy.window_s,
+            )
             return False
         return True
 
@@ -128,7 +148,8 @@ class Supervisor:
     def record_restart(self, wid: int) -> None:
         slot = self._slot(wid)
         slot.attempts = 0
-        slot.restarts += 1
+        self._m_restarts.inc(worker=str(wid))
+        get_logger("supervisor").event("restart", worker=wid)
 
     # -- introspection --------------------------------------------------
     def last_crash(self, wid: int) -> Optional[str]:
@@ -136,24 +157,25 @@ class Supervisor:
 
     @property
     def total_restarts(self) -> int:
-        return sum(s.restarts for s in self._slots.values())
+        return int(self._m_restarts.total())
 
     @property
     def total_crashes(self) -> int:
-        return sum(s.crash_count for s in self._slots.values())
+        return int(self._m_crashes.total())
 
     def stats(self) -> dict:
         out: dict = {
             "policy": self.policy.as_dict(),
             "total_restarts": self.total_restarts,
+            "total_crashes": self.total_crashes,
             "workers": {},
         }
         for wid in sorted(self._slots):
             slot = self._slots[wid]
             self._prune(slot)
             out["workers"][str(wid)] = {
-                "restarts": slot.restarts,
-                "crashes": slot.crash_count,
+                "restarts": int(self._m_restarts.value(worker=str(wid))),
+                "crashes": int(self._m_crashes.value(worker=str(wid))),
                 "crashes_in_window": len(slot.crashes),
                 "consecutive_failures": slot.attempts,
                 "last_crash": slot.last_crash,

@@ -27,8 +27,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ReproError
-from repro.serve.metrics import BatchHistogram, LatencyRecorder
+from repro.errors import ObsError, ReproError
+from repro.obs.recorders import BatchHistogram, LatencyRecorder
+from repro.obs.registry import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    default_registry,
+)
 from repro.serve.server import QueryServer, Request
 from repro.serve.store import SceneStore
 
@@ -118,7 +123,13 @@ def memory_info() -> dict:
 class _WorkerState:
     """Everything one worker process owns, factored for direct testing."""
 
-    def __init__(self, worker_id: int, scene_specs: Sequence[dict], options: dict):
+    def __init__(
+        self,
+        worker_id: int,
+        scene_specs: Sequence[dict],
+        options: dict,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.worker_id = worker_id
         self.store = SceneStore(max_bytes=options.get("max_bytes"))
         for spec in scene_specs:
@@ -130,10 +141,56 @@ class _WorkerState:
         self.requests = 0
         self.errors = 0
         self.started = time.monotonic()
+        # the process registry: what the `metrics` verb snapshots.  In a
+        # spawned worker this is the (reset) process default, so pipeline
+        # builds running inside this process land in the same snapshot.
+        self.registry = registry if registry is not None else default_registry()
+        self._m_requests = self.registry.counter(
+            "repro.worker.requests", "requests answered by this worker",
+            labels=["scene"],
+        )
+        self._m_errors = self.registry.counter(
+            "repro.worker.errors", "requests answered not-ok by this worker"
+        )
+        self._m_service = self.registry.histogram(
+            "repro.worker.service_seconds", "per-batch service time"
+        )
+        self._m_batch = self.registry.histogram(
+            "repro.worker.batch_size", "batch sizes as seen by the worker",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self.registry.add_collector(self._collect)
+
+    def _collect(self) -> None:
+        """Refresh store/server gauges at snapshot time (not per request)."""
+        g = self.registry.gauge
+        st = self.store.stats()
+        for key in ("scenes", "resident", "resident_bytes", "pinned",
+                    "hits", "misses", "evictions", "loads", "builds",
+                    "quarantined"):
+            g(f"repro.store.{key}", f"SceneStore {key}").set(float(st[key]))
+        sv = self.server.stats()
+        for key in ("requests", "batches", "coalesced_groups", "largest_group"):
+            g(f"repro.server.{key}", f"QueryServer {key}").set(float(sv[key]))
+        cache = self.store.stage_cache
+        if cache is None:  # store delegates to the process-default cache
+            from repro.pipeline import default_cache
+
+            cache = default_cache()
+        cs = cache.stats()
+        g("repro.stage_cache.entries", "stage-cache entries").set(float(cs["entries"]))
+        g("repro.stage_cache.bytes", "stage-cache resident bytes").set(float(cs["bytes"]))
+        hits = g("repro.stage_cache.hits", "stage-cache hits", labels=["stage"])
+        misses = g("repro.stage_cache.misses", "stage-cache misses", labels=["stage"])
+        for stage, n in cs["hits"].items():
+            hits.set(float(n), stage=stage)
+        for stage, n in cs["misses"].items():
+            misses.set(float(n), stage=stage)
 
     # -- batch answering ------------------------------------------------
     def answer_batch(self, requests: Sequence[dict]) -> list[dict]:
         t0 = time.perf_counter()
+        wall0 = time.time()
         try:
             results = self._answer_coalesced(requests)
         except (ReproError, KeyError, ValueError, TypeError):
@@ -141,15 +198,34 @@ class _WorkerState:
             # malformed pair list — must not fail its batchmates (let
             # alone the worker): retry each alone, catching per-request
             results = [self._answer_one(r) for r in requests]
-        self.service.record(time.perf_counter() - t0)
+        dt = time.perf_counter() - t0
+        self.service.record(dt)
+        self._m_service.observe(dt)
         if requests:
             self.batch_hist.observe(len(requests))
+            self._m_batch.observe(len(requests))
         self.requests += len(requests)
-        self.errors += sum(1 for r in results if not r.get("ok"))
-        for r in requests:
+        n_err = sum(1 for r in results if not r.get("ok"))
+        self.errors += n_err
+        if n_err:
+            self._m_errors.inc(n_err)
+        for r, res in zip(requests, results):
             scene = r.get("scene")
             if scene:
                 self.scene_counts[scene] = self.scene_counts.get(scene, 0) + 1
+                try:
+                    self._m_requests.inc(scene=str(scene))
+                except ObsError:  # scene count past the cardinality bound
+                    self._m_requests.inc(scene="other")
+            if r.get("trace") and isinstance(res, dict):
+                # the front-end folds this into the request's span tree;
+                # wall-clock t0 so it lines up on a shared timeline
+                res["worker_span"] = {
+                    "name": "worker.service",
+                    "t0": wall0,
+                    "dur": dt,
+                    "attrs": {"worker": self.worker_id, "batch_size": len(requests)},
+                }
         return results
 
     def _answer_coalesced(self, requests: Sequence[dict]) -> list[dict]:
@@ -219,6 +295,8 @@ class _WorkerState:
             op = r.get("op")
             if op == "stats":
                 return {"ok": True, "result": self.stats()}
+            if op == "metrics":
+                return {"ok": True, "result": self.registry.snapshot()}
             if op == "endpoints":
                 return {"ok": True, "result": self._endpoints(r)}
             if op == "ping":
@@ -293,6 +371,9 @@ def worker_main(
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
+    # under the fork start method the child inherits the parent's default
+    # registry contents; this worker's snapshot must cover only its own life
+    default_registry().reset()
     state = _WorkerState(worker_id, scene_specs, options or {})
     # fault injection (chaos harness): stall every Nth batch; absent from
     # the options dict in production, so the hot loop only pays an `if`

@@ -54,3 +54,7 @@ class SnapshotError(ReproError):
 
 class ClusterError(ReproError):
     """A cluster component failed: bad wire frame, dead worker, shm attach."""
+
+
+class ObsError(ReproError):
+    """Metrics/tracing misuse: bad label set, cardinality overflow, bad buckets."""

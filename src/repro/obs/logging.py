@@ -1,0 +1,89 @@
+"""Structured, rate-limited JSON log lines — one logger per subsystem.
+
+``get_logger("frontend").event("shed", scene="demo", depth=128)`` emits
+one JSON object per line on stderr::
+
+    {"ts": 1719850000.123, "subsystem": "frontend", "event": "shed",
+     "scene": "demo", "depth": 128}
+
+Machine-parseable (one ``json.loads`` per line), stable keys first, and
+*rate-limited per (subsystem, event)* — a shed storm logs the first
+line, then at most one line per ``min_interval_s`` carrying a
+``suppressed`` count for what it swallowed.  Serving loops can log from
+the hot path without turning an overload into an I/O storm that makes
+the overload worse.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Callable, Dict, Optional, TextIO
+
+__all__ = ["JsonLogger", "get_logger", "set_log_stream"]
+
+_lock = threading.Lock()
+_loggers: Dict[str, "JsonLogger"] = {}
+_stream: Optional[TextIO] = None  # None -> sys.stderr at emit time
+
+
+def set_log_stream(stream: Optional[TextIO]) -> None:
+    """Redirect every logger (tests capture; ``None`` restores stderr)."""
+    global _stream
+    with _lock:
+        _stream = stream
+
+
+class JsonLogger:
+    """One subsystem's logger; see the module docstring."""
+
+    def __init__(
+        self,
+        subsystem: str,
+        min_interval_s: float = 1.0,
+        time_fn: Callable[[], float] = time.time,
+    ) -> None:
+        self.subsystem = subsystem
+        self.min_interval_s = min_interval_s
+        self._time = time_fn
+        self._lock = threading.Lock()
+        # (event) -> [last_emit_ts, suppressed_count]
+        self._gates: Dict[str, list] = {}
+        self.emitted = 0
+        self.suppressed = 0
+
+    def event(self, event: str, *, force: bool = False, **fields) -> bool:
+        """Emit one line; ``False`` if rate-limiting swallowed it."""
+        now = self._time()
+        with self._lock:
+            gate = self._gates.setdefault(event, [-float("inf"), 0])
+            if not force and now - gate[0] < self.min_interval_s:
+                gate[1] += 1
+                self.suppressed += 1
+                return False
+            suppressed, gate[0], gate[1] = gate[1], now, 0
+            self.emitted += 1
+        record = {"ts": now, "subsystem": self.subsystem, "event": event}
+        if suppressed:
+            record["suppressed"] = suppressed
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with _lock:
+            stream = _stream if _stream is not None else sys.stderr
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError):  # closed stream at interpreter exit
+                pass
+        return True
+
+
+def get_logger(subsystem: str, min_interval_s: float = 1.0) -> JsonLogger:
+    """The process-wide logger for ``subsystem`` (created on first use)."""
+    with _lock:
+        logger = _loggers.get(subsystem)
+        if logger is None:
+            logger = _loggers[subsystem] = JsonLogger(subsystem, min_interval_s)
+        return logger

@@ -1,0 +1,128 @@
+"""OpenMetrics text exposition of a registry snapshot.
+
+:func:`render_openmetrics` turns :meth:`MetricsRegistry.snapshot` data
+into the OpenMetrics text format (the superset of the Prometheus
+exposition format that ends with ``# EOF``), and
+:func:`merge_snapshots` folds several snapshots into one — the cluster
+front-end merges every worker's snapshot under an added
+``worker="<id>"`` label before rendering, so one ``GET /metrics``
+scrape covers the whole fleet.
+
+Naming: internal metric names are dotted (``repro.frontend.requests``);
+exposition rewrites ``.`` to ``_`` (OpenMetrics names admit only
+``[a-zA-Z0-9_:]``) and appends the conventional ``_total`` suffix to
+counter samples.  ``metrics.md`` at the repo root documents the naming
+scheme and the full series table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+__all__ = ["render_openmetrics", "merge_snapshots", "CONTENT_TYPE"]
+
+#: the scrape response content type (OpenMetrics 1.0 text)
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def _name(dotted: str) -> str:
+    return dotted.replace(".", "_").replace("-", "_")
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{_name(k)}="{_escape(str(v))}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _num(v: float) -> str:
+    v = float(v)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def render_openmetrics(snapshot: Mapping[str, dict]) -> str:
+    """One registry snapshot (see :meth:`MetricsRegistry.snapshot`) as
+    OpenMetrics text, families sorted by name, ``# EOF`` terminated."""
+    lines: list[str] = []
+    for dotted in sorted(snapshot):
+        fam = snapshot[dotted]
+        name = _name(dotted)
+        kind = fam.get("type", "untyped")
+        lines.append(f"# TYPE {name} {kind}")
+        if fam.get("help"):
+            lines.append(f"# HELP {name} {_escape(fam['help'])}")
+        if kind == "histogram":
+            bounds = [float(b) for b in fam.get("buckets", [])]
+            for series in fam.get("series", []):
+                labels = series.get("labels", {})
+                counts = [int(c) for c in series.get("counts", [])]
+                cum = 0
+                for bound, count in zip(bounds, counts):
+                    cum += count
+                    extra = f'le="{_num(bound)}"'
+                    lines.append(f"{name}_bucket{_labels(labels, extra)} {cum}")
+                total = int(series.get("count", sum(counts)))
+                inf_extra = 'le="+Inf"'
+                lines.append(f"{name}_bucket{_labels(labels, inf_extra)} {total}")
+                lines.append(f"{name}_sum{_labels(labels)} {_num(series.get('sum', 0.0))}")
+                lines.append(f"{name}_count{_labels(labels)} {total}")
+        else:
+            suffix = "_total" if kind == "counter" else ""
+            for series in fam.get("series", []):
+                lines.append(
+                    f"{name}{suffix}{_labels(series.get('labels', {}))} "
+                    f"{_num(series.get('value', 0.0))}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def merge_snapshots(
+    base: Mapping[str, dict],
+    others: Mapping[str, Mapping[str, dict]],
+    label: str = "worker",
+) -> dict:
+    """Fold several registry snapshots into one.
+
+    ``others`` maps a label value (e.g. a worker id) to that process's
+    snapshot; every merged series gains ``label=<value>``, so same-named
+    families from different workers stay distinct series instead of
+    silently summing.  ``base`` series are carried unchanged.
+    """
+    merged: dict = {}
+    for dotted, fam in base.items():
+        merged[dotted] = {
+            **{k: v for k, v in fam.items() if k != "series"},
+            "series": [dict(s) for s in fam.get("series", [])],
+        }
+    for value, snap in sorted(others.items()):
+        for dotted, fam in snap.items():
+            dst = merged.get(dotted)
+            if dst is None:
+                dst = merged[dotted] = {
+                    **{k: v for k, v in fam.items() if k != "series"},
+                    "labels": list(fam.get("labels", [])) + [label],
+                    "series": [],
+                }
+            for series in fam.get("series", []):
+                s = dict(series)
+                s["labels"] = {**series.get("labels", {}), label: str(value)}
+                dst["series"].append(s)
+    return merged
+
+
+def count_series(snapshot: Mapping[str, dict]) -> int:
+    """Distinct series across every family (scrape-size sanity checks)."""
+    return sum(len(fam.get("series", [])) for fam in snapshot.values())

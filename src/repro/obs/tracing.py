@@ -1,0 +1,162 @@
+"""Request tracing: spans, a bounded span buffer, Chrome-trace export.
+
+A *span* here is a plain dict — it has to cross a multiprocessing pipe
+as JSON and come back unchanged — with the usual distributed-tracing
+shape:
+
+``{"trace_id", "span_id", "parent_id", "name", "t0", "dur", "attrs"}``
+
+``t0`` is a ``time.time()`` epoch float (seconds), ``dur`` a float in
+seconds.  ``attrs`` is a small string-keyed dict (worker id, batch
+size, redirect count...).  IDs are random 16-hex-char strings; the
+front-end generates the trace id at admission (or adopts one the client
+sent) and threads it through queue, worker RPC, and redirect hops, so
+one ``trace_id`` stitches the whole request tree back together.
+
+:class:`SpanBuffer` is the bounded in-memory sink — a ring of the most
+recent spans, drained by the ``trace`` protocol verb and ``python -m
+repro trace``.  :func:`chrome_trace` renders any span list in the
+Chrome trace-event format (load it at ``chrome://tracing`` or
+https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import collections
+import secrets
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "new_trace_id",
+    "new_span_id",
+    "span",
+    "finish",
+    "SpanBuffer",
+    "chrome_trace",
+]
+
+
+def new_trace_id() -> str:
+    return secrets.token_hex(8)
+
+
+def new_span_id() -> str:
+    return secrets.token_hex(8)
+
+
+def span(
+    name: str,
+    trace_id: str,
+    parent_id: Optional[str] = None,
+    t0: Optional[float] = None,
+    **attrs,
+) -> dict:
+    """Open a span dict; close it with :func:`finish` (sets ``dur``)."""
+    return {
+        "trace_id": trace_id,
+        "span_id": new_span_id(),
+        "parent_id": parent_id,
+        "name": name,
+        "t0": time.time() if t0 is None else float(t0),
+        "dur": None,
+        "attrs": {k: v for k, v in attrs.items() if v is not None},
+    }
+
+
+def finish(sp: dict, t1: Optional[float] = None, **attrs) -> dict:
+    """Close a span (idempotent: the first ``finish`` wins on ``dur``)."""
+    if sp.get("dur") is None:
+        end = time.time() if t1 is None else float(t1)
+        sp["dur"] = max(0.0, end - sp["t0"])
+    if attrs:
+        sp["attrs"].update({k: v for k, v in attrs.items() if v is not None})
+    return sp
+
+
+class SpanBuffer:
+    """A thread-safe ring of the most recent finished spans.
+
+    Bounded so tracing can stay on in a serving process indefinitely:
+    the buffer keeps the last ``capacity`` spans and counts what it
+    dropped.  ``snapshot`` filters by trace id and caps the return size,
+    newest last, so the ``trace`` verb's response stays a sane frame.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._spans: "collections.deque[dict]" = collections.deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.added = 0
+
+    def add(self, sp: dict) -> None:
+        with self._lock:
+            self.added += 1
+            self._spans.append(sp)
+
+    def extend(self, spans: Iterable[dict]) -> None:
+        with self._lock:
+            for sp in spans:
+                self.added += 1
+                self._spans.append(sp)
+
+    def snapshot(
+        self, limit: Optional[int] = None, trace_id: Optional[str] = None
+    ) -> List[dict]:
+        """The most recent spans, oldest first (optionally one trace)."""
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is not None:
+            spans = [sp for sp in spans if sp.get("trace_id") == trace_id]
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+        return [dict(sp) for sp in spans]
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return max(0, self.added - len(self._spans))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+def chrome_trace(spans: Iterable[dict]) -> dict:
+    """Spans as a Chrome trace-event document (``chrome://tracing``).
+
+    Every span becomes one complete (``ph: "X"``) event; timestamps and
+    durations are microseconds per the format.  Spans are grouped onto
+    tracks by trace id (``pid``) and span name (``tid``) so concurrent
+    requests render as separate lanes with their hops stacked.
+    """
+    events: List[dict] = []
+    tid_of: Dict[str, int] = {}
+    pid_of: Dict[str, int] = {}
+    for sp in spans:
+        name = str(sp.get("name", "span"))
+        trace_id = str(sp.get("trace_id", ""))
+        pid = pid_of.setdefault(trace_id, len(pid_of) + 1)
+        tid = tid_of.setdefault(name, len(tid_of) + 1)
+        args = dict(sp.get("attrs") or {})
+        args["trace_id"] = trace_id
+        if sp.get("span_id"):
+            args["span_id"] = sp["span_id"]
+        if sp.get("parent_id"):
+            args["parent_id"] = sp["parent_id"]
+        events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "ts": float(sp.get("t0", 0.0)) * 1e6,
+                "dur": float(sp.get("dur") or 0.0) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -61,10 +61,13 @@ from repro.core.allpairs import DEFAULT_LEAF_SIZE, DistanceIndex
 from repro.errors import EngineError, GeometryError, QueryError
 from repro.geometry.polygon import RectilinearPolygon, pockets_to_rects
 from repro.geometry.primitives import Point, Rect, validate_disjoint
+from repro.obs.registry import default_registry
+from repro.obs.tracing import SpanBuffer, finish, new_trace_id, span
 from repro.pram.machine import PRAM
 from repro.scene import Scene
 
 __all__ = [
+    "BUILD_SPANS",
     "STAGES",
     "DecomposeArtifact",
     "GraphArtifact",
@@ -81,6 +84,11 @@ __all__ = [
 
 #: the stage graph, in execution order
 STAGES = ("decompose", "graph", "solve", "query-structures")
+
+#: recent per-stage build spans (one trace per build_index call), the
+#: build-side analogue of the cluster front-end's request span buffer —
+#: ``python -m repro trace --demo`` and ``plan --profile`` read it
+BUILD_SPANS = SpanBuffer(512)
 
 
 # ----------------------------------------------------------------------
@@ -459,6 +467,7 @@ def build_index(
         "n_rects": len(dec.all_rects),
         "stages": stages,
     }
+    _record_build_profile(stages, engine)
     return idx
 
 
@@ -473,6 +482,50 @@ def _run_stage(
         cache.put(key, art, art.nbytes())
     stages.append(_timing(name, time.perf_counter() - t0, 0, 0, cached))
     return art, cached
+
+
+def _record_build_profile(stages: list, engine: str) -> None:
+    """Emit one build's per-stage profile through the observability layer:
+    counters in the process-default registry (wall vs simulated PRAM cost,
+    per stage and engine, cache hits split out) plus one span per stage in
+    :data:`BUILD_SPANS` for Chrome-trace export."""
+    reg = default_registry()
+    runs = reg.counter(
+        "repro.pipeline.stage_runs", "pipeline stage executions",
+        labels=["stage", "engine", "cached"],
+    )
+    wall = reg.counter(
+        "repro.pipeline.stage_wall_seconds", "cumulative stage wall time",
+        labels=["stage", "engine"],
+    )
+    ptime = reg.counter(
+        "repro.pipeline.stage_pram_time", "cumulative simulated PRAM time",
+        labels=["stage", "engine"],
+    )
+    pwork = reg.counter(
+        "repro.pipeline.stage_pram_work", "cumulative simulated PRAM work",
+        labels=["stage", "engine"],
+    )
+    trace_id = new_trace_id()
+    t0 = time.time() - sum(st["wall_s"] for st in stages)
+    for st in stages:
+        name = st["name"]
+        runs.inc(stage=name, engine=engine, cached=str(st["cached"]).lower())
+        wall.inc(st["wall_s"], stage=name, engine=engine)
+        ptime.inc(st["pram_time"], stage=name, engine=engine)
+        pwork.inc(st["pram_work"], stage=name, engine=engine)
+        sp = span(
+            f"build.{name}",
+            trace_id,
+            t0=t0,
+            engine=engine,
+            cached=st["cached"],
+            pram_time=st["pram_time"],
+            pram_work=st["pram_work"],
+        )
+        finish(sp, t0 + st["wall_s"])
+        BUILD_SPANS.add(sp)
+        t0 += st["wall_s"]
 
 
 def _timing(name: str, wall_s: float, pram_time: int, pram_work: int, cached: bool) -> dict:

@@ -17,11 +17,13 @@ is the *online* half an actual deployment needs:
 * :mod:`repro.serve.server` — :class:`QueryServer`, the batching
   front-end that coalesces same-scene length requests into single
   vectorized matrix gathers;
-* :mod:`repro.serve.metrics` — latency percentile recorders and
-  batch-size histograms shared by every serving layer.
+The latency/batch recorders that used to live in
+``repro.serve.metrics`` moved to :mod:`repro.obs` (the unified
+observability subsystem); the re-exports below are kept for
+compatibility.
 """
 
-from repro.serve.metrics import BatchHistogram, LatencyRecorder, percentile
+from repro.obs.recorders import BatchHistogram, LatencyRecorder, percentile
 from repro.serve.snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_SUFFIX,

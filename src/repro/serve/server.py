@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.geometry.primitives import Point
-from repro.serve.metrics import BatchHistogram
+from repro.obs.recorders import BatchHistogram
 from repro.serve.store import SceneStore
 
 #: request kinds understood by :meth:`QueryServer.submit`

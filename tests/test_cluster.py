@@ -30,7 +30,7 @@ from repro.cluster.worker import _WorkerState, memory_info
 from repro.core.api import ShortestPathIndex
 from repro.errors import ClusterError
 from repro.serve import shm as rshm
-from repro.serve.metrics import BatchHistogram, LatencyRecorder, percentile
+from repro.obs.recorders import BatchHistogram, LatencyRecorder, percentile
 from repro.workloads.generators import random_disjoint_rects
 
 
