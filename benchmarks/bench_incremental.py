@@ -1,0 +1,137 @@
+"""INC — incremental repair economics: ``update_index`` vs cold rebuild.
+
+The ISSUE's acceptance numbers, measured and recorded in
+``BENCH_incremental.json``: on an n≈192 scene, repairing a
+single-obstacle **delete** through :func:`repro.pipeline.update_index`
+must
+
+* reuse ≥ 50% of the solve-stage subtree cache entries
+  (``reused_fraction`` in the repair provenance), and
+* land ≥ 5× faster than a cold rebuild of the mutated scene,
+
+while answering **byte-identically** to that cold rebuild (asserted
+unconditionally — exact integer matrices, same root point order).  The
+insert direction is also measured and reported, unasserted: re-inserting
+shifts the separator frontier, so its reuse is structurally lower.
+
+Smoke mode (``BENCH_SMOKE=1``) shrinks the scene and skips the ratio
+floors (CI machines are noisy); the JSON artifact is always written.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.common import SMOKE, emit, emit_json, format_table
+from repro.pipeline import StageCache, build_index, update_index
+from repro.scene import Scene, SceneDelta
+from repro.workloads.generators import random_disjoint_rects
+
+N = 24 if SMOKE else 192
+SEED = 7
+MIN_REUSED_FRACTION = 0.5
+MIN_REPAIR_SPEEDUP = 5.0
+
+
+def _roomy_cache() -> StageCache:
+    # every separator subtree of the incremental build must stay
+    # resident for the repair to find it; the process default (64
+    # entries / 32 MB) is sized for whole-build artifacts, not this
+    return StageCache(max_entries=10_000, max_bytes=1 << 30)
+
+
+def _cold_build_s(scene: Scene) -> tuple[float, object]:
+    t0 = time.perf_counter()
+    idx = build_index(scene, cache=StageCache(max_entries=64, max_bytes=256 << 20))
+    return time.perf_counter() - t0, idx
+
+
+def test_incremental_repair_beats_cold_rebuild():
+    scene = Scene.from_obstacles(random_disjoint_rects(N, seed=SEED))
+    cache = _roomy_cache()
+    t0 = time.perf_counter()
+    idx = build_index(scene, cache=cache, incremental=True)
+    seed_build_s = time.perf_counter() - t0
+
+    victim = scene.rects[len(scene.rects) // 2]  # a mid-scene obstacle
+
+    # -- delete: the asserted direction ---------------------------------
+    t0 = time.perf_counter()
+    repaired = update_index(idx, SceneDelta.delete(victim), cache=cache)
+    del_repair_s = time.perf_counter() - t0
+    del_rep = repaired.provenance["repair"]
+    del_cold_s, del_cold = _cold_build_s(repaired.scene)
+    assert list(repaired.index.points) == list(del_cold.index.points)
+    assert (
+        np.asarray(repaired.index.matrix).tobytes()
+        == np.asarray(del_cold.index.matrix).tobytes()
+    )
+    del_speedup = del_cold_s / max(del_repair_s, 1e-9)
+
+    # -- insert back: measured, reported, not asserted ------------------
+    t0 = time.perf_counter()
+    restored = update_index(repaired, SceneDelta.insert(victim), cache=cache)
+    ins_repair_s = time.perf_counter() - t0
+    ins_rep = restored.provenance["repair"]
+    ins_cold_s, ins_cold = _cold_build_s(restored.scene)
+    assert (
+        np.asarray(restored.index.matrix).tobytes()
+        == np.asarray(ins_cold.index.matrix).tobytes()
+    )
+    ins_speedup = ins_cold_s / max(ins_repair_s, 1e-9)
+
+    table = format_table(
+        ["edit", "repair s", "cold s", "speedup", "reused frac", "reused", "recomputed"],
+        [
+            ["delete", del_repair_s, del_cold_s, f"{del_speedup:.1f}x",
+             f"{del_rep['reused_fraction']:.2f}",
+             del_rep["reused_entries"], del_rep["recomputed_entries"]],
+            ["insert", ins_repair_s, ins_cold_s, f"{ins_speedup:.1f}x",
+             f"{ins_rep['reused_fraction']:.2f}",
+             ins_rep["reused_entries"], ins_rep["recomputed_entries"]],
+        ],
+        title=(
+            f"INC: single-obstacle repair vs cold rebuild, n={N} rects "
+            f"(seed incremental build {seed_build_s:.2f}s; both repairs "
+            f"byte-identical to their cold rebuilds)"
+        ),
+    )
+    emit("INC_incremental", table)
+    emit_json(
+        "incremental",
+        {
+            "n_rects": N,
+            "seed": SEED,
+            "seed_build_s": seed_build_s,
+            "delete": {
+                "repair_s": del_repair_s,
+                "cold_rebuild_s": del_cold_s,
+                "speedup": del_speedup,
+                "repair": del_rep,
+            },
+            "insert": {
+                "repair_s": ins_repair_s,
+                "cold_rebuild_s": ins_cold_s,
+                "speedup": ins_speedup,
+                "repair": ins_rep,
+            },
+            "cache": cache.stats(),
+            "floors": {
+                "delete_reused_fraction": MIN_REUSED_FRACTION,
+                "delete_speedup": MIN_REPAIR_SPEEDUP,
+            },
+        },
+    )
+    if not SMOKE:
+        assert del_rep["reused_fraction"] >= MIN_REUSED_FRACTION, (
+            f"delete repair reused {del_rep['reused_fraction']:.2f} of the "
+            f"solve cache, floor is {MIN_REUSED_FRACTION}"
+        )
+        assert del_speedup >= MIN_REPAIR_SPEEDUP, (
+            f"delete repair speedup {del_speedup:.2f}x under the "
+            f"{MIN_REPAIR_SPEEDUP}x floor"
+        )
+
+
+if __name__ == "__main__":
+    test_incremental_repair_beats_cold_rebuild()

@@ -392,6 +392,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 deadline_ms=args.deadline_ms,
                 timeout_s=args.timeout_s,
                 trace_sample=args.trace_sample,
+                mutate_every=args.mutate_every,
+                check_updates=args.check and args.mutate_every > 0,
             )
         )
     except (ClusterError, OSError) as exc:
@@ -411,12 +413,28 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         split = report.split_line()
         if split:
             print(split)
+        if summary.get("mutations") or summary.get("mutation_errors"):
+            print(
+                f"mutations: {summary.get('mutations', 0)} rollovers "
+                f"(last generation {summary.get('last_generation', 0)}), "
+                f"{summary.get('mutation_errors', 0)} errors, "
+                f"{summary.get('stale_answers', 0)} stale answers"
+            )
         if summary.get("first_error"):
             print(f"first error: {summary['first_error']}")
-    if args.check and (summary["errors"] or summary["shed"]):
+        if summary.get("first_stale"):
+            print(f"first stale answer: {summary['first_stale']}")
+    if args.check and (
+        summary["errors"]
+        or summary["shed"]
+        or summary.get("mutation_errors")
+        or summary.get("stale_answers")
+    ):
         print(
             f"loadgen --check failed: {summary['errors']} errors, "
-            f"{summary['shed']} shed"
+            f"{summary['shed']} shed, "
+            f"{summary.get('mutation_errors', 0)} mutation errors, "
+            f"{summary.get('stale_answers', 0)} stale answers"
         )
         return 1
     return 0
@@ -550,6 +568,35 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     engines = list(DEFAULT_ENGINES)
     if getattr(args, "engine", None) and args.engine not in engines:
         engines.append(args.engine)
+    if getattr(args, "updates", 0) > 0:
+        from repro.core.crosscheck import check_update
+
+        failures = 0
+        for i in range(args.scenes):
+            seed = args.seed * 10007 + i
+            kind = i % 3
+            if kind == 0:  # small rect scene
+                obstacles = list(random_disjoint_rects(10, seed=seed))
+            elif kind == 1:  # bigger rect scene (deeper separator tree)
+                obstacles = list(random_disjoint_rects(18, seed=seed))
+            else:  # polygons + rects
+                obstacles = random_polygon_scene(2, 3, seed=seed)
+            problems = check_update(
+                obstacles, n_edits=args.updates, seed=seed, engines=engines
+            )
+            label = ("rects", "rects-xl", "mixed")[kind]
+            if not problems:
+                print(f"scene {i:3d} [{label:9s}] ok "
+                      f"({len(obstacles)} obstacles, {args.updates} edits)")
+                continue
+            failures += 1
+            print(f"scene {i:3d} [{label:9s}] FAILED: {problems[0]}")
+            out = pathlib.Path(args.out_dir) / f"updatefuzz_fail_{seed}.json"
+            out.parent.mkdir(parents=True, exist_ok=True)
+            save_scene(out, obstacles, None)
+            print(f"  replay scene (seed {seed}): {out}")
+        print(f"{args.scenes} scenes update-fuzzed, {failures} failure(s)")
+        return 1 if failures else 0
     failures = 0
     for i in range(args.scenes):
         seed = args.seed * 10007 + i
@@ -849,9 +896,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     lg.add_argument("--trace-sample", type=int, default=0,
                     help="mark this many scene requests with trace: true and "
                     "report a queue-wait vs service-time latency split")
+    lg.add_argument("--mutate-every", type=int, default=0, metavar="N",
+                    help="closed loop: roll one updatable scene to a new "
+                    "generation (delete/re-insert a seeded rectangle via the "
+                    "update verb) every N completed requests; with --check, "
+                    "post-rollover answers are verified byte-for-byte against "
+                    "locally built oracles of both scene versions")
     lg.add_argument("--json", action="store_true", help="print the report as JSON")
     lg.add_argument("--check", action="store_true",
-                    help="exit nonzero if any request errored or was shed")
+                    help="exit nonzero if any request errored, was shed, or "
+                    "(with --mutate-every) any rollover failed or any "
+                    "post-rollover answer was stale")
     lg.set_defaults(fn=cmd_loadgen)
 
     tr = sub.add_parser(
@@ -885,6 +940,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "(on top of parallel and sequential)")
     fz.add_argument("--out-dir", default=".",
                     help="directory for shrunk failing-scene JSON dumps")
+    fz.add_argument("--updates", type=int, default=0, metavar="N",
+                    help="update-fuzz mode: per scene, random-walk N obstacle "
+                    "deletes/re-inserts through update_index and require each "
+                    "repaired index to be byte-identical to a cold rebuild "
+                    "(lengths AND paths), cross-checked against the other "
+                    "engines")
     fz.set_defaults(fn=cmd_fuzz)
 
     f = sub.add_parser("figures", help="print paper figure(s)")

@@ -32,6 +32,14 @@ Data path::
 * **Lifecycle** — workers are readiness-gated at startup (one full
   batch round trip each before the TCP port binds); the ``health`` and
   ``drain`` verbs expose liveness and connection-draining shutdown.
+* **Updates** — the ``update`` verb applies an obstacle delta
+  (:class:`repro.scene.SceneDelta` JSON) to a scene with zero downtime:
+  the front-end repairs its index incrementally
+  (:func:`repro.pipeline.update_index`), republishes into a fresh shm
+  segment as generation N+1, and broadcasts the new manifest; workers
+  swap resident scenes atomically (in-flight batches finish on the
+  pinned old generation) and re-source the rest lazily.  Old segments
+  are unlinked once every live worker acknowledges.
 
 The front-end owns the shared-memory segments (it publishes every scene
 before spawning workers) and unlinks them in :meth:`ClusterFrontend.stop`.
@@ -68,7 +76,10 @@ from repro.serve.shm import ShmPublisher
 _SCENE_OPS = ("length", "lengths", "path", "endpoints", "sleep")
 
 #: ops answered by the front-end itself (the `verb` label value set)
-_LOCAL_OPS = ("ping", "health", "drain", "scenes", "stats", "metrics", "trace")
+_LOCAL_OPS = (
+    "ping", "health", "drain", "scenes", "stats", "metrics", "trace",
+    "update", "describe",
+)
 
 #: how many times one request may be re-routed after worker deaths
 _MAX_REDIRECTS = 2
@@ -260,10 +271,28 @@ class ClusterFrontend:
             "repro.frontend.batch_size", "dispatched batch sizes",
             labels=["worker"], buckets=DEFAULT_SIZE_BUCKETS,
         )
+        self._m_updates = reg.counter(
+            "repro.frontend.updates",
+            "scene-generation rollovers published", labels=["scene"],
+        )
+        self._m_update_errors = reg.counter(
+            "repro.frontend.update_errors",
+            "scene updates rejected or failed", labels=["scene"],
+        )
+        self._m_generation = reg.gauge(
+            "repro.scene.generation",
+            "current published generation of each scene", labels=["scene"],
+        )
         self.batch_hist = BatchHistogram()
         self.scene_metrics: dict[str, _SceneMetrics] = {
             name: _SceneMetrics(name, self) for name in scenes
         }
+        # the update path: scene name -> {"scene": Scene, "idx": index or
+        # None} for every scene whose geometry the front-end knows (it is
+        # what deltas apply to); one lock serializes rollovers
+        self._scene_state: dict[str, dict] = {}
+        self._generations: dict[str, int] = {name: 0 for name in scenes}
+        self._update_lock = asyncio.Lock()
         self.log = get_logger("frontend")
         self._t_start = time.monotonic()
 
@@ -299,7 +328,13 @@ class ClusterFrontend:
     def _publish(self, name: str, src: dict) -> dict:
         assert self.publisher is not None
         if "index" in src:
-            return self.publisher.publish(name, src["index"])
+            idx = src["index"]
+            # a pipeline-built index carries its Scene, which is what the
+            # `update` verb needs; indexes without one serve fine but
+            # cannot take deltas
+            if getattr(idx, "scene", None) is not None:
+                self._scene_state[name] = {"scene": idx.scene, "idx": idx}
+            return self.publisher.publish(name, idx)
         if "snapshot" in src:
             return self.publisher.publish_snapshot(name, src["snapshot"])
         if "obstacles" in src:
@@ -309,14 +344,15 @@ class ClusterFrontend:
             # build through the staged pipeline (process-default stage
             # cache): publishing N scenes that share geometry — or a
             # scene the front-end already built — reuses stage artifacts
-            idx = build_index(
-                Scene.from_obstacles(
-                    src["obstacles"],
-                    container=src.get("container"),
-                    extra_points=src.get("extra_points") or (),
-                ),
-                engine=self.engine,
+            scene = Scene.from_obstacles(
+                src["obstacles"],
+                container=src.get("container"),
+                extra_points=src.get("extra_points") or (),
             )
+            # incremental=True seeds the separator-subtree cache, so the
+            # first `update` already reuses unaffected subtree solves
+            idx = build_index(scene, engine=self.engine, incremental=True)
+            self._scene_state[name] = {"scene": scene, "idx": idx}
             return self.publisher.publish(name, idx)
         raise ClusterError(f"scene {name!r}: unrecognized source {sorted(src)}")
 
@@ -329,11 +365,13 @@ class ClusterFrontend:
                 # rebuild-from-scene fallback: if the snapshot artifact
                 # is corrupt at load time the worker quarantines it and
                 # builds from geometry instead of crashing
-                spec["scene"] = Scene.from_obstacles(
+                scene = Scene.from_obstacles(
                     src["obstacles"],
                     container=src.get("container"),
                     extra_points=src.get("extra_points") or (),
-                ).to_dict()
+                )
+                self._scene_state[name] = {"scene": scene, "idx": None}
+                spec["scene"] = scene.to_dict()
                 spec["engine"] = self.engine
             return spec
         if "obstacles" in src:
@@ -344,6 +382,7 @@ class ClusterFrontend:
                 container=src.get("container"),
                 extra_points=src.get("extra_points") or (),
             )
+            self._scene_state[name] = {"scene": scene, "idx": None}
             return {
                 "name": name,
                 "kind": "build",
@@ -832,8 +871,30 @@ class ClusterFrontend:
                     "scenes": dict(self.assignment),
                     "workers": self.n_workers,
                     "alive": [w.id for w in self.workers if not w.dead],
+                    "generations": dict(self._generations),
+                    "updatable": sorted(self._scene_state),
                 },
             }
+        if op in ("update", "describe"):
+            scene = msg.get("scene")
+            if scene not in self.assignment:
+                known = ", ".join(sorted(self.assignment)) or "<none>"
+                return {
+                    "id": rid,
+                    "ok": False,
+                    "error": f"unknown scene {scene!r} (serving: {known})",
+                }
+            if op == "describe":
+                return dict(self._describe(scene), id=rid)
+            if self._draining:
+                return {
+                    "id": rid,
+                    "ok": False,
+                    "draining": True,
+                    "error": "front-end is draining; no new updates accepted",
+                }
+            fut = asyncio.ensure_future(self._update_scene(scene, msg.get("delta")))
+            return (rid, fut)
         if op == "stats":
             fut = asyncio.ensure_future(self._cluster_stats())
             return (rid, fut)
@@ -921,6 +982,180 @@ class ClusterFrontend:
             )
         return (rid, fut)
 
+    # -- scene updates (zero-downtime rollover) --------------------------
+    def _describe(self, name: str) -> dict:
+        """The ``describe`` verb: a scene's full geometry + generation —
+        what a client needs to compute deltas (and, for checked load
+        generation, to build a local oracle)."""
+        state = self._scene_state.get(name)
+        if state is None:
+            return {
+                "ok": False,
+                "error": (
+                    f"scene {name!r} has no geometry source (snapshot- or "
+                    f"index-only scenes cannot be described or updated)"
+                ),
+            }
+        return {
+            "ok": True,
+            "result": {
+                "scene": state["scene"].to_dict(),
+                "generation": self._generations.get(name, 0),
+                "scene_hash": state["scene"].content_hash(),
+            },
+        }
+
+    async def _update_scene(self, name: str, delta_data) -> dict:
+        """The ``update`` verb: apply an obstacle delta to ``name`` and
+        roll every worker to the new generation with zero downtime.
+
+        Protocol: (1) repair the front-end's index incrementally
+        (:func:`repro.pipeline.update_index` — byte-identical to a cold
+        rebuild, reusing unaffected separator-subtree solves); (2)
+        republish into a fresh shm segment (generation+1); (3) broadcast
+        the new spec to every live worker, which swaps resident scenes
+        and lazily re-sources the rest — in-flight batches finish on the
+        pinned old generation; (4) once all live workers acked, unlink
+        the superseded segments.  A worker that dies mid-rollover is
+        tolerated: its respawn registers from the updated spec list.
+        """
+        from repro.errors import GeometryError, QueryError
+        from repro.scene import SceneDelta
+
+        async with self._update_lock:
+            state = self._scene_state.get(name)
+            if state is None:
+                self._m_update_errors.inc(scene=name)
+                return self._describe(name)  # carries the canonical error
+            loop = asyncio.get_running_loop()
+            trace_id = new_trace_id()
+            root = span("scene.update", trace_id, scene=name)
+            t0 = time.perf_counter()
+            try:
+                delta = SceneDelta.from_dict(delta_data)
+                if state["idx"] is not None:
+                    from repro.pipeline import update_index
+
+                    new_idx = await loop.run_in_executor(
+                        None, update_index, state["idx"], delta
+                    )
+                    new_scene = new_idx.scene
+                    repair = new_idx.provenance.get("repair")
+                else:
+                    # unshared deployment: the front-end holds no index;
+                    # validate the delta here, workers rebuild from the
+                    # new scene dict (their stage caches soften the cost)
+                    new_idx = None
+                    new_scene = await loop.run_in_executor(
+                        None, state["scene"].apply_delta, delta
+                    )
+                    repair = None
+                if self.use_shm:
+                    assert self.publisher is not None
+                    manifest = await loop.run_in_executor(
+                        None, self.publisher.republish, name, new_idx
+                    )
+                    spec = {"name": name, "kind": "shm", "manifest": manifest}
+                    generation = int(manifest["generation"])
+                else:
+                    spec = {
+                        "name": name,
+                        "kind": "build",
+                        "scene": new_scene.to_dict(),
+                        "engine": self.engine,
+                    }
+                    generation = self._generations.get(name, 0) + 1
+            except (GeometryError, QueryError, ClusterError) as exc:
+                self._m_update_errors.inc(scene=name)
+                finish(root, ok=False, error=str(exc)[:160])
+                self.span_buffer.extend([root])
+                return {"ok": False, "error": str(exc)}
+            # respawned workers must register the new generation, not the
+            # one they were born with
+            for i, s in enumerate(self._worker_specs):
+                if s.get("name") == name:
+                    self._worker_specs[i] = spec
+                    break
+            acked, skipped, failures = await self._broadcast_update(spec)
+            state["scene"] = new_scene
+            if new_idx is not None:
+                state["idx"] = new_idx
+            self._generations[name] = generation
+            if self.use_shm and not failures:
+                # every live worker acked the new manifest; the old
+                # segments can go (attached mappings stay valid past the
+                # unlink, so stragglers draining pinned readers are safe)
+                self.publisher.release_retired(name)
+            wall = time.perf_counter() - t0
+            self._m_updates.inc(scene=name)
+            if self.obs:
+                self._m_generation.set(float(generation), scene=name)
+            finish(root, ok=not failures, generation=generation, workers=acked)
+            self.span_buffer.extend([root])
+            self.log.event(
+                "scene_update", force=True, scene=name, generation=generation,
+                ops=delta.describe(), workers_acked=acked,
+                wall_ms=round(wall * 1e3, 3),
+            )
+            result = {
+                "scene": name,
+                "generation": generation,
+                "scene_hash": new_scene.content_hash(),
+                "ops": delta.describe(),
+                "workers_updated": acked,
+                "workers_restarting": skipped,
+                "wall_s": wall,
+            }
+            if repair is not None:
+                result["repair"] = repair
+            if failures:
+                self._m_update_errors.inc(scene=name)
+                detail = "; ".join(
+                    f"worker {wid}: {err}" for wid, err in sorted(failures.items())
+                )
+                return {
+                    "ok": False,
+                    "error": f"rollover to generation {generation} failed ({detail})",
+                    "result": result,
+                }
+            return {"ok": True, "result": result}
+
+    async def _broadcast_update(self, spec: dict) -> tuple:
+        """Push one rollover spec through every live worker's queue;
+        returns ``(acked, skipped, failures)`` where skipped counts
+        workers that died mid-rollover (their respawn re-registers from
+        the updated spec list) and failures maps live worker ids to
+        errors."""
+        loop = asyncio.get_running_loop()
+        waits = []
+        failures: dict[int, str] = {}
+        skipped = 0
+        for w in self.workers:
+            if w.dead:
+                skipped += 1
+                continue
+            fut: asyncio.Future = loop.create_future()
+            item = _Item({"op": "update", "spec": spec}, fut, None)
+            try:
+                w.queue.put_nowait(item)
+            except asyncio.QueueFull:
+                try:
+                    await asyncio.wait_for(w.queue.put(item), timeout=30.0)
+                except asyncio.TimeoutError:
+                    failures[w.id] = "queue full; rollover enqueue timed out"
+                    continue
+            waits.append((w, fut))
+        acked = 0
+        for w, fut in waits:
+            res = await fut
+            if res.get("ok"):
+                acked += 1
+            elif res.get("retryable"):
+                skipped += 1  # died mid-rollover; supervision heals it
+            else:
+                failures[w.id] = str(res.get("error"))[:200]
+        return acked, skipped, failures
+
     # -- lifecycle verbs -------------------------------------------------
     def _health(self) -> dict:
         alive = [w.id for w in self.workers if not w.dead]
@@ -1005,6 +1240,7 @@ class ClusterFrontend:
                 "deadline_expired": self.deadline_expired,
                 "qps": self.requests / max(time.monotonic() - self._t_start, 1e-9),
                 "batch_size_hist": self.batch_hist.as_dict(),
+                "generations": dict(self._generations),
                 "scenes": {
                     name: m.summary() for name, m in self.scene_metrics.items()
                 },

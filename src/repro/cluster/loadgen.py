@@ -182,6 +182,125 @@ def _mark_traced(requests: Sequence[dict], trace_sample: int) -> list[dict]:
     return out
 
 
+def _jsonify_expected(values) -> list:
+    """Oracle values in the worker's wire form (see worker._jsonify), so
+    a checked probe compares the exact JSON payloads."""
+    out = []
+    for v in values:
+        f = float(v)
+        out.append("inf" if (f != f or f in (float("inf"), float("-inf"))) else f)
+    return out
+
+
+class SceneMutator:
+    """Periodic ``update`` verbs riding along a load-generation run.
+
+    Alternates deleting and re-inserting one seeded-random rectangle of
+    one updatable scene, so the cluster rolls between exactly two known
+    generations while queries hammer it.  With ``check=True`` both
+    versions of the scene are built *locally* through the pipeline and,
+    after every acknowledged rollover, a probe batch of vertex-pair
+    ``lengths`` must match the oracle of the just-published generation
+    **exactly** — an acknowledged update followed by an old-generation
+    answer is a stale read, which is precisely what the rollover protocol
+    promises cannot happen.
+    """
+
+    def __init__(
+        self, scene: str, scene_dict: dict, *, check: bool = False, seed: int = 0
+    ) -> None:
+        from repro.scene import Scene, SceneDelta
+
+        self.scene = scene
+        base = Scene.from_dict(scene_dict)
+        rects = base.rects
+        if not rects:
+            raise ClusterError(
+                f"scene {scene!r} has no rectangle obstacles to mutate"
+            )
+        rng = random.Random(f"mutate|{scene}|{seed}")
+        victim = rects[rng.randrange(len(rects))]
+        self.deltas = [
+            SceneDelta.delete(victim).to_dict(),   # parity 0 -> 1
+            SceneDelta.insert(victim).to_dict(),   # parity 1 -> 0
+        ]
+        self.parity = 0  # which scene version is live (0 = base)
+        self.probe_pairs: list = []
+        self.expected: list = []
+        if check:
+            from repro.pipeline import StageCache, build_index
+
+            edited = base.apply_delta(SceneDelta.delete(victim))
+            # vertices present in *both* generations: corners of the
+            # surviving rects (the victim's corners leave the index with it)
+            corners = [
+                [int(c[0]), int(c[1])]
+                for r in rects
+                if r != victim
+                for c in ((r.xlo, r.ylo), (r.xhi, r.yhi))
+            ]
+            k = min(8, len(corners) - 1)
+            self.probe_pairs = [[corners[i], corners[-1 - i]] for i in range(k)]
+            cache = StageCache(max_entries=256, max_bytes=256 << 20)
+            oracles = (
+                build_index(base, cache=cache),
+                build_index(edited, cache=cache),
+            )
+            self.expected = [
+                _jsonify_expected(
+                    o.lengths([(tuple(p), tuple(q)) for p, q in self.probe_pairs])
+                )
+                for o in oracles
+            ]
+
+    async def step(self, reader, writer, mid: int, report: "Report") -> None:
+        """One rollover (plus, when checking, its post-ack probe)."""
+        resp = await asyncio.wait_for(
+            _rpc(
+                reader,
+                writer,
+                {
+                    "id": f"mut{mid}",
+                    "op": "update",
+                    "scene": self.scene,
+                    "delta": self.deltas[self.parity],
+                },
+            ),
+            60.0,
+        )
+        if not resp.get("ok"):
+            report.mutation_errors += 1
+            if report.first_mutation_error is None:
+                report.first_mutation_error = str(resp.get("error"))
+            return
+        report.mutations += 1
+        self.parity ^= 1
+        report.last_generation = int(resp["result"]["generation"])
+        if not self.probe_pairs:
+            return
+        probe = await asyncio.wait_for(
+            _rpc(
+                reader,
+                writer,
+                {
+                    "id": f"probe{mid}",
+                    "op": "lengths",
+                    "scene": self.scene,
+                    "pairs": self.probe_pairs,
+                },
+            ),
+            60.0,
+        )
+        want = self.expected[self.parity]
+        if not probe.get("ok") or probe.get("result") != want:
+            report.stale_answers += 1
+            if report.first_stale is None:
+                report.first_stale = (
+                    f"after rollover to generation {report.last_generation}: "
+                    f"got {probe.get('result')!r:.200}, want {want!r:.200}"
+                )
+
+
 class _RetryBudget:
     """A run-wide token pool shared by every connection: each retry
     spends one token, so a down cluster costs at most ``tokens`` extra
@@ -213,6 +332,13 @@ class Report:
         self.latency = LatencyRecorder(capacity=1 << 16)
         self.elapsed_s = 0.0
         self.first_error: Optional[str] = None
+        # scene-mutation bookkeeping (--mutate-every)
+        self.mutations = 0
+        self.mutation_errors = 0
+        self.stale_answers = 0
+        self.last_generation = 0
+        self.first_mutation_error: Optional[str] = None
+        self.first_stale: Optional[str] = None
         # traced-request sample: per-hop breakdowns plus the aggregated
         # queue-wait vs service-time split (where does latency come from?)
         self.traces: list[dict] = []
@@ -294,6 +420,15 @@ class Report:
             out["service"] = self.service.summary()
         if self.first_error is not None:
             out["first_error"] = self.first_error
+        if self.mutations or self.mutation_errors or self.stale_answers:
+            out["mutations"] = self.mutations
+            out["mutation_errors"] = self.mutation_errors
+            out["stale_answers"] = self.stale_answers
+            out["last_generation"] = self.last_generation
+            if self.first_mutation_error is not None:
+                out["first_mutation_error"] = self.first_mutation_error
+            if self.first_stale is not None:
+                out["first_stale"] = self.first_stale
         return out
 
 
@@ -308,6 +443,8 @@ async def run_closed(
     deadline_ms: Optional[float] = None,
     timeout_s: float = 30.0,
     trace_sample: int = 0,
+    mutator: Optional[SceneMutator] = None,
+    mutate_every: int = 0,
 ) -> Report:
     """Closed loop: ``conns`` connections, one request in flight each.
 
@@ -317,7 +454,9 @@ async def run_closed(
     (default: half the request count).  ``trace_sample=N`` marks N
     requests with the protocol's ``trace`` flag; their end-to-end span
     breakdowns land in the report (``trace_sample`` / ``queue_wait`` /
-    ``service``)."""
+    ``service``).  With a ``mutator`` and ``mutate_every=N``, one extra
+    connection issues an ``update`` rollover every N completed requests
+    (and its oracle probes, when checking) while the query load runs."""
     report = Report("closed")
     budget = _RetryBudget(
         retry_budget if retry_budget is not None else max(1, len(requests) // 2)
@@ -395,7 +534,47 @@ async def run_closed(
                 except (ConnectionError, OSError):  # pragma: no cover
                     pass
 
-    await asyncio.gather(*(one_conn(i, c) for i, c in enumerate(chunks)))
+    queries_done = asyncio.Event()
+
+    async def mutate_loop() -> None:
+        """The mutating client: one dedicated connection, one rollover
+        every ``mutate_every`` completed requests.  Post-ack probes run
+        on this same connection, so the stale-read check observes the
+        cluster strictly *after* the acknowledged rollover."""
+        reader = writer = None
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            next_at, mid = mutate_every, 0
+            while not queries_done.is_set():
+                if report.sent >= next_at:
+                    next_at += mutate_every
+                    mid += 1
+                    try:
+                        await mutator.step(reader, writer, mid, report)
+                    except (ClusterError, ConnectionError, OSError,
+                            asyncio.TimeoutError) as exc:
+                        report.mutation_errors += 1
+                        if report.first_mutation_error is None:
+                            report.first_mutation_error = str(exc)
+                        return
+                else:
+                    await asyncio.sleep(0.002)
+        finally:
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):  # pragma: no cover
+                    pass
+
+    tasks = [one_conn(i, c) for i, c in enumerate(chunks)]
+    mut_task = None
+    if mutator is not None and mutate_every > 0:
+        mut_task = asyncio.create_task(mutate_loop())
+    await asyncio.gather(*tasks)
+    queries_done.set()
+    if mut_task is not None:
+        await mut_task
     report.elapsed_s = time.perf_counter() - t0
     return report
 
@@ -469,6 +648,35 @@ async def run_open(
     return report
 
 
+async def _discover_mutator(
+    host: str, port: int, *, check: bool, seed: int
+) -> SceneMutator:
+    """Pick the first updatable scene (``scenes`` verb) and fetch its
+    geometry (``describe`` verb) to drive seeded rollovers against."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        resp = await _rpc(reader, writer, {"id": 0, "op": "scenes"})
+        if not resp.get("ok"):
+            raise ClusterError(f"scenes verb failed: {resp.get('error')}")
+        updatable = resp["result"].get("updatable") or []
+        if not updatable:
+            raise ClusterError(
+                "no updatable scene (the front-end needs obstacle-list "
+                "sources to serve the update verb)"
+            )
+        scene = sorted(updatable)[0]
+        desc = await _rpc(reader, writer, {"id": 1, "op": "describe", "scene": scene})
+        if not desc.get("ok"):
+            raise ClusterError(f"describe {scene!r} failed: {desc.get('error')}")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    return SceneMutator(scene, desc["result"]["scene"], check=check, seed=seed)
+
+
 async def run(
     host: str,
     port: int,
@@ -485,12 +693,27 @@ async def run(
     deadline_ms: Optional[float] = None,
     timeout_s: float = 30.0,
     trace_sample: int = 0,
+    mutate_every: int = 0,
+    check_updates: bool = False,
 ) -> Report:
-    """Discover, generate, and drive one full load-generation run."""
+    """Discover, generate, and drive one full load-generation run.
+
+    ``mutate_every=N`` (closed loop only) adds a mutating client that
+    rolls one updatable scene to a new generation every N completed
+    requests; ``check_updates=True`` additionally builds local oracles
+    of both scene versions and fails the probe after any acknowledged
+    rollover whose answers are not byte-identical to the oracle."""
     pools = await discover(host, port, seed=seed)
     requests = build_requests(
         pools, n_requests, seed=seed, mix=mix, pairs_per_request=pairs_per_request
     )
+    mutator = None
+    if mutate_every > 0:
+        if mode != "closed":
+            raise ClusterError("--mutate-every requires the closed loop")
+        mutator = await _discover_mutator(
+            host, port, check=check_updates, seed=seed
+        )
     if mode == "closed":
         return await run_closed(
             host,
@@ -502,9 +725,11 @@ async def run(
             deadline_ms=deadline_ms,
             timeout_s=timeout_s,
             trace_sample=trace_sample,
+            mutator=mutator,
+            mutate_every=mutate_every,
         )
     if mode == "open":
-        return await run_open(
+        return await run_open(  # mutator is closed-loop only (checked above)
             host,
             port,
             requests,

@@ -23,6 +23,26 @@ Request objects::
     {"id": 7, "op": "trace",           # recent spans from the front-end's
      "limit": 512,                     # bounded SpanBuffer; optionally one
      "trace_id": "..."}                # trace only
+    {"id": 8, "op": "describe",        # a scene's full geometry (the v2
+     "scene": "a"}                     # JSON dict), generation, and hash
+    {"id": 9, "op": "update",          # apply an obstacle delta: zero-
+     "scene": "a",                     # downtime rollover to the next
+     "delta": {"ops": [               # scene generation
+         {"op": "delete", "rect": [xlo, ylo, xhi, yhi]},
+         {"op": "insert", "polygon": [[x, y], ...]}]}}
+
+The ``update`` verb is the cluster's only mutation path.  The delta is
+the JSON form of :class:`repro.scene.SceneDelta`; the front-end repairs
+its index incrementally (byte-identical to a cold rebuild of the edited
+scene), republishes the scene's shared-memory segment under generation
+N+1, and broadcasts the new manifest to every worker.  In-flight batches
+finish on the *pinned* old generation; requests admitted after the
+``update`` response returns ``ok`` are answered from the new one — the
+response is the linearization point.  The result carries the new
+``generation``, the new ``scene_hash``, and a ``repair`` provenance dict
+(entries reused vs recomputed).  ``describe`` returns the geometry that
+deltas apply to — only scenes registered with geometry (obstacle lists,
+or pipeline-built indexes) are describable/updatable.
 
 Every scene op may carry ``"deadline_ms": <number>`` — a *relative*
 latency budget.  A request still queued when its budget runs out is

@@ -140,6 +140,7 @@ class _WorkerState:
         self.scene_counts: dict[str, int] = {}
         self.requests = 0
         self.errors = 0
+        self.updates = 0  # scene-generation rollovers applied
         self.started = time.monotonic()
         # the process registry: what the `metrics` verb snapshots.  In a
         # spawned worker this is the (reset) process default, so pipeline
@@ -159,6 +160,10 @@ class _WorkerState:
             "repro.worker.batch_size", "batch sizes as seen by the worker",
             buckets=DEFAULT_SIZE_BUCKETS,
         )
+        self._m_updates = self.registry.counter(
+            "repro.worker.updates", "scene-generation rollovers applied",
+            labels=["scene"],
+        )
         self.registry.add_collector(self._collect)
 
     def _collect(self) -> None:
@@ -167,7 +172,8 @@ class _WorkerState:
         st = self.store.stats()
         for key in ("scenes", "resident", "resident_bytes", "pinned",
                     "hits", "misses", "evictions", "loads", "builds",
-                    "quarantined"):
+                    "quarantined", "swaps", "retired_generations",
+                    "retired_pins"):
             g(f"repro.store.{key}", f"SceneStore {key}").set(float(st[key]))
         sv = self.server.stats()
         for key in ("requests", "batches", "coalesced_groups", "largest_group"):
@@ -310,6 +316,8 @@ class _WorkerState:
                         "uptime_s": time.monotonic() - self.started,
                     },
                 }
+            if op == "update":
+                return {"ok": True, "result": self._apply_update(r["spec"])}
             if op == "sleep":
                 # diagnostic: occupy this worker for a bounded interval
                 # (load-shedding tests and drain drills)
@@ -320,6 +328,65 @@ class _WorkerState:
             return {"ok": False, "error": str(exc)}
         except (KeyError, ValueError, TypeError) as exc:
             return {"ok": False, "error": f"malformed request: {exc!r}"}
+
+    def _apply_update(self, spec: dict) -> dict:
+        """Roll scene ``spec["name"]`` to its next generation.
+
+        The rollover protocol's worker half: the front-end republished
+        the scene (a new shm segment, or a new scene dict to build from)
+        and broadcasts the new spec to every worker.  A worker holding
+        the scene *resident* attaches/builds the new generation eagerly
+        and :meth:`SceneStore.swap`\\ s it in — in-flight readers finish
+        on the pinned old index, every later request sees the new one.
+        A worker that does not have the scene resident only replaces the
+        source (:meth:`SceneStore.replace_source`) and attaches lazily
+        if routing ever sends it a request — acknowledging a rollover
+        for a scene you don't serve costs O(1).
+        """
+        name, kind = spec["name"], spec["kind"]
+        if kind == "shm":
+            manifest = spec["manifest"]
+
+            def builder():
+                from repro.serve.shm import attach
+
+                return attach(manifest)
+
+        elif kind in ("build", "snapshot") and spec.get("scene") is not None:
+            from repro.scene import Scene
+
+            scene = Scene.from_dict(spec["scene"])
+
+            def builder():
+                from repro.pipeline import build_index
+
+                return build_index(
+                    scene,
+                    engine=spec.get("engine", "parallel"),
+                    cache=self.store.stage_cache,
+                )
+
+        else:
+            raise ReproError(f"cannot roll scene {name!r} from spec kind {kind!r}")
+        resident = name in self.store.resident()
+        if resident:
+            old_idx = self.store.get(name)
+            gen = self.store.swap(name, builder(), source=builder)
+            # the superseded attachment: close the mapping once no
+            # retired pins reference it (best effort; with live views
+            # close() is a no-op and process exit reclaims the mapping)
+            handle = getattr(old_idx, "shm_handle", None)
+            if handle is not None and not self.store.leaked_pins():
+                del old_idx
+                handle.close()
+        else:
+            gen = self.store.replace_source(name, builder)
+        self.updates += 1
+        try:
+            self._m_updates.inc(scene=str(name))
+        except ObsError:  # scene count past the cardinality bound
+            self._m_updates.inc(scene="other")
+        return {"scene": name, "generation": gen, "resident": resident}
 
     def _endpoints(self, r: dict) -> dict:
         from repro.workloads.requests import scene_endpoints
@@ -341,6 +408,7 @@ class _WorkerState:
             "uptime_s": time.monotonic() - self.started,
             "requests": self.requests,
             "errors": self.errors,
+            "updates": self.updates,
             "service": self.service.summary(),
             "batch_size_hist": self.batch_hist.as_dict(),
             "scenes": dict(self.scene_counts),

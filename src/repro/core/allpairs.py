@@ -32,12 +32,13 @@ EXPERIMENTS.md E3.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.baseline import GridOracle, corner_graph_matrix
+from repro.core.baseline import GridOracle, clear_l1_block, corner_graph_matrix
 from repro.core.separator import staircase_separator
 from repro.errors import GeometryError, QueryError
 from repro.geometry.decompose import (
@@ -71,7 +72,7 @@ def exact_length(v) -> float:
 
 @dataclass
 class BuildStats:
-    """Instrumentation for the experiments (E3)."""
+    """Instrumentation for the experiments (E3) and incremental repair."""
 
     nodes: int = 0
     leaves: int = 0
@@ -82,6 +83,42 @@ class BuildStats:
     monge_fast_blocks: int = 0
     conquer_pairs: int = 0
     per_level_points: dict = field(default_factory=dict)
+    # subtree-cache traffic (incremental builds only; zero otherwise)
+    subtree_hits: int = 0
+    subtree_patches: int = 0
+    subtree_misses: int = 0
+    delta_conquers: int = 0
+    patched_points: int = 0
+
+
+@dataclass
+class SubtreeEntry:
+    """One cached subtree solve: exact distances of a *sub-scene*.
+
+    The key insight behind incremental repair: a recursion node's matrix
+    holds exact rectilinear distances among its tracked points avoiding
+    only *its own* obstacle set, so the entry is addressed by the subtree's
+    rect multiset alone — the interface handed down by ancestors decides
+    which rows exist, never their values.  A later build whose interface
+    differs (the usual case after an edit elsewhere) can therefore reuse
+    the entry as a submatrix, and missing interface points are appended by
+    the exact first-corner-contact patch (:meth:`ParallelEngine._patch_entry`).
+    ``chain_sig``/``zs`` record the node's separator so a delete repair can
+    prove the divide is unchanged and take the monotone delta conquer.
+    """
+
+    pts: list
+    index: dict
+    matrix: np.ndarray
+    chain_sig: Optional[tuple]  # (pts, increasing, left_dir, right_dir)
+    zs: Optional[tuple]
+    pram_cost: tuple  # (time, work, width) of the original full solve
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def nbytes(self) -> int:
+        return int(self.matrix.nbytes) + 48 * len(self.pts) + 256
 
 
 class DistanceIndex:
@@ -203,6 +240,10 @@ class ParallelEngine:
         extra_chains: Sequence[Sequence[Point]] = (),
         monge_dispatch: bool = True,
         seams: Sequence = (),
+        divide: str = "median",
+        subtree_cache=None,
+        subtree_salt: tuple = (),
+        delta_hint: Optional[tuple] = None,
     ) -> None:
         self.rects = list(rects)
         if validate:
@@ -235,6 +276,18 @@ class ParallelEngine:
             cid = self._fresh_chain_id()
             for k, p in enumerate(chain):
                 self._chain_tags[p] = (cid, k)
+        # incremental-build hooks (see repro.pipeline.update_index):
+        # ``divide`` picks the separator pivot rule ("median" keeps the
+        # paper's exact behaviour; "stable" snaps it so edits stay local),
+        # ``subtree_cache`` is a StageCache-compatible object receiving one
+        # entry per recursion node, ``delta_hint`` = ("delete", Rect) when
+        # this build repairs a known single-obstacle delete.
+        if divide not in ("median", "stable"):
+            raise QueryError(f"unknown divide rule {divide!r}")
+        self.divide = divide
+        self._sub_cache = subtree_cache
+        self._sub_salt = tuple(subtree_salt)
+        self._delta_hint = delta_hint
 
     def _fresh_chain_id(self) -> int:
         self._next_chain_id += 1
@@ -277,24 +330,52 @@ class ParallelEngine:
         self.stats.max_tracked = max(self.stats.max_tracked, len(pts))
         lvl = self.stats.per_level_points
         lvl[depth] = lvl.get(depth, 0) + len(pts)
+        if self._sub_cache is None:
+            out, _ = self._solve_node(rect_idx, pts, pram, depth)
+            return out
+        key = self._subtree_key(rect_idx)
+        entry = self._sub_cache.get(key)
+        if entry is not None:
+            reused = self._reuse_entry(key, entry, rect_idx, pts, pram)
+            if reused is not None:
+                return reused
+        self.stats.subtree_misses += 1
+        snap = pram.snapshot()
+        out, aux = self._solve_node(rect_idx, pts, pram, depth)
+        dt, dw = pram.since(snap)
+        self._store_entry(key, out, aux, (dt, dw, pram.max_ops))
+        return out
+
+    def _solve_node(
+        self,
+        rect_idx: list[int],
+        pts: list[Point],
+        pram: PRAM,
+        depth: int,
+    ) -> tuple[tuple[list[Point], np.ndarray], Optional[tuple]]:
+        """One recursion node (leaf or divide+conquer), cache-oblivious.
+
+        Returns ``((pts, matrix), aux)`` with ``aux`` the separator
+        signature ``(chain_sig, zs)`` for internal nodes (``None`` when the
+        node was brute-forced as a leaf)."""
         if len(rect_idx) <= self.leaf_size:
-            return self._leaf(rect_idx, pts, pram)
+            return self._leaf(rect_idx, pts, pram), None
         sub_rects = [self.rects[i] for i in rect_idx]
-        sep = staircase_separator(sub_rects, pram)
+        sep = staircase_separator(sub_rects, pram, pivot=self.divide)
         if not sep.upper or not sep.lower:
             self.stats.separator_fallbacks += 1
-            return self._leaf(rect_idx, pts, pram)
+            return self._leaf(rect_idx, pts, pram), None
         chain = sep.staircase
         if self.seams and not staircase_clear_of_seams(chain, self.seams):
             # a separator running along a seam would place crossing
             # candidates inside a polygon and slide paths through it;
             # the exact leaf solve is always sound
             self.stats.separator_fallbacks += 1
-            return self._leaf(rect_idx, pts, pram)
+            return self._leaf(rect_idx, pts, pram), None
         zs = self._crossing_candidates(chain, sub_rects, pts, pram)
         if not zs:
             self.stats.separator_fallbacks += 1
-            return self._leaf(rect_idx, pts, pram)
+            return self._leaf(rect_idx, pts, pram), None
         upper_idx = [rect_idx[i] for i in sep.upper]
         lower_idx = [rect_idx[i] for i in sep.lower]
         pram.step(len(pts))
@@ -309,9 +390,262 @@ class ParallelEngine:
                 lambda m, li=lower_idx, si=lo_iface: self._solve(li, si, m, depth + 1),
             ]
         )
-        return self._conquer(
+        chain_sig = (chain.pts, chain.increasing, chain.left_dir, chain.right_dir)
+        delta = self._try_delta_conquer(
+            pts, side_of, chain, chain_sig, zs, sub_rects, rect_idx,
+            upper_idx, lower_idx, (ptsU, matU), (ptsL, matL), pram,
+        )
+        if delta is not None:
+            return delta, (chain_sig, tuple(zs))
+        out = self._conquer(
             pts, side_of, chain, zs, sub_rects, (ptsU, matU), (ptsL, matL), pram
         )
+        return out, (chain_sig, tuple(zs))
+
+    # -- subtree cache (incremental builds) ----------------------------
+    def _subtree_key(self, rect_idx: list[int]) -> tuple:
+        coords = sorted(
+            (self.rects[i].xlo, self.rects[i].ylo, self.rects[i].xhi, self.rects[i].yhi)
+            for i in rect_idx
+        )
+        return ("solve", "sub", self._sub_salt, tuple(coords))
+
+    def _old_subtree_key(self, rect_idx: list[int]) -> Optional[tuple]:
+        """The key this subtree had *before* the hinted delete (its rect
+        multiset plus the removed rect) — where the pre-edit entry lives."""
+        if self._delta_hint is None or self._delta_hint[0] != "delete":
+            return None
+        r = self._delta_hint[1]
+        coords = sorted(
+            [
+                (self.rects[i].xlo, self.rects[i].ylo, self.rects[i].xhi, self.rects[i].yhi)
+                for i in rect_idx
+            ]
+            + [(r.xlo, r.ylo, r.xhi, r.yhi)]
+        )
+        return ("solve", "sub", self._sub_salt, tuple(coords))
+
+    def _reuse_entry(
+        self,
+        key: tuple,
+        entry: SubtreeEntry,
+        rect_idx: list[int],
+        pts: list[Point],
+        pram: PRAM,
+    ) -> Optional[tuple[list[Point], np.ndarray]]:
+        """Serve this node from a cached sub-scene entry, patching in up to
+        a few missing interface points; ``None`` when the entry cannot
+        cover the request (the node is then recomputed)."""
+        missing = [p for p in pts if p not in entry.index]
+        if missing:
+            if self.seams or len(missing) > max(16, len(pts) // 4):
+                return None
+            # exactness of the patch (and of cross-interface reuse in
+            # general) rests on integer arithmetic; a fractional point
+            # forces the ordinary recompute path
+            if not all(
+                isinstance(c, int) or float(c).is_integer()
+                for p in missing
+                for c in p
+            ):
+                return None
+            with entry.lock:
+                still_missing = [p for p in pts if p not in entry.index]
+                if still_missing:
+                    self._patch_entry(key, entry, rect_idx, still_missing, pram)
+            self.stats.subtree_patches += 1
+            self.stats.patched_points += len(missing)
+        else:
+            self.stats.subtree_hits += 1
+        sel = [entry.index[p] for p in pts]
+        mat = entry.matrix[np.ix_(sel, sel)]
+        t, w, width = entry.pram_cost
+        pram.charge(time=t, work=w, width=width)
+        return pts, mat
+
+    def _patch_entry(
+        self,
+        key: tuple,
+        entry: SubtreeEntry,
+        rect_idx: list[int],
+        missing: list[Point],
+        pram: PRAM,
+    ) -> None:
+        """Append exact rows/columns for ``missing`` to a sub-scene entry.
+
+        First-corner-contact decomposition: a taut path from a new point
+        either runs clear along an extreme L-path to its target, or first
+        touches some obstacle corner ``c`` — and every corner of the
+        sub-scene is already a tracked row of the entry (``_tracked_points``
+        always includes all subtree vertices), so
+        ``d(x, q) = min(clear_l1(x, q), min_c clear_l1(x, c) + M[c, q])``
+        with integer arithmetic throughout: bit-identical to what the full
+        recursion would have produced.
+        """
+        sub = [self.rects[i] for i in rect_idx]
+        corners = list(dict.fromkeys(v for r in sub for v in r.vertices))
+        cid = [entry.index[c] for c in corners]
+        old_pts = entry.pts
+        m, k = len(old_pts), len(missing)
+        w_xc = clear_l1_block(missing, corners, sub)  # k x C
+        scratch = PRAM(f"{pram.name}/patch")
+        # rows vs every stored point (keeps the entry square + canonical)
+        via = minplus_naive(w_xc, entry.matrix[cid, :], scratch)  # k x m
+        rows = np.minimum(clear_l1_block(missing, old_pts, sub), via)
+        # the new-new block, through the just-computed corner columns
+        via_xx = minplus_naive(w_xc, rows[:, cid].T, scratch)
+        block = np.minimum(clear_l1_block(missing, missing, sub), via_xx)
+        np.minimum(block, block.T, out=block)
+        np.fill_diagonal(block, 0.0)
+        grown = np.full((m + k, m + k), INF)
+        grown[:m, :m] = entry.matrix
+        grown[m:, :m] = rows
+        grown[:m, m:] = rows.T
+        grown[m:, m:] = block
+        grown.setflags(write=False)
+        entry.matrix = grown
+        for p in missing:
+            entry.index[p] = len(entry.pts)
+            entry.pts.append(p)
+        pram.charge(time=scratch.time, work=scratch.work, width=scratch.max_ops)
+        if self._sub_cache is not None:
+            self._sub_cache.put(key, entry, entry.nbytes())
+
+    def _try_delta_conquer(
+        self,
+        pts: list[Point],
+        side_of: dict[Point, int],
+        chain: Staircase,
+        chain_sig: tuple,
+        zs: list[Point],
+        sub_rects: list[Rect],
+        rect_idx: list[int],
+        upper_idx: list[int],
+        lower_idx: list[int],
+        upper: tuple[list[Point], np.ndarray],
+        lower: tuple[list[Point], np.ndarray],
+        pram: PRAM,
+    ) -> Optional[tuple[list[Point], np.ndarray]]:
+        """The monotone delete conquer: repair a node after one obstacle
+        was removed, skipping the full (min,+) cross product.
+
+        Deleting an obstacle only *frees* space, so every pre-edit distance
+        is still achievable — the old node matrix is a valid (and usually
+        tight) upper bound.  A strictly better path must run through the
+        freed region, which lies entirely on the dirty side of the (by
+        construction unchanged) separator, so at a core crossing candidate
+        it must beat the dirty child's *old* separator distances: only
+        columns where those improved can lower any cross pair.  The cross
+        block is therefore ``min(old block, DU[:, changed] ⊗ DL[changed, :])``
+        plus freshly recomputed per-pair projection specials (visibility can
+        open up too).  Preconditions checked here — same separator, old zs
+        superset, both old entries present, integral points, no seams —
+        fall back to the ordinary full conquer when unmet.
+        """
+        if self._sub_cache is None or self._delta_hint is None or self.seams:
+            return None
+        if self._delta_hint[0] != "delete":
+            return None
+        r = self._delta_hint[1]
+        side = chain.side_of_rect(r)
+        if side == 0:
+            return None
+        if not all(
+            isinstance(c, int) or float(c).is_integer() for p in pts for c in p
+        ):
+            return None
+        old_entry = self._sub_cache.get(self._old_subtree_key(rect_idx))
+        if (
+            old_entry is None
+            or old_entry.chain_sig != chain_sig
+            or old_entry.zs is None
+            or not set(zs) <= set(old_entry.zs)
+            or any(p not in old_entry.index for p in pts)
+        ):
+            return None
+        dirty_idx = upper_idx if side > 0 else lower_idx
+        old_child = self._sub_cache.get(self._old_subtree_key(dirty_idx))
+        if old_child is None:
+            return None
+        ptsU, matU = upper
+        ptsL, matL = lower
+        rows_u = [p for p in pts if side_of[p] >= 0]
+        rows_l = [p for p in pts if side_of[p] <= 0]
+        dirty_rows = rows_u if side > 0 else rows_l
+        if any(p not in old_child.index for p in dirty_rows) or any(
+            z not in old_child.index for z in zs
+        ):
+            return None
+        iu = {p: i for i, p in enumerate(ptsU)}
+        il = {p: i for i, p in enumerate(ptsL)}
+        m = len(pts)
+        pidx = {p: i for i, p in enumerate(pts)}
+        out = np.full((m, m), INF)
+        uid = [iu[p] for p in rows_u]
+        lid = [il[p] for p in rows_l]
+        sel_u = [pidx[p] for p in rows_u]
+        sel_l = [pidx[p] for p in rows_l]
+        out[np.ix_(sel_u, sel_u)] = matU[np.ix_(uid, uid)]
+        out[np.ix_(sel_l, sel_l)] = np.minimum(
+            out[np.ix_(sel_l, sel_l)], matL[np.ix_(lid, lid)]
+        )
+        t = np.array([_arc_pos(z, chain.increasing) for z in zs], dtype=float)
+        zu = [iu[z] for z in zs]
+        zl = [il[z] for z in zs]
+        DU = matU[np.ix_(uid, zu)]
+        DL = matL[np.ix_(zl, lid)]
+        cross = old_entry.matrix[
+            np.ix_(
+                [old_entry.index[p] for p in rows_u],
+                [old_entry.index[p] for p in rows_l],
+            )
+        ].copy()
+        if side > 0:
+            old_D = old_child.matrix[
+                np.ix_([old_child.index[p] for p in rows_u],
+                       [old_child.index[z] for z in zs])
+            ]
+            changed = np.flatnonzero((DU < old_D).any(axis=0))
+        else:
+            old_D = old_child.matrix[
+                np.ix_([old_child.index[z] for z in zs],
+                       [old_child.index[p] for p in rows_l])
+            ]
+            changed = np.flatnonzero((DL < old_D).any(axis=1))
+        if changed.size:
+            imp = minplus_naive(DU[:, changed], DL[changed, :], pram)
+            np.minimum(cross, imp, out=cross)
+        cross = self._apply_projection_specials(
+            cross, rows_u, rows_l, chain, zs, t, DU, DL, sub_rects, pram
+        )
+        cur = out[np.ix_(sel_u, sel_l)]
+        out[np.ix_(sel_u, sel_l)] = np.minimum(cur, cross)
+        out[np.ix_(sel_l, sel_u)] = out[np.ix_(sel_u, sel_l)].T
+        np.fill_diagonal(out, 0.0)
+        pram.charge(time=2, work=cross.size + old_D.size, width=cross.size)
+        self.stats.delta_conquers += 1
+        self.stats.conquer_pairs += len(rows_u) * len(rows_l)
+        return pts, out
+
+    def _store_entry(
+        self,
+        key: tuple,
+        out: tuple[list[Point], np.ndarray],
+        aux: Optional[tuple],
+        pram_cost: tuple,
+    ) -> None:
+        pts, mat = out
+        mat.setflags(write=False)
+        chain_sig, zs = aux if aux is not None else (None, None)
+        entry = SubtreeEntry(
+            pts=list(pts),
+            index={p: i for i, p in enumerate(pts)},
+            matrix=mat,
+            chain_sig=chain_sig,
+            zs=zs,
+            pram_cost=tuple(pram_cost),
+        )
+        self._sub_cache.put(key, entry, entry.nbytes())
 
     # ------------------------------------------------------------------
     def _leaf(

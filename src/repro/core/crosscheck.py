@@ -34,7 +34,7 @@ from repro.core.baseline import GridOracle, path_is_clear, path_length
 from repro.errors import ReproError
 from repro.geometry.polygon import RectilinearPolygon
 
-__all__ = ["check_scene", "shrink_scene", "validate_path"]
+__all__ = ["check_scene", "check_update", "shrink_scene", "validate_path"]
 
 
 def validate_path(
@@ -193,6 +193,143 @@ def check_scene(
                     f"arbitrary query d({p}, {q}) = {got}, oracle says {want}"
                 )
     return problems
+
+
+def _diff_repair(repaired, cold, n_paths: int, rng: random.Random, label: str) -> list[str]:
+    """Problems where a repaired index is not byte-identical to a cold
+    rebuild of the same scene (empty = identical points, matrix, paths)."""
+    pa = repaired.index.points
+    pb = cold.index.points
+    if list(pa) != list(pb):
+        return [f"{label}: repaired/cold root point order differs"]
+    ma = np.asarray(repaired.index.matrix)
+    mb = np.asarray(cold.index.matrix)
+    if ma.tobytes() != mb.tobytes():
+        mismatch = ~((np.isinf(ma) & np.isinf(mb)) | (ma == mb))
+        if mismatch.any():
+            i, j = map(int, np.argwhere(mismatch)[0])
+            return [
+                f"{label}: d({pa[i]}, {pa[j]}) repaired {ma[i, j]} != cold "
+                f"{mb[i, j]} ({int(mismatch.sum())} mismatching pairs)"
+            ]
+        return [f"{label}: matrices equal but not byte-identical (dtype/layout)"]
+    problems: list[str] = []
+
+    def queryable(p) -> bool:
+        try:
+            repaired._check_inside(p)
+        except ReproError:
+            return False
+        return True
+
+    qpts = [i for i in range(len(pa)) if queryable(pa[i])]
+    pairs = [
+        (pa[i], pa[j])
+        for i in qpts
+        for j in qpts
+        if i < j and np.isfinite(ma[i, j])
+    ]
+    rng.shuffle(pairs)
+    for p, q in pairs[:n_paths]:
+        try:
+            path_r = repaired.shortest_path(p, q)
+            path_c = cold.shortest_path(p, q)
+        except ReproError as exc:
+            problems.append(f"{label}: path {p} -> {q} failed: {exc}")
+            continue
+        if path_r != path_c:
+            problems.append(
+                f"{label}: path {p} -> {q} differs: repaired {path_r} "
+                f"vs cold {path_c}"
+            )
+        problems += [
+            f"{label}: {msg}"
+            for msg in validate_path(repaired, path_r, p, q, repaired.length(p, q))
+        ]
+    return problems
+
+
+def check_update(
+    obstacles: Sequence[Obstacle],
+    container: Optional[RectilinearPolygon] = None,
+    n_edits: int = 3,
+    n_paths: int = 4,
+    seed: int = 0,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+) -> list[str]:
+    """Differentially check incremental repair on one scene.
+
+    Seeds an incremental index, then random-walks ``n_edits`` obstacle
+    deletes/re-inserts through :func:`repro.pipeline.update_index`.  After
+    every edit the repaired index must be **byte-identical** to a cold
+    rebuild of the same mutated scene — same root point order, same exact
+    integer matrix bytes, same reported polylines — and every engine in
+    ``engines`` must agree with it on the vertex matrix.  Returns problems
+    (empty = agreement); the walk stops at the first failing edit.
+    """
+    from repro.pipeline import StageCache, build_index, update_index
+    from repro.scene import Scene, SceneDelta
+
+    rng = random.Random(f"upcheck|{seed}")
+    try:
+        scene = Scene.from_obstacles(obstacles, container=container)
+    except ReproError as exc:
+        return [f"scene construction failed: {exc}"]
+    # roomy private cache: the default cache cannot hold every subtree
+    # entry of even a mid-sized scene, and eviction would just turn reuse
+    # checks into rebuild checks
+    cache = StageCache(max_entries=8192, max_bytes=512 << 20)
+    try:
+        idx = build_index(scene, engine="parallel", cache=cache, incremental=True)
+    except ReproError as exc:
+        return [f"seed build failed: {exc}"]
+    removed: list[Obstacle] = []
+    for step in range(n_edits):
+        cur = list(idx.scene.rects) + list(idx.scene.polygons)
+        if removed and (len(cur) <= 1 or rng.random() < 0.5):
+            ob = removed.pop(rng.randrange(len(removed)))
+            delta = SceneDelta.insert(ob)
+            label = f"edit {step} (insert back)"
+        elif len(cur) > 1:
+            ob = cur[rng.randrange(len(cur))]
+            removed.append(ob)
+            delta = SceneDelta.delete(ob)
+            label = f"edit {step} (delete)"
+        else:
+            break
+        try:
+            idx = update_index(idx, delta, cache=cache)
+        except ReproError as exc:
+            return [f"{label}: update_index failed: {exc}"]
+        try:
+            cold = build_index(
+                idx.scene, engine="parallel",
+                cache=StageCache(max_entries=64, max_bytes=256 << 20),
+            )
+        except ReproError as exc:
+            return [f"{label}: cold rebuild failed: {exc}"]
+        problems = _diff_repair(idx, cold, n_paths, rng, label)
+        for name in engines:
+            if name == "parallel":
+                continue
+            try:
+                other = build_index(
+                    idx.scene, engine=name,
+                    cache=StageCache(max_entries=64, max_bytes=256 << 20),
+                )
+            except ReproError as exc:
+                problems.append(f"{label}: {name} build failed: {exc}")
+                continue
+            problems += [
+                f"{label}: {msg}"
+                for msg in _matrix_diff(
+                    "repaired", idx.index.matrix, idx.index.points,
+                    name, other.index.matrix, other.index.points,
+                )
+            ]
+        if problems:
+            return problems
+    return []
 
 
 def _free_points(idx: ShortestPathIndex, k: int, rng: random.Random) -> list:

@@ -71,6 +71,28 @@ def _median_coordinate(values: list[int]) -> int:
     return (values[k - 1] + values[k]) // 2
 
 
+def _stable_coordinate(values: list[int]) -> int:
+    """The median snapped down to a coarse power-of-two grid scaled to the
+    coordinate span.
+
+    This is the ``pivot="stable"`` rule: the exact multiset median moves
+    whenever a single obstacle is inserted or deleted, which re-partitions
+    every subtree and makes incremental repair worthless.  Snapping to a
+    grid of about span/8 keeps the split near the median (balance within
+    one grid cell) while making the pivot — and hence the divide tree —
+    insensitive to single-obstacle edits that stay inside the subtree's
+    bounding box.
+    """
+    m = _median_coordinate(values)
+    span = values[-1] - values[0]
+    if span <= 1:
+        return m
+    g = 1 << max(0, (span // 8).bit_length() - 1)  # largest 2^k <= span/8
+    if g <= 1:
+        return m
+    return (m // g) * g
+
+
 def _gap_point_on_vline(x: int, crossers: list[Rect]) -> int:
     """y on the line ``V`` between the two middle crossing obstacles."""
     tops = sorted(r.yhi for r in crossers)
@@ -89,18 +111,29 @@ def staircase_separator(
     rects: Sequence[Rect],
     pram: Optional[PRAM] = None,
     forests: Optional[TraceForests] = None,
+    pivot: str = "median",
 ) -> Separator:
-    """Compute a staircase separator for ``rects`` (Theorem 2)."""
+    """Compute a staircase separator for ``rects`` (Theorem 2).
+
+    ``pivot`` selects the split-coordinate rule: ``"median"`` (the paper's
+    exact multiset median, best balance) or ``"stable"`` (the median
+    snapped to a coarse span-scaled grid — slightly worse balance, but the
+    divide tree survives single-obstacle edits, which is what makes
+    :func:`repro.pipeline.update_index`'s subtree reuse possible).
+    """
     pram = pram or ambient()
     n = len(rects)
     if n < 2:
         raise GeometryError("separator needs at least two obstacles")
+    if pivot not in ("median", "stable"):
+        raise GeometryError(f"unknown separator pivot {pivot!r}")
     forests = forests or TraceForests(rects, pram)
+    coordinate = _median_coordinate if pivot == "median" else _stable_coordinate
 
     xs = parallel_sort([x for r in rects for x in (r.xlo, r.xlo, r.xhi, r.xhi)], pram=pram)
     ys = parallel_sort([y for r in rects for y in (r.ylo, r.ylo, r.yhi, r.yhi)], pram=pram)
-    vx = _median_coordinate(xs)
-    hy = _median_coordinate(ys)
+    vx = coordinate(xs)
+    hy = coordinate(ys)
 
     pram.step(2 * n)  # crossing counts
     v_cross = [r for r in rects if r.xlo < vx < r.xhi]

@@ -64,7 +64,7 @@ from repro.geometry.primitives import Point, Rect, validate_disjoint
 from repro.obs.registry import default_registry
 from repro.obs.tracing import SpanBuffer, finish, new_trace_id, span
 from repro.pram.machine import PRAM
-from repro.scene import Scene
+from repro.scene import Scene, SceneDelta
 
 __all__ = [
     "BUILD_SPANS",
@@ -79,6 +79,7 @@ __all__ = [
     "get_engine",
     "engine_names",
     "build_index",
+    "update_index",
     "default_cache",
 ]
 
@@ -401,6 +402,8 @@ def build_index(
     pram: Optional[PRAM] = None,
     leaf_size: int = DEFAULT_LEAF_SIZE,
     cache: Optional[StageCache] = None,
+    incremental: bool = False,
+    delta_hint: Optional[tuple] = None,
 ):
     """Run the full stage pipeline over ``scene`` and return a queryable
     :class:`~repro.core.api.ShortestPathIndex` with ``idx.provenance``
@@ -408,6 +411,19 @@ def build_index(
 
     This is what ``ShortestPathIndex.build`` now is underneath; call it
     directly to control the cache or to pass a prebuilt :class:`Scene`.
+
+    ``incremental=True`` makes the parallel engine's solve repairable: the
+    separator pivot switches to the edit-stable rule and every recursion
+    node deposits its sub-scene matrix into ``cache`` under a geometry
+    key, so a later build of a slightly different scene (see
+    :func:`update_index`) re-solves only the subtrees the edit actually
+    dirtied.  Answers are byte-identical either way — both pivot rules
+    compute the same exact integer distances over the same root point
+    set — so the solve artifact is shared with non-incremental builds.
+    ``delta_hint = ("delete", rect)`` additionally unlocks the monotone
+    delta conquer at dirty nodes.  Engines other than ``parallel``, CREW
+    audits, and scenes with non-integer extra points fall back to the
+    ordinary solve (still correct, no subtree reuse).
     """
     from repro.core.api import ShortestPathIndex
 
@@ -425,15 +441,28 @@ def build_index(
         stages, "graph", cache, ("graph", full_hash), lambda: _graph(scene, dec)
     )
 
+    inc_ok = (
+        incremental
+        and engine == "parallel"
+        and not pram.detect_conflicts
+        and cache.max_entries > 0
+        and all(_is_integral_point(p) for p in scene.extra_points)
+    )
     t0 = time.perf_counter()
     solve_key = ("solve", full_hash, engine, spec.gen, leaf_size)
     # a CREW-conflict audit exists to *run* the engine under write
     # tracing; answering it from the cache would pass the audit vacuously
     art = None if pram.detect_conflicts else cache.get(solve_key)
     cached = art is not None
+    sub_stats: Optional[dict] = None
     if not cached:
         child = PRAM(f"{pram.name}/solve[{engine}]", pram.detect_conflicts)
-        index = spec.solve(dec, graph, child, leaf_size)
+        if inc_ok:
+            index, sub_stats = _solve_parallel_incremental(
+                dec, graph, child, leaf_size, cache, delta_hint
+            )
+        else:
+            index = spec.solve(dec, graph, child, leaf_size)
         # the matrix may be aliased by every later build of this scene (a
         # cache hit shares the ndarray, it does not copy): freeze it so an
         # in-place edit through one index cannot corrupt the others
@@ -466,9 +495,169 @@ def build_index(
         "n_points": len(index),
         "n_rects": len(dec.all_rects),
         "stages": stages,
+        "incremental": bool(inc_ok),
     }
+    if sub_stats is not None:
+        idx.provenance["subtree"] = sub_stats
+    # the update path needs the source scene and the cache the subtree
+    # entries live in; both ride on the index (scene is immutable, the
+    # cache reference adds no lifetime beyond the process default)
+    idx.scene = scene
+    idx.build_cache = cache
     _record_build_profile(stages, engine)
     return idx
+
+
+def _is_integral_point(p) -> bool:
+    try:
+        return all(int(c) == c for c in p)
+    except (OverflowError, ValueError):  # inf/nan coordinates
+        return False
+
+
+def _solve_parallel_incremental(
+    dec: DecomposeArtifact,
+    graph: GraphArtifact,
+    pram: PRAM,
+    leaf_size: int,
+    cache: StageCache,
+    delta_hint: Optional[tuple],
+):
+    """The parallel solve with subtree caching on (see ``build_index``)."""
+    from repro.core.allpairs import ParallelEngine
+
+    # anything that changes a node's *values* for a fixed rect multiset
+    # must be part of the subtree salt, or two configurations would trade
+    # entries: leaf size (recursion shape), pivot rule, and the seam set
+    # (seams alter the metric but are invisible to the rect-coordinate key)
+    salt = (
+        "v1",
+        leaf_size,
+        tuple(sorted((s.x, s.ylo, s.yhi) for s in dec.seams)),
+    )
+    eng = ParallelEngine(
+        dec.all_rects,
+        list(graph.extras),
+        pram,
+        leaf_size=leaf_size,
+        validate=False,
+        seams=dec.seams,
+        divide="stable",
+        subtree_cache=cache,
+        subtree_salt=salt,
+        delta_hint=delta_hint,
+    )
+    index = eng.build()
+    s = eng.stats
+    return index, {
+        "hits": s.subtree_hits,
+        "patches": s.subtree_patches,
+        "misses": s.subtree_misses,
+        "delta_conquers": s.delta_conquers,
+        "patched_points": s.patched_points,
+    }
+
+
+def update_index(
+    idx,
+    delta: SceneDelta,
+    pram: Optional[PRAM] = None,
+    cache: Optional[StageCache] = None,
+):
+    """Apply a :class:`~repro.scene.SceneDelta` to an index's scene and
+    return a fresh index for the mutated scene, re-solving only what the
+    edit dirtied.
+
+    The diff unit is the content-addressed :class:`StageCache`: geometry
+    stages re-key themselves under the new scene hash, untouched separator
+    subtrees are served from their geometry-keyed entries (deposited by
+    ``build_index(..., incremental=True)``), and a single-rectangle delete
+    takes the monotone delta conquer at the dirtied nodes.  The repaired
+    index answers **byte-identically** to a cold rebuild of the mutated
+    scene — reuse is value-exact, never approximate — so callers choose
+    between ``update_index`` and a rebuild on cost alone.
+
+    ``idx.provenance["repair"]`` reports what happened: the ops applied,
+    old/new scene hashes, wall time, and the reused/recomputed subtree
+    entry counts (``reused_fraction`` is the cache's share of the solve
+    recursion).  Defaults come from the source index: same engine, same
+    leaf size, same stage cache.
+    """
+    scene = getattr(idx, "scene", None)
+    if scene is None:
+        raise QueryError(
+            "index has no attached scene; build it via build_index()/"
+            "ShortestPathIndex.build before calling update_index"
+        )
+    if not isinstance(delta, SceneDelta):
+        raise QueryError(f"update_index needs a SceneDelta, got {type(delta).__name__}")
+    prov = getattr(idx, "provenance", None) or {}
+    engine = prov.get("engine", "parallel")
+    leaf_size = prov.get("leaf_size", DEFAULT_LEAF_SIZE)
+    if cache is None:
+        cache = getattr(idx, "build_cache", None) or default_cache()
+    new_scene = scene.apply_delta(delta)
+    hint: Optional[tuple] = None
+    if len(delta.ops) == 1 and delta.ops[0][0] == "delete" and isinstance(
+        delta.ops[0][1], Rect
+    ):
+        hint = ("delete", delta.ops[0][1])
+    t0 = time.perf_counter()
+    new_idx = build_index(
+        new_scene,
+        engine,
+        pram,
+        leaf_size,
+        cache,
+        incremental=True,
+        delta_hint=hint,
+    )
+    wall = time.perf_counter() - t0
+    sub = new_idx.provenance.get("subtree") or {}
+    reused = sub.get("hits", 0) + sub.get("patches", 0) + 2 * sub.get("delta_conquers", 0)
+    recomputed = sub.get("misses", 0)
+    total = reused + recomputed
+    solve_cached = any(
+        st["name"] == "solve" and st["cached"] for st in new_idx.provenance["stages"]
+    )
+    new_idx.provenance["repair"] = {
+        "ops": delta.describe(),
+        "old_scene_hash": scene.content_hash(),
+        "new_scene_hash": new_scene.content_hash(),
+        "wall_s": float(wall),
+        "reused_entries": reused,
+        "recomputed_entries": recomputed,
+        "reused_fraction": (reused / total) if total else 1.0,
+        "solve_cached": solve_cached,
+    }
+    _record_repair(new_idx.provenance["repair"], engine, wall)
+    return new_idx
+
+
+def _record_repair(repair: dict, engine: str, wall: float) -> None:
+    reg = default_registry()
+    reg.counter(
+        "repro.update.repairs", "incremental index repairs", labels=["engine"]
+    ).inc(engine=engine)
+    reg.counter(
+        "repro.update.reused_entries",
+        "subtree cache entries reused by repairs", labels=["engine"],
+    ).inc(repair["reused_entries"], engine=engine)
+    reg.counter(
+        "repro.update.recomputed_entries",
+        "subtree entries recomputed by repairs", labels=["engine"],
+    ).inc(repair["recomputed_entries"], engine=engine)
+    sp = span(
+        "update.repair",
+        new_trace_id(),
+        t0=time.time() - wall,
+        engine=engine,
+        ops=repair["ops"],
+        reused=repair["reused_entries"],
+        recomputed=repair["recomputed_entries"],
+    )
+    finish(sp, time.time())
+    BUILD_SPANS.add(sp)
 
 
 def _run_stage(

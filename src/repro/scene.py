@@ -54,7 +54,13 @@ SCENE_VERSION = 2
 Obstacle = Union[Rect, RectilinearPolygon]
 PathLike = Union[str, pathlib.Path]
 
-__all__ = ["SCENE_VERSION", "Obstacle", "Scene", "load_scene_cli"]
+__all__ = [
+    "SCENE_VERSION",
+    "Obstacle",
+    "Scene",
+    "SceneDelta",
+    "load_scene_cli",
+]
 
 
 @dataclass(frozen=True)
@@ -286,6 +292,42 @@ class Scene:
             object.__setattr__(self, "_content_hash", h)
         return h
 
+    # -- mutation (the only mutation path) ------------------------------
+    def apply_delta(self, delta: "SceneDelta") -> "Scene":
+        """Apply an obstacle insert/delete batch and return the **new**
+        scene.
+
+        This is the one supported mutation path: the result is built from
+        scratch through :meth:`from_obstacles` (then disjointness-checked),
+        so it can never inherit this scene's memoized hashes — a repaired
+        index keyed by the new scene's ``content_hash`` is a genuinely new
+        generation.  Raises ``GeometryError`` with a one-line message when
+        a delete names an obstacle the scene does not contain, an insert
+        duplicates an existing obstacle, or the edited scene is no longer
+        disjoint.
+        """
+        obstacles = list(self.obstacles)
+        for op, obstacle in delta.ops:
+            if op == "insert":
+                if any(_same_obstacle(obstacle, o) for o in obstacles):
+                    raise GeometryError(
+                        f"delta inserts an obstacle already in the scene: {obstacle}"
+                    )
+                obstacles.append(obstacle)
+            elif op == "delete":
+                for i, o in enumerate(obstacles):
+                    if _same_obstacle(obstacle, o):
+                        del obstacles[i]
+                        break
+                else:
+                    raise GeometryError(
+                        f"delta deletes an obstacle not in the scene: {obstacle}"
+                    )
+            else:  # pragma: no cover - SceneDelta construction forbids it
+                raise GeometryError(f"unknown delta op {op!r}")
+        scene = Scene.from_obstacles(obstacles, self.container, self.extra_points)
+        return scene.validate()
+
     def _geometry_key(self) -> list:
         # every coordinate goes through _canon so numerically equal
         # scenes (Rect(2.0, ...) vs Rect(2, ...), numpy scalars) key the
@@ -302,6 +344,99 @@ class Scene:
             else ["c", None]
         )
         return key
+
+
+@dataclass(frozen=True)
+class SceneDelta:
+    """An ordered batch of obstacle edits: ``("insert"|"delete", obstacle)``.
+
+    Built through :meth:`insert` / :meth:`delete` (chainable) or the JSON
+    form :meth:`from_dict`; applied with :meth:`Scene.apply_delta` — the
+    single supported scene-mutation path.  Deletes match obstacles by
+    geometry (a ``Rect`` by coordinates, a polygon by its normalized
+    vertex loop), so a delta serialized by one process applies cleanly to
+    another process's copy of the same scene.
+
+    The JSON interchange form (used by the cluster ``update`` verb)::
+
+        {"ops": [{"op": "insert", "rect": [xlo, ylo, xhi, yhi]},
+                 {"op": "delete", "polygon": [[x, y], ...]}]}
+    """
+
+    ops: Tuple[Tuple[str, Obstacle], ...] = ()
+
+    @classmethod
+    def insert(cls, *obstacles: Obstacle) -> "SceneDelta":
+        return cls()._extend("insert", obstacles)
+
+    @classmethod
+    def delete(cls, *obstacles: Obstacle) -> "SceneDelta":
+        return cls()._extend("delete", obstacles)
+
+    def then_insert(self, *obstacles: Obstacle) -> "SceneDelta":
+        return self._extend("insert", obstacles)
+
+    def then_delete(self, *obstacles: Obstacle) -> "SceneDelta":
+        return self._extend("delete", obstacles)
+
+    def _extend(self, op: str, obstacles: Sequence[Obstacle]) -> "SceneDelta":
+        ops = list(self.ops)
+        for o in obstacles:
+            if not isinstance(o, (Rect, RectilinearPolygon)):
+                raise GeometryError(
+                    f"delta obstacle must be a Rect or RectilinearPolygon, got {o!r}"
+                )
+            ops.append((op, o))
+        return SceneDelta(tuple(ops))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def describe(self) -> str:
+        ins = sum(1 for op, _ in self.ops if op == "insert")
+        return f"{ins} inserts, {len(self.ops) - ins} deletes"
+
+    def to_dict(self) -> dict:
+        rows = []
+        for op, o in self.ops:
+            if isinstance(o, Rect):
+                rows.append(
+                    {"op": op, "rect": [int(o.xlo), int(o.ylo), int(o.xhi), int(o.yhi)]}
+                )
+            else:
+                rows.append({"op": op, "polygon": [[int(x), int(y)] for x, y in o.loop]})
+        return {"ops": rows}
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SceneDelta":
+        if not isinstance(data, dict) or not isinstance(data.get("ops"), list):
+            raise GeometryError("scene delta must be a JSON object with an 'ops' list")
+        ops: list[Tuple[str, Obstacle]] = []
+        for row in data["ops"]:
+            if not isinstance(row, dict) or row.get("op") not in ("insert", "delete"):
+                raise GeometryError(f"bad delta op row {row!r}")
+            try:
+                if "rect" in row:
+                    obstacle: Obstacle = Rect(*map(_int_coord, row["rect"]))
+                elif "polygon" in row:
+                    obstacle = RectilinearPolygon(
+                        [(_int_coord(x), _int_coord(y)) for x, y in row["polygon"]]
+                    )
+                else:
+                    raise GeometryError("op row carries neither 'rect' nor 'polygon'")
+            except (TypeError, ValueError, OverflowError) as exc:
+                raise GeometryError(f"bad delta op row {row!r}: {exc}") from None
+            ops.append((row["op"], obstacle))
+        return cls(tuple(ops))
+
+
+def _same_obstacle(a: Obstacle, b: Obstacle) -> bool:
+    """Geometry equality: rects by coordinates, polygons by normalized loop."""
+    if isinstance(a, Rect) and isinstance(b, Rect):
+        return a == b
+    if isinstance(a, RectilinearPolygon) and isinstance(b, RectilinearPolygon):
+        return tuple(a.loop) == tuple(b.loop)
+    return False
 
 
 def _num(v):

@@ -117,10 +117,14 @@ class ShmPublisher:
         # _share_refs pins the index objects so their ids stay unique
         self._shared: Dict[int, tuple] = {}
         self._share_refs: list = []
+        # scene name -> superseded manifests whose segments stay mapped
+        # until release_retired() — workers attached to the old generation
+        # must finish their in-flight batches first (rollover protocol)
+        self._retired: Dict[str, list] = {}
         self._closed = False
 
     # -- publishing -----------------------------------------------------
-    def publish(self, scene: str, idx: ShortestPathIndex) -> dict:
+    def publish(self, scene: str, idx: ShortestPathIndex, generation: int = 0) -> dict:
         """Copy ``idx``'s arrays into one shared segment; returns the
         JSON-safe manifest workers attach from.  Publishing the *same*
         index object under several scene names shares one segment
@@ -133,7 +137,9 @@ class ShmPublisher:
             "polygons": [list(map(list, p.loop)) for p in getattr(idx, "polygons", [])],
         }
         self._share_refs.append(idx)
-        return self._publish_arrays(scene, arrays, meta, share_key=id(idx))
+        return self._publish_arrays(
+            scene, arrays, meta, share_key=id(idx), generation=generation
+        )
 
     def publish_snapshot(self, scene: str, path) -> dict:
         """Publish straight from a ``.rsp`` artifact — for raw (v3) files
@@ -158,13 +164,50 @@ class ShmPublisher:
             seg_arrays["qs_parents"] = np.asarray(arrays["qs_parents"])
         return self._publish_arrays(scene, seg_arrays, meta)
 
+    def republish(self, scene: str, idx: ShortestPathIndex) -> dict:
+        """Publish the next *generation* of an already-published scene
+        under a fresh segment; the old generation's segment stays alive
+        (workers may still be attached) until :meth:`release_retired`.
+
+        The returned manifest carries ``generation = old + 1``; a scene
+        not yet published starts at generation 0, making this a safe
+        publish-or-rollover for the cluster's update path."""
+        old = self._scenes.pop(scene, None)
+        gen = 0
+        if old is not None:
+            self._retired.setdefault(scene, []).append(old)
+            gen = int(old.get("generation", 0)) + 1
+        try:
+            return self.publish(scene, idx, generation=gen)
+        except BaseException:
+            # failed rollover must not unpublish the working generation
+            if old is not None:
+                self._scenes[scene] = old
+                self._retired[scene].remove(old)
+                if not self._retired[scene]:
+                    del self._retired[scene]
+            raise
+
+    def release_retired(self, scene: str) -> int:
+        """Unlink the segments of ``scene``'s superseded generations
+        (call once every worker acknowledged the new manifest); returns
+        how many generations were released."""
+        released = 0
+        for manifest in self._retired.pop(scene, []):
+            self._release_segment(manifest["segment"])
+            released += 1
+        return released
+
     def _publish_arrays(
-        self, scene: str, arrays: dict, meta: dict, share_key=None
+        self, scene: str, arrays: dict, meta: dict, share_key=None, generation: int = 0
     ) -> dict:
         if self._closed:
             raise ClusterError("publisher is closed")
         if scene in self._scenes:
-            raise ClusterError(f"scene {scene!r} is already published")
+            raise ClusterError(
+                f"scene {scene!r} is already published "
+                f"(use republish() to roll a new generation)"
+            )
         shared = self._shared.get(share_key) if share_key is not None else None
         if shared is not None:
             # the same built index published under another scene name:
@@ -213,6 +256,7 @@ class ShmPublisher:
             "scene": scene,
             "segment": seg.name,
             "size": seg.shm.size,
+            "generation": int(generation),
             "toc": toc,
             "meta": meta,
         }
@@ -237,11 +281,16 @@ class ShmPublisher:
 
     # -- lifecycle ------------------------------------------------------
     def release(self, scene: str) -> None:
-        """Drop one scene; its segment is unlinked once no published
-        scene references it any more."""
+        """Drop one scene (current and any retired generations); each
+        segment is unlinked once no published scene references it any
+        more."""
         manifest = self.manifest(scene)
         del self._scenes[scene]
-        seg = self._segments[manifest["segment"]]
+        self._release_segment(manifest["segment"])
+        self.release_retired(scene)
+
+    def _release_segment(self, seg_name: str) -> None:
+        seg = self._segments[seg_name]
         seg.refs -= 1
         if seg.refs <= 0:
             del self._segments[seg.name]
@@ -266,6 +315,7 @@ class ShmPublisher:
         self._scenes.clear()
         self._shared.clear()
         self._share_refs.clear()
+        self._retired.clear()
 
     def __enter__(self) -> "ShmPublisher":
         return self

@@ -260,15 +260,25 @@ def quarantine(path: PathLike) -> Optional[pathlib.Path]:
     """Move a corrupt snapshot aside as ``<name>.quarantined`` so nothing
     retries loading (or overwrites the evidence); returns the new path,
     or ``None`` if the artifact could not be moved (already gone, or a
-    read-only filesystem).  If a previous quarantine of the same name
-    exists it is replaced — the freshest corpse is the useful one."""
+    read-only filesystem).
+
+    Collision-safe: a second quarantine of the same scene picks the next
+    free ``.quarantined.N`` suffix instead of clobbering the earlier
+    corpse on POSIX (``os.replace`` overwrites silently there) or raising
+    on Windows (where it refuses to) — every piece of evidence survives,
+    with a deterministic name for each."""
     p = pathlib.Path(path)
-    target = p.with_name(p.name + ".quarantined")
-    try:
-        os.replace(p, target)
-    except OSError:
-        return None
-    return target
+    for k in range(1000):
+        suffix = ".quarantined" if k == 0 else f".quarantined.{k}"
+        target = p.with_name(p.name + suffix)
+        if target.exists():
+            continue
+        try:
+            os.replace(p, target)
+        except OSError:
+            return None
+        return target
+    return None  # pragma: no cover - a thousand corpses of one scene
 
 
 def load(path: PathLike, mmap: bool = True) -> ShortestPathIndex:

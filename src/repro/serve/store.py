@@ -20,9 +20,10 @@ from __future__ import annotations
 import contextlib
 import pathlib
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, Optional, Sequence, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core.api import Engine, ShortestPathIndex
 from repro.errors import QueryError, SnapshotError
@@ -67,6 +68,25 @@ class _Entry:
     #: snapshot entries only: rebuild-from-scene fallback used when the
     #: artifact fails to load (checksum mismatch, truncation, ...)
     fallback: Optional[Builder] = None
+    #: bumped by every :meth:`SceneStore.swap`; generation 0 is the
+    #: originally registered source
+    generation: int = 0
+
+
+@dataclass
+class _Retired:
+    """A superseded generation still pinned by in-flight readers.
+
+    ``swap`` moves the old index here instead of dropping it: the readers
+    keep exact answers from the snapshot they started on, and the entry
+    (with its byte accounting) is freed the moment the last pin drains.
+    """
+
+    generation: int
+    idx: ShortestPathIndex
+    pins: int
+    nbytes: int
+    since: float  # monotonic retirement time, for leak triage
 
 
 class SceneStore:
@@ -93,8 +113,11 @@ class SceneStore:
         self.evictions = 0
         self.loads = 0  # snapshot materializations
         self.builds = 0  # engine-build materializations
+        self.swaps = 0  # generation rollovers (see :meth:`swap`)
         #: scene name → one-line reason for every quarantined snapshot
         self.quarantines: Dict[str, str] = {}
+        #: superseded-but-still-pinned generations, per scene
+        self._retired: Dict[str, List[_Retired]] = {}
 
     # -- registration ---------------------------------------------------
     def add_snapshot(
@@ -189,6 +212,7 @@ class SceneStore:
         # responsive; the per-entry lock makes this build-or-load-once
         with entry.lock:
             if entry.idx is None:
+                gen = entry.generation
                 idx = self._materialize(name, entry)
                 with self._lock:
                     self.misses += 1
@@ -196,12 +220,17 @@ class SceneStore:
                         self.loads += 1
                     else:
                         self.builds += 1
-                    entry.idx = idx
-                    entry.nbytes = resident_bytes(idx)
-                    self._lru[name] = None
-                    self._lru.move_to_end(name)
-                    self._evict_over_budget(keep=name)
-                return idx
+                    if entry.generation == gen:
+                        entry.idx = idx
+                        entry.nbytes = resident_bytes(idx)
+                        self._lru[name] = None
+                        self._lru.move_to_end(name)
+                        self._evict_over_budget(keep=name)
+                        return idx
+                    # a swap landed while we were building the old
+                    # source: the rollover wins, our build is stale
+                    if entry.idx is not None:
+                        return entry.idx
             with self._lock:
                 self.hits += 1
                 if name in self._lru:
@@ -236,6 +265,12 @@ class SceneStore:
             return entry.source()
 
     # -- pinning --------------------------------------------------------
+    #: pin() re-materialization attempts before giving up — a scene that
+    #: keeps vanishing this many times in a row is being evicted by a
+    #: budget far too small for it, and spinning forever would wedge the
+    #: calling worker silently
+    PIN_ATTEMPTS = 8
+
     def pin(self, name: str) -> ShortestPathIndex:
         """Materialize-and-pin: the returned index is guaranteed to stay
         resident (no LRU or explicit eviction) until the matching
@@ -243,8 +278,11 @@ class SceneStore:
         scene's matrix while an unrelated insert squeezes the byte budget
         — eviction of a pinned scene mid-gather would free (or, for a
         shm-attached scene, detach) memory the reader is still touching.
+
+        Bounded: after :data:`PIN_ATTEMPTS` evict-between-get-and-pin
+        races it raises ``QueryError`` instead of spinning.
         """
-        while True:
+        for _ in range(self.PIN_ATTEMPTS):
             idx = self.get(name)
             with self._lock:
                 entry = self._entries.get(name)
@@ -252,22 +290,171 @@ class SceneStore:
                     entry.pins += 1
                     return idx
             # evicted between get() and the pin; re-materialize and retry
+        raise QueryError(
+            f"scene {name!r} was evicted {self.PIN_ATTEMPTS} times before it "
+            f"could be pinned; raise max_bytes (scene does not fit the budget)"
+        )
 
-    def unpin(self, name: str) -> None:
+    def unpin(self, name: str, idx: Optional[ShortestPathIndex] = None) -> None:
+        """Release one pin.  Pass the pinned index back to hit the right
+        *generation*: after a :meth:`swap`, pins taken on the old index
+        belong to its retired record, not the live entry.  Without ``idx``
+        the live generation is unpinned first, then the oldest retired
+        one — correct whenever at most one generation is in flight."""
         with self._lock:
             entry = self._entries.get(name)
-            if entry is None or entry.pins <= 0:
-                raise QueryError(f"scene {name!r} is not pinned")
-            entry.pins -= 1
+            if idx is None:
+                if entry is not None and entry.pins > 0:
+                    entry.pins -= 1
+                    return
+                if self._unpin_retired(name, None):
+                    return
+            else:
+                if entry is not None and entry.idx is idx and entry.pins > 0:
+                    entry.pins -= 1
+                    return
+                if self._unpin_retired(name, idx):
+                    return
+            raise QueryError(f"scene {name!r} is not pinned")
+
+    def _unpin_retired(self, name: str, idx: Optional[ShortestPathIndex]) -> bool:
+        """Drop one pin from a retired generation (oldest first when
+        ``idx`` is None); frees the record once fully unpinned.  Caller
+        holds ``self._lock``."""
+        for rec in self._retired.get(name, ()):
+            if rec.pins > 0 and (idx is None or rec.idx is idx):
+                rec.pins -= 1
+                if rec.pins == 0:
+                    self._retired[name].remove(rec)
+                    if not self._retired[name]:
+                        del self._retired[name]
+                return True
+        return False
 
     @contextlib.contextmanager
     def using(self, name: str) -> Iterator[ShortestPathIndex]:
-        """``with store.using("campus") as idx:`` — pinned for the block."""
+        """``with store.using("campus") as idx:`` — pinned for the block.
+        Unpins by index identity, so the block stays correct across a
+        concurrent :meth:`swap`."""
         idx = self.pin(name)
         try:
             yield idx
         finally:
-            self.unpin(name)
+            self.unpin(name, idx)
+
+    # -- zero-downtime rollover -----------------------------------------
+    def swap(self, name: str, new_idx: ShortestPathIndex, *,
+             source: Optional[Builder] = None) -> int:
+        """Atomically publish ``new_idx`` as scene ``name``'s next
+        generation; returns the new generation number.
+
+        Every ``get``/``pin`` from the moment this returns sees the new
+        index.  In-flight readers pinned to the old generation keep it:
+        the old index is moved to a *retired* record that stays resident
+        (and byte-accounted) until its pins drain to zero — eviction of a
+        generation therefore waits for ``pins == 0``, there is no window
+        where a reader's matrix is freed underneath it.  An unknown name
+        is registered on the fly.
+
+        ``source`` replaces the entry's re-materialization source; by
+        default the swapped-in index is its own source (it stays
+        reachable through the entry even if evicted — pass a real source,
+        e.g. a snapshot loader for the new artifact, to let eviction
+        actually free memory).
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                entry = _Entry(source=source or (lambda: new_idx), kind="builder")
+                self._entries[name] = entry
+            else:
+                if entry.idx is not None and entry.pins > 0:
+                    self._retired.setdefault(name, []).append(
+                        _Retired(
+                            entry.generation, entry.idx, entry.pins,
+                            entry.nbytes, time.monotonic(),
+                        )
+                    )
+                entry.source = source or (lambda: new_idx)
+                entry.kind = "builder"
+                entry.path = None
+                entry.fallback = None
+            entry.generation += 1
+            entry.idx = new_idx
+            entry.pins = 0
+            entry.nbytes = resident_bytes(new_idx)
+            self._lru[name] = None
+            self._lru.move_to_end(name)
+            self.swaps += 1
+            gen = entry.generation
+            self._evict_over_budget(keep=name)
+        return gen
+
+    def replace_source(self, name: str, source: Builder, *, kind: str = "builder") -> int:
+        """The *lazy* sibling of :meth:`swap`: install a new source for
+        the next generation without materializing it; returns the new
+        generation number.
+
+        Nothing is built here — the next ``get`` materializes the new
+        source — which is what lets a cluster worker that does not have
+        a scene resident acknowledge a rollover in O(1) and attach the
+        new shared segment only if routing ever sends it a request.
+        Readers pinned to the current index keep it (retired, as in
+        :meth:`swap`); an unpinned resident index is dropped immediately.
+        An unknown name is registered on the fly.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                entry = _Entry(source=source, kind=kind)
+                self._entries[name] = entry
+            else:
+                if entry.idx is not None:
+                    if entry.pins > 0:
+                        self._retired.setdefault(name, []).append(
+                            _Retired(
+                                entry.generation, entry.idx, entry.pins,
+                                entry.nbytes, time.monotonic(),
+                            )
+                        )
+                    entry.idx = None
+                    entry.nbytes = 0
+                    entry.pins = 0
+                    self._lru.pop(name, None)
+                entry.source = source
+                entry.kind = kind
+                entry.path = None
+                entry.fallback = None
+            entry.generation += 1
+            self.swaps += 1
+            return entry.generation
+
+    def generation(self, name: str) -> int:
+        """The scene's current generation (0 = as registered)."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise QueryError(f"unknown scene {name!r}")
+            return entry.generation
+
+    def leaked_pins(self, older_than_s: float = 0.0) -> dict:
+        """Retired generations still pinned after ``older_than_s`` seconds
+        — the pin-leak detector.  A healthy rollover drains these in one
+        batch round-trip; anything lingering means some reader pinned a
+        generation and never unpinned (returns ``{scene: [(generation,
+        pins, age_s), ...]}``, empty when clean)."""
+        now = time.monotonic()
+        out: dict = {}
+        with self._lock:
+            for name, recs in self._retired.items():
+                rows = [
+                    (r.generation, r.pins, now - r.since)
+                    for r in recs
+                    if r.pins > 0 and (now - r.since) >= older_than_s
+                ]
+                if rows:
+                    out[name] = rows
+        return out
 
     # -- residency ------------------------------------------------------
     def resident(self) -> dict[str, int]:
@@ -312,6 +499,10 @@ class SceneStore:
         if self.max_bytes is None:
             return
         total = sum(e.nbytes for e in self._entries.values() if e.idx is not None)
+        # retired generations occupy memory until their pins drain; they
+        # cannot be evicted (readers hold them) but they do squeeze the
+        # budget for everyone else
+        total += sum(r.nbytes for recs in self._retired.values() for r in recs)
         for name in list(self._lru):
             if total <= self.max_bytes:
                 break
@@ -340,4 +531,11 @@ class SceneStore:
                 "evictions": self.evictions,
                 "loads": self.loads,
                 "builds": self.builds,
+                "swaps": self.swaps,
+                "retired_generations": sum(
+                    len(recs) for recs in self._retired.values()
+                ),
+                "retired_pins": sum(
+                    r.pins for recs in self._retired.values() for r in recs
+                ),
             }
