@@ -1,0 +1,106 @@
+"""L1 — the link-query family: batched gathers vs per-query solving,
+and the shape of (length, bends) Pareto frontiers.
+
+The link index answers from a layered DP over the Hanan grid, one run
+per *source*.  Batched entry points (``link_counts`` / ``paretos``)
+group a pair workload by shared endpoint so every distinct source pays
+exactly one DP run; the per-query path re-solves whenever a source
+meets a target its cached solve never saw.  ``BENCH_links.json``
+records both throughputs and asserts the batched path's advantage
+(≥ 2× — it is typically far higher) unless ``BENCH_SMOKE=1``.
+
+The same run records the Pareto frontier size distribution over the
+workload — the measured analogue of the bicriteria trade-off the
+subsystem exists to expose (frontiers of size 1 mean length and bends
+are compatible; larger frontiers mean real trade-offs).
+"""
+
+import random
+import time
+
+from benchmarks.common import SMOKE, emit, emit_json, format_table
+from repro.core.api import ShortestPathIndex
+from repro.workloads.generators import random_disjoint_rects
+
+N_RECTS = 6 if SMOKE else 14
+N_PAIRS = 60 if SMOKE else 400
+
+
+def _best(fn, repeat=3):
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_l1_link_batching_and_frontiers():
+    rects = random_disjoint_rects(N_RECTS, seed=11)
+    idx = ShortestPathIndex.build(rects, engine="parallel")
+    vs = idx.vertices()
+    rng = random.Random("bench-links")
+    pairs = [tuple(rng.sample(vs, 2)) for _ in range(N_PAIRS)]
+
+    def per_query():
+        # a fresh links index per run: the per-source LRU must not carry
+        # one timing loop's solves into the next
+        fresh = idx.links.extended([])
+        return [fresh.min_links(p, q) for p, q in pairs]
+
+    def batched():
+        fresh = idx.links.extended([])
+        return fresh.link_counts(pairs)
+
+    per_s, per_vals = _best(per_query)
+    bat_s, bat_vals = _best(batched)
+    assert list(map(float, per_vals)) == list(map(float, bat_vals))
+    ratio = per_s / bat_s
+
+    fronts_s, fronts = _best(lambda: idx.links.extended([]).paretos(pairs))
+    sizes = sorted(len(f) for f in fronts)
+    dist = {}
+    for s in sizes:
+        dist[s] = dist.get(s, 0) + 1
+
+    rows = [
+        [f"{N_PAIRS} minlink, per-query", round(per_s * 1e3, 1),
+         round(N_PAIRS / per_s), 1.0],
+        [f"{N_PAIRS} minlink, batched", round(bat_s * 1e3, 2),
+         round(N_PAIRS / bat_s), round(ratio, 1)],
+        [f"{N_PAIRS} pareto, batched", round(fronts_s * 1e3, 2),
+         round(N_PAIRS / fronts_s), "-"],
+    ]
+    text = format_table(
+        ["workload", "ms", "req/s", "speedup"],
+        rows,
+        title=(
+            f"L1  links at n={N_RECTS} — batched gathers {ratio:.1f}x "
+            f"per-query; frontier sizes p50={sizes[len(sizes) // 2]} "
+            f"max={sizes[-1]}"
+        ),
+    )
+    emit("L1_links", text)
+    emit_json(
+        "links",
+        {
+            "n_rects": N_RECTS,
+            "n_pairs": N_PAIRS,
+            "per_query_s": per_s,
+            "per_query_rps": N_PAIRS / per_s,
+            "batched_s": bat_s,
+            "batched_rps": N_PAIRS / bat_s,
+            "batching_speedup": ratio,
+            "pareto_s": fronts_s,
+            "pareto_rps": N_PAIRS / fronts_s,
+            "frontier_sizes": {
+                "p50": sizes[len(sizes) // 2],
+                "max": sizes[-1],
+                "mean": sum(sizes) / len(sizes),
+                "histogram": {str(k): v for k, v in sorted(dist.items())},
+            },
+            "targets": {"batching_speedup_min": 2.0},
+        },
+    )
+    if not SMOKE:
+        assert ratio >= 2.0, f"batched gathers only {ratio:.1f}x per-query"

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Minimum-link and bicriteria (length, bends) queries, end to end.
+
+Three blocks make length and bends genuinely compete: ``S`` sits on a
+tall tower (no cheap drop), ``T`` on a low flat block, and a mid block
+between them whose bottom is one unit above the flat block's.  Flying
+over everything is long but nearly straight; threading under the mid
+block and over the flat one is shortest but weaves.  The demo walks the
+whole query family:
+
+1. min-link — ``min_links`` / ``min_link_path`` give the fewest maximal
+   segments and a witness polyline; ``shortest_path`` the other extreme;
+2. bicriteria — ``bicriteria`` returns the full Pareto frontier of
+   (length, bends), here three points, with one witness path per point;
+   its ends are exactly the two extremes above;
+3. batched gathers — ``link_counts`` / ``paretos`` share one solver run
+   per distinct endpoint (see BENCH_links.json for the throughput gap);
+4. serving — a ``--links`` snapshot (format v4) persists the all-pairs
+   link matrix, advertises its verbs in the header, and answers
+   ``minlink`` / ``pareto`` requests through the coalescing QueryServer.
+
+Run:  python examples/minlink_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Rect, ShortestPathIndex
+from repro.serve import QueryServer, Request, SceneStore, load, read_header, save
+from repro.viz.ascii import render_scene
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-links-"))
+
+    blocks = [
+        Rect(0, 0, 10, 20),    # the tower S stands on
+        Rect(40, 15, 46, 30),  # mid block: tall, bottom at y=15
+        Rect(54, 14, 70, 22),  # flat block T stands on, bottom at y=14
+    ]
+    idx = ShortestPathIndex.build(blocks, engine="parallel")
+    s, t = (0, 20), (70, 22)
+
+    # -- 1. the two extremes -------------------------------------------
+    links = idx.min_links(s, t)
+    straightest = idx.min_link_path(s, t)
+    shortest = idx.shortest_path(s, t)
+    print(f"shortest   {s} -> {t}: length {idx.length(s, t)}")
+    print(f"min-link   {s} -> {t}: {links} links ({max(links - 1, 0)} bends)")
+    print(render_scene(blocks, paths=[shortest, straightest],
+                       points=[(s, "S"), (t, "T")],
+                       title="short-but-weaving vs long-but-straight"))
+
+    # -- 2. the whole frontier between them -----------------------------
+    frontier = idx.bicriteria(s, t)
+    print("Pareto frontier (length, bends), one witness each:")
+    for length, bends, path in frontier:
+        print(f"  length {length:5.1f}  bends {bends}  witness {len(path)} pts")
+    # sorted by increasing bends / strictly decreasing length, so the two
+    # ends of the frontier are exactly the extremes from step 1
+    assert frontier[0][1] == max(links - 1, 0)
+    assert frontier[-1][0] == idx.length(s, t)
+
+    # -- 3. batched gathers ---------------------------------------------
+    vs = idx.vertices()
+    pairs = [(vs[i], vs[-1 - i]) for i in range(len(vs) // 2)]
+    counts = idx.link_counts(pairs)
+    fronts = idx.paretos(pairs)
+    print(f"{len(pairs)} vertex pairs gathered: "
+          f"link counts {sorted(set(counts))}, "
+          f"frontier sizes {sorted(set(len(f) for f in fronts))}")
+
+    # -- 4. snapshot v4 with the link matrix + served verbs -------------
+    snap = save(idx, workdir / "blocks.rsp", include_links=True)
+    header = read_header(snap)
+    print(f"snapshot v{header['version']}: verbs {header['verbs']}, "
+          f"{snap.stat().st_size:,} bytes")
+    reloaded = load(snap)
+    assert reloaded.min_links(s, t) == links  # link-matrix fast path
+
+    store = SceneStore()
+    store.add_snapshot("blocks", snap)
+    server = QueryServer(store)
+    out = server.submit([Request("blocks", s, t, op="minlink"),
+                         Request("blocks", s, t, op="pareto")])
+    print(f"server: minlink={out[0]}, pareto={out[1]}")
+
+
+if __name__ == "__main__":
+    main()

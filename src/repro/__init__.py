@@ -14,6 +14,7 @@ High-level entry point::
 Sub-packages: :mod:`repro.geometry` (exact rectilinear geometry),
 :mod:`repro.pram` (metered CREW-PRAM simulator), :mod:`repro.monge`
 (Monge (min,+) machinery), :mod:`repro.core` (the paper's algorithms),
+:mod:`repro.links` (minimum-link / bicriteria (length, bends) queries),
 :mod:`repro.scene` (the canonical scene layer), :mod:`repro.pipeline`
 (the staged build pipeline: engine registry + per-stage artifact cache),
 :mod:`repro.workloads` (scene generators), :mod:`repro.serve` (snapshot
@@ -38,6 +39,7 @@ from repro.geometry.primitives import Point, Rect, dist
 
 __all__ = [
     "__version__",
+    "LinkDistanceIndex",
     "Point",
     "Rect",
     "RectilinearPolygon",
@@ -73,6 +75,10 @@ def __getattr__(name: str):
         from repro.core.baseline import GridOracle
 
         return GridOracle
+    if name == "LinkDistanceIndex":
+        from repro.links import LinkDistanceIndex
+
+        return LinkDistanceIndex
     if name == "PRAM":
         from repro.pram.machine import PRAM
 

@@ -125,12 +125,30 @@ def cmd_query(args: argparse.Namespace) -> int:
         except ReproError as exc:
             raise SystemExit(str(exc))
         scene_obs = list(scene.obstacles)
-    print(f"length = {idx.length(p, q)}")
-    if args.path:
-        path = idx.shortest_path(p, q)
-        print("path   =", " -> ".join(map(str, path)))
-        if args.render:
-            print(render_scene(scene_obs, paths=[path], points=[(p, 'A'), (q, 'B')]))
+    # capability gating (a snapshot whose format version predates a verb)
+    # and off-grid/outside-container rejections are one-line answers,
+    # never tracebacks
+    try:
+        print(f"length = {idx.length(p, q)}")
+        if args.minlink:
+            links = idx.min_links(p, q)
+            links = int(links) if links != float("inf") else links
+            bends = max(links - 1, 0) if links != float("inf") else links
+            print(f"links  = {links} (bends = {bends})")
+        if args.pareto:
+            frontier = idx.bicriteria(p, q, with_paths=False)
+            front = ", ".join(
+                f"(length {length}, {bends} bend{'s' if bends != 1 else ''})"
+                for length, bends, _ in frontier
+            )
+            print(f"pareto = [{front}]")
+        if args.path:
+            path = idx.shortest_path(p, q)
+            print("path   =", " -> ".join(map(str, path)))
+            if args.render:
+                print(render_scene(scene_obs, paths=[path], points=[(p, 'A'), (q, 'B')]))
+    except ReproError as exc:
+        raise SystemExit(str(exc))
     return 0
 
 
@@ -150,12 +168,19 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc))
     build_s = time.perf_counter() - t0
     t0 = time.perf_counter()
-    out = save(idx, args.out, include_query=not args.no_query)
+    try:
+        out = save(
+            idx, args.out, include_query=not args.no_query,
+            include_links=args.links,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc))
     save_s = time.perf_counter() - t0
     size = out.stat().st_size
+    extras = " +links" if args.links else ""
     print(
         f"{args.scene}: n={len(scene.obstacles)} built in {build_s:.3f}s "
-        f"({args.engine} engine), snapshot {out} ({size:,} bytes) "
+        f"({args.engine} engine), snapshot{extras} {out} ({size:,} bytes) "
         f"written in {save_s:.3f}s"
     )
     return 0
@@ -376,6 +401,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
 
     mode = "open" if args.open else "closed"
     try:
+        verb_mix = loadgen.parse_mix(args.mix) if args.mix else None
         report = asyncio.run(
             loadgen.run(
                 args.host,
@@ -386,6 +412,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 conns=args.conns,
                 seed=args.seed,
                 mix=(args.bulk, args.arbitrary, args.paths),
+                verb_mix=verb_mix,
                 pairs_per_request=args.pairs,
                 retries=args.retries,
                 retry_budget=args.retry_budget,
@@ -410,6 +437,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             f"in {summary['elapsed_s']:.3f}s ({summary['qps']:,.0f} req/s)"
         )
         print(f"latency: {format_latency(summary['latency'])}")
+        for verb, vb in (summary.get("verbs") or {}).items():
+            print(
+                f"  {verb}: {vb['sent']} sent, {vb['ok']} ok, "
+                f"{vb['errors']} errors, {vb['shed']} shed; "
+                f"{format_latency(vb['latency'])}"
+            )
         split = report.split_line()
         if split:
             print(split)
@@ -597,6 +630,47 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"  replay scene (seed {seed}): {out}")
         print(f"{args.scenes} scenes update-fuzzed, {failures} failure(s)")
         return 1 if failures else 0
+    if getattr(args, "queries", "all") == "minlink":
+        # differential link-query fuzz: the layered-DP link index vs the
+        # independent grid-Dijkstra oracle, per engine (min-link counts,
+        # full Pareto frontiers, witness validity)
+        from repro.core.api import split_obstacles
+        from repro.core.crosscheck import check_links
+
+        failures = 0
+        for i in range(args.scenes):
+            seed = args.seed * 10007 + i
+            kind = i % 3
+            container = None
+            if kind == 0:  # pure rectangles (the paper's model)
+                obstacles = list(random_disjoint_rects(8, seed=seed))
+            elif kind == 1:  # polygons + rects
+                obstacles = random_polygon_scene(2, 3, seed=seed)
+            else:  # polygons + rects inside a convex container
+                obstacles = random_polygon_scene(1, 2, seed=seed)
+                _, _, all_rects, _ = split_obstacles(obstacles)
+                container = random_container_polygon(all_rects, seed=seed)
+            problems = check_links(
+                obstacles, container, seed=seed, engines=engines
+            )
+            label = ("rects", "mixed", "container")[kind]
+            if not problems:
+                print(f"scene {i:3d} [{label:9s}] ok ({len(obstacles)} obstacles)")
+                continue
+            failures += 1
+            print(f"scene {i:3d} [{label:9s}] FAILED: {problems[0]}")
+            small, small_container = shrink_scene(
+                obstacles, container,
+                lambda obs, cont: bool(
+                    check_links(obs, cont, seed=seed, engines=engines)
+                ),
+            )
+            out = pathlib.Path(args.out_dir) / f"linkfuzz_fail_{seed}.json"
+            out.parent.mkdir(parents=True, exist_ok=True)
+            save_scene(out, small, small_container)
+            print(f"  shrunk to {len(small)} obstacles, replay scene: {out}")
+        print(f"{args.scenes} scenes link-fuzzed, {failures} failure(s)")
+        return 1 if failures else 0
     failures = 0
     for i in range(args.scenes):
         seed = args.seed * 10007 + i
@@ -781,6 +855,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     q.add_argument("q")
     q.add_argument("--path", action="store_true")
     q.add_argument("--render", action="store_true")
+    q.add_argument("--minlink", action="store_true",
+                   help="also report the minimum link count (and bends)")
+    q.add_argument("--pareto", action="store_true",
+                   help="also report the (length, bends) Pareto frontier")
     q.add_argument("--engine", choices=engines, default="sequential")
     q.set_defaults(fn=cmd_query)
 
@@ -790,6 +868,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     s.add_argument("--engine", choices=engines, default="parallel")
     s.add_argument("--no-query", action="store_true",
                    help="skip persisting the arbitrary-point query structure")
+    s.add_argument("--links", action="store_true",
+                   help="also precompute and embed the all-pairs min-link "
+                   "matrix (minlink queries become lookups on load)")
     s.set_defaults(fn=cmd_snapshot)
 
     pl = sub.add_parser(
@@ -883,6 +964,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                     help="fraction of arbitrary-point requests (§6.4 path)")
     lg.add_argument("--paths", type=float, default=0.02,
                     help="fraction of path-report requests")
+    lg.add_argument("--mix", default=None, metavar="VERB:W,...",
+                    help="weighted verb mix superseding --bulk/--arbitrary/"
+                    "--paths, e.g. length:0.6,minlink:0.3,pareto:0.1 "
+                    "(verbs: length, lengths, arbitrary, path, minlink, "
+                    "links, pareto); the report carries per-verb stats")
     lg.add_argument("--retries", type=int, default=0,
                     help="closed loop: per-request retries for retryable "
                     "failures (shed, worker death, timeout, deadline expiry)")
@@ -946,6 +1032,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                     "repaired index to be byte-identical to a cold rebuild "
                     "(lengths AND paths), cross-checked against the other "
                     "engines")
+    fz.add_argument("--queries", choices=("all", "minlink"), default="all",
+                    help="'minlink': fuzz the link-query family instead — "
+                    "min-link counts and (length, bends) Pareto frontiers "
+                    "must byte-agree with the grid-Dijkstra oracle, with a "
+                    "valid witness path per frontier point")
     fz.set_defaults(fn=cmd_fuzz)
 
     f = sub.add_parser("figures", help="print paper figure(s)")

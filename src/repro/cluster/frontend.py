@@ -73,7 +73,10 @@ from repro.obs.tracing import SpanBuffer, finish, new_trace_id, span
 from repro.serve.shm import ShmPublisher
 
 #: ops the front-end forwards to a scene's owning worker
-_SCENE_OPS = ("length", "lengths", "path", "endpoints", "sleep")
+_SCENE_OPS = (
+    "length", "lengths", "path", "minlink", "links", "pareto",
+    "endpoints", "sleep",
+)
 
 #: ops answered by the front-end itself (the `verb` label value set)
 _LOCAL_OPS = (

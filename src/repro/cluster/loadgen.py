@@ -44,6 +44,39 @@ from repro.obs.recorders import LatencyRecorder
 #: path fraction); the remainder are single vertex-pair lengths
 DEFAULT_MIX = (0.5, 0.2, 0.02)
 
+#: verbs a weighted ``--mix`` spec may name (wire ops plus ``arbitrary``,
+#: which is a ``length`` op with off-vertex endpoints)
+MIX_VERBS = ("length", "lengths", "arbitrary", "path", "minlink", "links", "pareto")
+
+
+def parse_mix(spec: str) -> dict[str, float]:
+    """``"length:0.6,minlink:0.3,pareto:0.1"`` → normalized weight dict.
+
+    Weights are relative (they need not sum to 1); unknown verbs and
+    non-positive totals are one-line :class:`ClusterError`\\ s."""
+    weights: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        verb, sep, raw = part.partition(":")
+        verb = verb.strip()
+        if verb not in MIX_VERBS:
+            raise ClusterError(
+                f"unknown mix verb {verb!r} (want one of {', '.join(MIX_VERBS)})"
+            )
+        try:
+            w = float(raw) if sep else 1.0
+        except ValueError:
+            raise ClusterError(f"bad mix weight {raw!r} for verb {verb!r}")
+        if w < 0:
+            raise ClusterError(f"negative mix weight {w} for verb {verb!r}")
+        weights[verb] = weights.get(verb, 0.0) + w
+    total = sum(weights.values())
+    if total <= 0:
+        raise ClusterError(f"mix {spec!r} has no positive weight")
+    return {v: w / total for v, w in weights.items()}
+
 
 async def _rpc(reader, writer, msg: dict, *, max_skip: int = 16) -> dict:
     """One matched request/response exchange.  Frames whose id does not
@@ -99,41 +132,75 @@ def build_requests(
     seed: int = 0,
     mix: Sequence[float] = DEFAULT_MIX,
     pairs_per_request: int = 16,
+    verb_mix: Optional[dict] = None,
 ) -> list[dict]:
     """A seeded wire-request stream over the discovered pools.
 
-    ``mix`` is ``(bulk, arbitrary, path)``: *bulk* requests are
-    ``lengths`` ops carrying ``pairs_per_request`` vertex pairs (the
-    coalescing path), *arbitrary* requests exercise §6.4 with off-vertex
-    endpoints, *path* requests ask for polylines, and the remainder are
-    single vertex-pair lookups.
+    ``mix`` is the legacy ``(bulk, arbitrary, path)`` triple: *bulk*
+    requests are ``lengths`` ops carrying ``pairs_per_request`` vertex
+    pairs (the coalescing path), *arbitrary* requests exercise §6.4 with
+    off-vertex endpoints, *path* requests ask for polylines, and the
+    remainder are single vertex-pair lookups.
+
+    ``verb_mix`` (a :func:`parse_mix` weight dict) supersedes ``mix``
+    entirely: each request draws its verb from the weighted set —
+    including the link family (``minlink``/``links``/``pareto``), which
+    only draws vertex endpoints (link queries over arbitrary points go
+    through grid extension; the load model keeps them on the fast path).
     """
-    bulk_frac, arb_frac, path_frac = mix
-    rng = random.Random(f"loadgen|{seed}|{n_requests}|{bulk_frac}|{arb_frac}|{path_frac}")
+    if verb_mix is not None:
+        key = ",".join(f"{v}:{verb_mix[v]:.6g}" for v in sorted(verb_mix))
+    else:
+        bulk_frac, arb_frac, path_frac = mix
+        key = f"{bulk_frac}|{arb_frac}|{path_frac}"
+    rng = random.Random(f"loadgen|{seed}|{n_requests}|{key}")
     names = sorted(pools)
     out: list[dict] = []
+
+    def draw_verb() -> str:
+        if verb_mix is not None:
+            verbs = sorted(verb_mix)
+            roll = rng.random()
+            acc = 0.0
+            for v in verbs:
+                acc += verb_mix[v]
+                if roll < acc:
+                    return v
+            return verbs[-1]
+        bulk_frac, arb_frac, path_frac = mix
+        roll = rng.random()
+        if roll < bulk_frac:
+            return "lengths"
+        if roll < bulk_frac + arb_frac:
+            return "arbitrary"
+        if roll < bulk_frac + arb_frac + path_frac:
+            return "path"
+        return "length"
+
     for _ in range(n_requests):
         scene = names[rng.randrange(len(names))]
         verts = pools[scene]["vertices"]
         free = pools[scene]["free"]
-        roll = rng.random()
-        if roll < bulk_frac and len(verts) >= 2:
-            # bulk requests draw from vertices *and* free points: free
+        verb = draw_verb()
+        if verb in ("lengths", "links") and len(verts) >= 2:
+            # bulk lengths draw from vertices *and* free points: free
             # endpoints push the batch through the §6.4 machinery, which
-            # is the CPU-bound work multi-worker scaling exists to spread
-            pool = verts + free
+            # is the CPU-bound work multi-worker scaling exists to spread.
+            # bulk links stay on vertices (link answers for off-grid
+            # points would rebuild the grid per distinct endpoint).
+            pool = verts + free if verb == "lengths" else verts
             pairs = [
                 [rng.choice(pool), rng.choice(pool)]
                 for _ in range(pairs_per_request)
             ]
-            out.append({"op": "lengths", "scene": scene, "pairs": pairs})
-        elif roll < bulk_frac + arb_frac and free and verts:
+            out.append({"op": verb, "scene": scene, "pairs": pairs})
+        elif verb == "arbitrary" and free and verts:
             p = rng.choice(free)
             q = rng.choice(verts) if rng.random() < 0.5 else rng.choice(free)
             out.append({"op": "length", "scene": scene, "p": p, "q": q})
-        elif roll < bulk_frac + arb_frac + path_frac and len(verts) >= 2:
+        elif verb in ("path", "minlink", "pareto") and len(verts) >= 2:
             p, q = rng.sample(verts, 2)
-            out.append({"op": "path", "scene": scene, "p": p, "q": q})
+            out.append({"op": verb, "scene": scene, "p": p, "q": q})
         else:
             out.append(
                 {
@@ -344,9 +411,26 @@ class Report:
         self.traces: list[dict] = []
         self.queue_wait = LatencyRecorder()
         self.service = LatencyRecorder()
+        # per-verb outcome split (wire op → counts + latency); what the
+        # --mix flag reports on
+        self.by_verb: dict[str, dict] = {}
 
-    def record(self, resp: dict, seconds: float) -> None:
+    def record(self, resp: dict, seconds: float, verb: Optional[str] = None) -> None:
         self.latency.record(seconds)
+        if verb is not None:
+            vb = self.by_verb.setdefault(
+                verb,
+                {"sent": 0, "ok": 0, "errors": 0, "shed": 0,
+                 "latency": LatencyRecorder()},
+            )
+            vb["sent"] += 1
+            vb["latency"].record(seconds)
+            if resp.get("ok"):
+                vb["ok"] += 1
+            elif resp.get("shed"):
+                vb["shed"] += 1
+            else:
+                vb["errors"] += 1
         if isinstance(resp.get("trace"), dict):
             self._add_trace(resp["trace"])
         if resp.get("ok"):
@@ -414,6 +498,17 @@ class Report:
             "qps": qps,
             "latency": self.latency.summary(),
         }
+        if self.by_verb:
+            out["verbs"] = {
+                verb: {
+                    "sent": vb["sent"],
+                    "ok": vb["ok"],
+                    "errors": vb["errors"],
+                    "shed": vb["shed"],
+                    "latency": vb["latency"].summary(),
+                }
+                for verb, vb in sorted(self.by_verb.items())
+            }
         if self.traces:
             out["trace_sample"] = list(self.traces)
             out["queue_wait"] = self.queue_wait.summary()
@@ -524,7 +619,7 @@ async def run_closed(
                     attempt += 1
                     report.retries += 1
                     await asyncio.sleep(_backoff_s(attempt, rng))
-                report.record(resp, time.perf_counter() - t)
+                report.record(resp, time.perf_counter() - t, verb=wire.get("op"))
                 report.sent += 1
         finally:
             if writer is not None:
@@ -604,7 +699,7 @@ async def run_open(
         if not chunk:
             return
         reader, writer = await asyncio.open_connection(host, port)
-        sent_at: dict[int, float] = {}
+        sent_at: dict[int, tuple[float, Optional[str]]] = {}
         done = asyncio.Event()
 
         async def read_loop() -> None:
@@ -613,10 +708,11 @@ async def run_open(
                 resp = await read_frame(reader)
                 if resp is None:
                     break
-                t_sent = sent_at.pop(resp.get("id"), None)
-                if t_sent is None:
+                entry = sent_at.pop(resp.get("id"), None)
+                if entry is None:
                     continue  # duplicate or unsolicited frame
-                report.record(resp, time.perf_counter() - t_sent)
+                t_sent, verb = entry
+                report.record(resp, time.perf_counter() - t_sent, verb=verb)
                 remaining -= 1
             done.set()
 
@@ -631,7 +727,7 @@ async def run_open(
                 msg = dict(wire, id=k)
                 if deadline_ms is not None and "scene" in msg:
                     msg["deadline_ms"] = deadline_ms
-                sent_at[k] = time.perf_counter()
+                sent_at[k] = (time.perf_counter(), wire.get("op"))
                 await write_frame(writer, msg)
                 report.sent += 1
             await asyncio.wait_for(done.wait(), timeout=60.0)
@@ -687,6 +783,7 @@ async def run(
     conns: int = 4,
     seed: int = 0,
     mix: Sequence[float] = DEFAULT_MIX,
+    verb_mix: Optional[dict] = None,
     pairs_per_request: int = 16,
     retries: int = 0,
     retry_budget: Optional[int] = None,
@@ -705,7 +802,8 @@ async def run(
     rollover whose answers are not byte-identical to the oracle."""
     pools = await discover(host, port, seed=seed)
     requests = build_requests(
-        pools, n_requests, seed=seed, mix=mix, pairs_per_request=pairs_per_request
+        pools, n_requests, seed=seed, mix=mix, verb_mix=verb_mix,
+        pairs_per_request=pairs_per_request,
     )
     mutator = None
     if mutate_every > 0:

@@ -11,6 +11,9 @@ Request objects::
     {"id": 7, "op": "length",  "scene": "a", "p": [x, y], "q": [x, y]}
     {"id": 8, "op": "lengths", "scene": "a", "pairs": [[[x,y],[x,y]], ...]}
     {"id": 9, "op": "path",    "scene": "a", "p": [x, y], "q": [x, y]}
+    {"id": 4, "op": "minlink", "scene": "a", "p": [x, y], "q": [x, y]}
+    {"id": 5, "op": "links",   "scene": "a", "pairs": [[[x,y],[x,y]], ...]}
+    {"id": 6, "op": "pareto",  "scene": "a", "p": [x, y], "q": [x, y]}
     {"id": 0, "op": "endpoints", "scene": "a", "k": 32, "seed": 0}
     {"id": 1, "op": "scenes"}          # scene → worker assignment + live set
     {"id": 2, "op": "stats"}           # cluster-wide stats (registry view)
@@ -30,6 +33,16 @@ Request objects::
      "delta": {"ops": [               # scene generation
          {"op": "delete", "rect": [xlo, ylo, xhi, yhi]},
          {"op": "insert", "polygon": [[x, y], ...]}]}}
+
+The link-query family rides the same scene-op plumbing as lengths:
+``minlink`` answers ``{"links": k, "bends": max(k-1, 0)}`` (the string
+``"inf"`` for both when the pair is disconnected), ``links`` is its bulk
+form answering a list of counts (paralleling ``lengths``), and
+``pareto`` answers the full (length, bends) frontier as
+``[[length, bends], ...]`` sorted by increasing bends with strictly
+decreasing length.  All three coalesce inside the worker's QueryServer
+— same-scene same-verb requests in one micro-batch share DP runs — and
+all three honor ``deadline_ms`` and ``trace`` like any scene op.
 
 The ``update`` verb is the cluster's only mutation path.  The delta is
 the JSON form of :class:`repro.scene.SceneDelta`; the front-end repairs

@@ -236,22 +236,23 @@ class _WorkerState:
 
     def _answer_coalesced(self, requests: Sequence[dict]) -> list[dict]:
         flat: list[Request] = []
-        spans: list = []  # per request: ("one", k) | ("many", k, count) | ("local", result)
+        # per request: ("one", k, op) | ("many", k, count, op) | ("local", r)
+        spans: list = []
         for r in requests:
             op = r.get("op")
-            if op == "length":
-                spans.append(("one", len(flat)))
-                flat.append(Request(r["scene"], _as_point(r["p"]), _as_point(r["q"])))
-            elif op == "lengths":
-                pairs = r.get("pairs") or []
-                spans.append(("many", len(flat), len(pairs)))
-                for p, q in pairs:
-                    flat.append(Request(r["scene"], _as_point(p), _as_point(q)))
-            elif op == "path":
-                spans.append(("one", len(flat)))
+            if op in ("length", "path", "minlink", "pareto"):
+                spans.append(("one", len(flat), op))
                 flat.append(
-                    Request(r["scene"], _as_point(r["p"]), _as_point(r["q"]), op="path")
+                    Request(r["scene"], _as_point(r["p"]), _as_point(r["q"]), op=op)
                 )
+            elif op in ("lengths", "links"):
+                pairs = r.get("pairs") or []
+                spans.append(("many", len(flat), len(pairs), op))
+                sub = "length" if op == "lengths" else "minlink"
+                for p, q in pairs:
+                    flat.append(
+                        Request(r["scene"], _as_point(p), _as_point(q), op=sub)
+                    )
             else:
                 # defer local ops (stats/sleep/...) to the output phase:
                 # if a later request poisons this parse, the fallback
@@ -261,11 +262,13 @@ class _WorkerState:
         out: list[dict] = []
         for span in spans:
             if span[0] == "one":
-                out.append({"ok": True, "result": _jsonify(values[span[1]])})
+                _, k, op = span
+                out.append({"ok": True, "result": _jsonify_op(op, values[k])})
             elif span[0] == "many":
-                _, k, count = span
+                _, k, count, op = span
+                conv = _jsonify if op == "lengths" else _jsonify_link
                 out.append(
-                    {"ok": True, "result": [_jsonify(v) for v in values[k : k + count]]}
+                    {"ok": True, "result": [conv(v) for v in values[k : k + count]]}
                 )
             else:
                 out.append(self._answer_local(span[1]))
@@ -287,6 +290,20 @@ class _WorkerState:
                 with self.store.using(r["scene"]) as idx:
                     path = idx.shortest_path(_as_point(r["p"]), _as_point(r["q"]))
                 return {"ok": True, "result": [[int(x), int(y)] for x, y in path]}
+            if op == "minlink":
+                with self.store.using(r["scene"]) as idx:
+                    links = idx.min_links(_as_point(r["p"]), _as_point(r["q"]))
+                return {"ok": True, "result": _jsonify_op("minlink", links)}
+            if op == "links":
+                with self.store.using(r["scene"]) as idx:
+                    counts = idx.link_counts(
+                        [(_as_point(p), _as_point(q)) for p, q in r.get("pairs") or []]
+                    )
+                return {"ok": True, "result": [_jsonify_link(v) for v in counts]}
+            if op == "pareto":
+                with self.store.using(r["scene"]) as idx:
+                    front = idx.paretos([(_as_point(r["p"]), _as_point(r["q"]))])[0]
+                return {"ok": True, "result": _jsonify_op("pareto", front)}
             return self._answer_local(r)
         except ReproError as exc:
             return {"ok": False, "error": str(exc)}
@@ -495,3 +512,26 @@ def _jsonify(v):
     if f != f or f in (float("inf"), float("-inf")):
         return "inf"
     return f
+
+
+def _jsonify_link(v):
+    """A min-link count as a JSON-safe value: an int, or "inf" for a
+    disconnected (or obstacle-enclosed) pair."""
+    f = float(v)
+    if f != f or f in (float("inf"), float("-inf")):
+        return "inf"
+    return int(f)
+
+
+def _jsonify_op(op: str, v):
+    """One QueryServer answer as its wire shape, per verb: length →
+    float, path → ``[[x, y], ...]``, minlink → ``{"links", "bends"}``,
+    pareto → ``[[length, bends], ...]`` (frontier order: increasing
+    bends, strictly decreasing length)."""
+    if op == "minlink":
+        links = _jsonify_link(v)
+        bends = max(links - 1, 0) if links != "inf" else "inf"
+        return {"links": links, "bends": bends}
+    if op == "pareto":
+        return [[float(length), int(bends)] for length, bends in v]
+    return _jsonify(v)

@@ -43,6 +43,10 @@ from repro.pram.machine import PRAM
 #: any registered name is valid ("parallel", "sequential", "grid", ...)
 Engine = str
 
+#: every query verb a freshly built index answers; snapshot reloads may
+#: narrow this (older artifact formats predate the link-query family)
+FULL_CAPABILITIES = ("length", "path", "minlink", "pareto")
+
 #: what ``ShortestPathIndex.build`` accepts as one obstacle
 Obstacle = Union[Rect, RectilinearPolygon]
 
@@ -113,6 +117,14 @@ class ShortestPathIndex:
         self._query: Optional[object] = None
         self._query_parents = query_parents  # persisted §6.4 forests, if any
         self._reporter: Optional[PathReporter] = None
+        #: query verbs this index can answer; snapshot reloads narrow it
+        #: (with `capability_note` explaining why) for artifact formats
+        #: that predate a verb
+        self.capabilities: tuple[str, ...] = FULL_CAPABILITIES
+        self.capability_note: Optional[str] = None
+        self._links: Optional[object] = None
+        self._link_matrix: Optional[np.ndarray] = None  # persisted, if any
+        self._adhoc_links: "dict[frozenset, object]" = {}
         self._rect_arr = rect_coord_array(self.rects)
         self._seam_arr = np.array(
             [(s.x, s.ylo, s.yhi) for s in self.seams], dtype=np.float64
@@ -196,6 +208,96 @@ class ShortestPathIndex:
                 if self._reporter is None:
                     self._reporter = PathReporter(self.rects, self.index, self.pram)
         return self._reporter
+
+    @property
+    def links(self):
+        """Minimum-link / bicriteria oracle (:mod:`repro.links`) over the
+        indexed point set, built lazily from the same scene geometry."""
+        if self._links is None:
+            with self._lazy_lock:
+                if self._links is None:
+                    from repro.links import LinkDistanceIndex
+
+                    self._links = LinkDistanceIndex(
+                        self.rects,
+                        self.index.points,
+                        seams=self.seams,
+                        container=self.container,
+                        link_matrix=self._link_matrix,
+                    )
+        return self._links
+
+    # -- the (length, bends) query family ------------------------------
+    def _require_verb(self, verb: str) -> None:
+        if verb not in self.capabilities:
+            note = f" ({self.capability_note})" if self.capability_note else ""
+            raise QueryError(
+                f"this index cannot answer '{verb}' queries{note}"
+            )
+
+    def _links_for(self, pts: Sequence[Point]):
+        """The shared link index, or an ad-hoc one whose grid also
+        carries any off-grid endpoints (tiny keyed cache: a client
+        re-asking about the same arbitrary pair pays one grid build)."""
+        links = self.links
+        missing = [p for p in pts if not links.has_point(p)]
+        if not missing:
+            return links
+        key = frozenset(missing)
+        hit = self._adhoc_links.get(key)
+        if hit is None:
+            hit = links.extended(missing)
+            if len(self._adhoc_links) >= 8:
+                self._adhoc_links.pop(next(iter(self._adhoc_links)))
+            self._adhoc_links[key] = hit
+        return hit
+
+    def min_links(self, p: Point, q: Point) -> int:
+        """Minimum number of maximal straight segments of any p → q path
+        (0 iff ``p == q``); bends = ``max(min_links - 1, 0)``."""
+        self._require_verb("minlink")
+        self._check_inside(p)
+        self._check_inside(q)
+        return self._links_for([p, q]).min_links(p, q)
+
+    def min_link_path(self, p: Point, q: Point) -> list[Point]:
+        """A witness polyline achieving :meth:`min_links` (minimum length
+        among minimum-link paths)."""
+        self._require_verb("minlink")
+        self._check_inside(p)
+        self._check_inside(q)
+        return self._links_for([p, q]).min_link_path(p, q)
+
+    def link_counts(self, pairs: Sequence[tuple[Point, Point]]) -> list[int]:
+        """Batched :meth:`min_links`; pairs sharing endpoints share one
+        solver run."""
+        self._require_verb("minlink")
+        flat = [pt for pair in pairs for pt in pair]
+        for pt in flat:
+            self._check_inside(pt)
+        return self._links_for(flat).link_counts(pairs)
+
+    def bicriteria(
+        self, p: Point, q: Point, with_paths: bool = True
+    ) -> list[tuple[float, int, Optional[list[Point]]]]:
+        """The Pareto frontier of ``(length, bends)`` pairs p → q with one
+        witness path per point (sorted by increasing bends; lengths are
+        strictly decreasing)."""
+        self._require_verb("pareto")
+        self._check_inside(p)
+        self._check_inside(q)
+        return self._links_for([p, q]).bicriteria(p, q, with_paths=with_paths)
+
+    def paretos(
+        self, pairs: Sequence[tuple[Point, Point]]
+    ) -> list[list[tuple[float, int]]]:
+        """Batched witness-free Pareto frontiers, one ``[(length, bends),
+        ...]`` list per pair."""
+        self._require_verb("pareto")
+        flat = [pt for pair in pairs for pt in pair]
+        for pt in flat:
+            self._check_inside(pt)
+        return self._links_for(flat).paretos(pairs)
 
     # ------------------------------------------------------------------
     def save(self, path) -> None:

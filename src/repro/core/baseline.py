@@ -70,13 +70,16 @@ class GridOracle:
         points: Iterable[Point] = (),
         cache_cap: int = DEFAULT_CACHE_CAP,
         seams: Sequence = (),
+        container=None,
     ) -> None:
         self.rects = list(rects)
         self.extra = list(points)
         self.seams = list(seams)
+        self.container = container
         self.graph: HananGraph = hanan_graph(self.rects, self.extra, seams=self.seams)
         self.cache_cap = max(1, cache_cap)
         self._dist_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._link_masks: Optional[tuple[np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     def _cache_put(self, src_id: int, dist: np.ndarray) -> None:
@@ -176,6 +179,120 @@ class GridOracle:
             nodes.append(cur)
         pts = [g.node_point(nid) for nid in nodes]
         return _compress_collinear(pts)
+
+    # -- min-link / bicriteria reference -------------------------------
+    # The differential reference for repro.links: independent of the
+    # layered DP, this walks (node, incoming-direction) states with
+    # scalar Dijkstra / label-correcting loops.  `container` blocks every
+    # grid edge with an endpoint outside P — rectilinear convexity makes
+    # the endpoint test exact — because grazing outside P can save a
+    # bend even though it never saves length.
+
+    def _link_edge_masks(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._link_masks is None:
+            bh, bv = self.graph.block_h, self.graph.block_v
+            if self.container is not None:
+                g = self.graph
+                inside = np.empty((len(g.ys), len(g.xs)), dtype=bool)
+                for yi, y in enumerate(g.ys):
+                    for xi, x in enumerate(g.xs):
+                        inside[yi, xi] = self.container.contains((x, y))
+                bh = bh | ~inside[:, :-1] | ~inside[:, 1:]
+                bv = bv | ~inside[:-1, :] | ~inside[1:, :]
+            self._link_masks = (bh, bv)
+        return self._link_masks
+
+    def _link_neighbors(self, nid: int) -> Iterable[tuple[int, int, int]]:
+        """(neighbor id, edge length, direction) triples; direction is
+        0 = horizontal, 1 = vertical."""
+        bh, bv = self._link_edge_masks()
+        g = self.graph
+        w = len(g.xs)
+        xi, yi = nid % w, nid // w
+        xs, ys = g.xs, g.ys
+        if xi + 1 < w and not bh[yi, xi]:
+            yield nid + 1, xs[xi + 1] - xs[xi], 0
+        if xi > 0 and not bh[yi, xi - 1]:
+            yield nid - 1, xs[xi] - xs[xi - 1], 0
+        if yi + 1 < len(ys) and not bv[yi, xi]:
+            yield nid + w, ys[yi + 1] - ys[yi], 1
+        if yi > 0 and not bv[yi - 1, xi]:
+            yield nid - w, ys[yi] - ys[yi - 1], 1
+
+    def _link_node(self, p: Point) -> int:
+        try:
+            return self.graph.node_id(p)
+        except Exception as exc:  # noqa: BLE001 - reraise with context
+            raise QueryError(
+                f"oracle can only answer registered points: {exc}"
+            ) from exc
+
+    def link_dist(self, p: Point, q: Point) -> tuple[float, float]:
+        """``(links, length)`` of the lexicographically optimal path: the
+        minimum number of maximal segments, and the minimum length among
+        paths achieving it.  ``(inf, inf)`` when disconnected."""
+        pid, qid = self._link_node(p), self._link_node(q)
+        if pid == qid:
+            return (0, 0)
+        best: dict[tuple[int, int], tuple[float, float]] = {}
+        heap: list[tuple[float, float, int, int]] = []
+        for v, w, d in self._link_neighbors(pid):
+            key = (1.0, float(w))
+            if key < best.get((v, d), (INF, INF)):
+                best[(v, d)] = key
+                heappush(heap, (*key, v, d))
+        while heap:
+            segs, length, u, din = heappop(heap)
+            if (segs, length) > best.get((u, din), (INF, INF)):
+                continue
+            for v, w, d in self._link_neighbors(u):
+                key = (segs + (d != din), length + w)
+                if key < best.get((v, d), (INF, INF)):
+                    best[(v, d)] = key
+                    heappush(heap, (*key, v, d))
+        ans = min(
+            best.get((qid, 0), (INF, INF)), best.get((qid, 1), (INF, INF))
+        )
+        return (int(ans[0]), int(ans[1])) if ans[0] != INF else (INF, INF)
+
+    def link_pareto(self, p: Point, q: Point) -> list[tuple[float, float]]:
+        """The full Pareto frontier of ``(length, links)`` pairs p → q,
+        sorted by increasing links (strictly decreasing length), via
+        label-correcting search over (node, direction) states."""
+        pid, qid = self._link_node(p), self._link_node(q)
+        if pid == qid:
+            return [(0, 0)]
+        from collections import deque
+
+        labels: dict[tuple[int, int], list[tuple[float, float]]] = {}
+
+        def insert(state: tuple[int, int], lab: tuple[float, float]) -> bool:
+            cur = labels.setdefault(state, [])
+            if any(s <= lab[0] and l <= lab[1] for s, l in cur):
+                return False
+            cur[:] = [c for c in cur if not (lab[0] <= c[0] and lab[1] <= c[1])]
+            cur.append(lab)
+            return True
+
+        todo: "deque[tuple[tuple[int, int], tuple[float, float]]]" = deque()
+        for v, w, d in self._link_neighbors(pid):
+            lab = (1.0, float(w))
+            if insert((v, d), lab):
+                todo.append(((v, d), lab))
+        while todo:
+            (u, din), (segs, length) = todo.popleft()
+            if (segs, length) not in labels.get((u, din), ()):
+                continue  # dominated since enqueued
+            for v, w, d in self._link_neighbors(u):
+                lab = (segs + (d != din), length + w)
+                if insert((v, d), lab):
+                    todo.append(((v, d), lab))
+        merged = list(labels.get((qid, 0), [])) + list(labels.get((qid, 1), []))
+        frontier: list[tuple[float, float]] = []
+        for segs, length in sorted(merged):
+            if not frontier or length < frontier[-1][0]:
+                frontier.append((int(length), int(segs)))
+        return frontier
 
 
 def _compress_collinear(pts: list[Point]) -> list[Point]:

@@ -34,13 +34,33 @@ from repro.core.baseline import GridOracle, path_is_clear, path_length
 from repro.errors import ReproError
 from repro.geometry.polygon import RectilinearPolygon
 
-__all__ = ["check_scene", "check_update", "shrink_scene", "validate_path"]
+__all__ = [
+    "check_links",
+    "check_scene",
+    "check_update",
+    "shrink_scene",
+    "validate_path",
+]
 
 
 def validate_path(
-    idx: ShortestPathIndex, path: Sequence, p, q, expected_len: float
+    idx: ShortestPathIndex,
+    path: Sequence,
+    p,
+    q,
+    expected_len: float,
+    expected_bends: Optional[int] = None,
 ) -> list[str]:
-    """Problems with one reported polyline (empty list = valid)."""
+    """Problems with one reported polyline (empty list = valid).
+
+    Bend counting is structural: the polyline is normalized first
+    (duplicate vertices dropped, collinear runs merged), so a path that
+    pads itself with spurious vertices can neither hide a bend nor fake
+    one.  ``expected_bends`` makes the count an assertion — the link
+    query family's witnesses are validated with it.
+    """
+    from repro.links.solver import count_bends, normalize_polyline
+
     problems: list[str] = []
     if not path or path[0] != tuple(p) or path[-1] != tuple(q):
         problems.append(f"path endpoints {path[:1]}...{path[-1:]} != ({p}, {q})")
@@ -51,15 +71,22 @@ def validate_path(
             return problems
     if not path_is_clear(path, idx.rects, seams=idx.seams):
         problems.append(f"path {p} -> {q} crosses an obstacle interior")
-    if idx.container is not None and any(
-        not idx.container.contains(pt) for pt in path
-    ):
+    container = getattr(idx, "container", None)
+    if container is not None and any(not container.contains(pt) for pt in path):
         problems.append(f"path {p} -> {q} leaves the container")
     got = path_length(path)
     if got != expected_len:
         problems.append(
             f"path {p} -> {q} has length {got}, reported {expected_len}"
         )
+    if expected_bends is not None:
+        bends = count_bends(path)
+        if bends != expected_bends:
+            problems.append(
+                f"path {p} -> {q} has {bends} bend(s) "
+                f"(normalized {normalize_polyline(list(path))}), "
+                f"reported {expected_bends}"
+            )
     return problems
 
 
@@ -192,6 +219,119 @@ def check_scene(
                 problems.append(
                     f"arbitrary query d({p}, {q}) = {got}, oracle says {want}"
                 )
+    return problems
+
+
+def check_links(
+    obstacles: Sequence[Obstacle],
+    container: Optional[RectilinearPolygon] = None,
+    extra_points: Sequence = (),
+    n_pairs: int = 5,
+    n_arbitrary: int = 2,
+    seed: int = 0,
+    engines: Sequence[str] = DEFAULT_ENGINES,
+) -> list[str]:
+    """Differentially check the min-link / bicriteria query family.
+
+    Every engine's answers (``min_links`` and the witness-free Pareto
+    frontier) must byte-agree with each other and with the independent
+    grid reference (:meth:`GridOracle.link_dist` / ``link_pareto``); the
+    reference engine's witness paths must be valid polylines realising
+    exactly the claimed (length, bends); frontiers must be non-dominated
+    by construction (strictly increasing bends, strictly decreasing
+    lengths) and end at the engines' agreed shortest-path length.
+    Arbitrary (off-grid) endpoints are probed too.  Returns problems
+    (empty = agreement).
+    """
+    rng = random.Random(f"linkcheck|{seed}")
+    engines = list(dict.fromkeys(engines)) or list(DEFAULT_ENGINES)
+    idxs: dict[str, ShortestPathIndex] = {}
+    try:
+        for name in engines:
+            idxs[name] = ShortestPathIndex.build(
+                obstacles, extra_points=extra_points, engine=name,
+                container=container,
+            )
+    except ReproError as exc:
+        return [f"build failed: {exc}"]
+    idx_ref = idxs[engines[0]]
+    pts = idx_ref.index.points
+
+    def queryable(p) -> bool:
+        try:
+            idx_ref._check_inside(p)
+        except ReproError:
+            return False
+        return True
+
+    qpts = [p for p in pts if queryable(p)]
+    if len(qpts) < 2:
+        return []
+    pairs = [tuple(rng.sample(qpts, 2)) for _ in range(n_pairs)]
+    free = _free_points(idx_ref, n_arbitrary, rng)
+    pairs += [(f, qpts[rng.randrange(len(qpts))]) for f in free]
+    oracle = GridOracle(
+        idx_ref.rects,
+        list(pts) + free,
+        seams=idx_ref.seams,
+        container=container,
+    )
+    problems: list[str] = []
+    for p, q in pairs:
+        want_links, want_len = oracle.link_dist(p, q)
+        want_frontier = [
+            (length, max(k - 1, 0)) for length, k in oracle.link_pareto(p, q)
+        ]
+        for name, idx in idxs.items():
+            try:
+                got_links = idx.min_links(p, q)
+                frontier = idx.bicriteria(p, q, with_paths=(name == engines[0]))
+            except ReproError as exc:
+                problems.append(f"{name}: link query {p} -> {q} failed: {exc}")
+                continue
+            if got_links != want_links:
+                problems.append(
+                    f"{name}: min_links({p}, {q}) = {got_links}, "
+                    f"grid reference says {want_links}"
+                )
+            got_frontier = [(length, bends) for length, bends, _ in frontier]
+            if got_frontier != want_frontier:
+                problems.append(
+                    f"{name}: pareto({p}, {q}) = {got_frontier}, "
+                    f"grid reference says {want_frontier}"
+                )
+                continue
+            head_links = 0 if p == q else frontier[0][1] + 1
+            if frontier and got_links != head_links:
+                problems.append(
+                    f"{name}: min_links({p}, {q}) = {got_links} does not "
+                    f"match the frontier head {frontier[0][:2]}"
+                )
+            # the frontier's length endpoint ties bends to the agreed
+            # length metric
+            if frontier and frontier[-1][0] != idx.length(p, q):
+                problems.append(
+                    f"{name}: pareto({p}, {q}) ends at length "
+                    f"{frontier[-1][0]}, length() says {idx.length(p, q)}"
+                )
+            for i, (length, bends, path) in enumerate(frontier):
+                if i and not (
+                    bends > frontier[i - 1][1] and length < frontier[i - 1][0]
+                ):
+                    problems.append(
+                        f"{name}: pareto({p}, {q}) point {i} "
+                        f"{(length, bends)} is dominated by "
+                        f"{frontier[i - 1][:2]}"
+                    )
+                if path is not None:
+                    problems += [
+                        f"{name}: pareto witness {i}: {msg}"
+                        for msg in validate_path(
+                            idx, path, p, q, length, expected_bends=bends
+                        )
+                    ]
+        if problems:
+            break  # one failing pair is enough to shrink on
     return problems
 
 

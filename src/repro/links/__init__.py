@@ -1,0 +1,28 @@
+"""Minimum-link and bicriteria (length, bends) query subsystem.
+
+The Hanan grid is exact for bends as well as lengths (segment-sliding
+normalization — see :mod:`repro.links.solver`), so a layered min-plus DP
+over the existing grid masks answers ``min_links``, the full Pareto
+frontier of ``(length, bends)`` pairs, and batched gathers of both.
+:class:`LinkDistanceIndex` is the serving-side entry point; the
+independent differential reference is
+:meth:`repro.core.baseline.GridOracle.link_dist` / ``link_pareto``.
+"""
+
+from repro.links.index import LinkDistanceIndex
+from repro.links.solver import (
+    LinkSolver,
+    container_blocked_masks,
+    count_bends,
+    count_links,
+    normalize_polyline,
+)
+
+__all__ = [
+    "LinkDistanceIndex",
+    "LinkSolver",
+    "container_blocked_masks",
+    "count_bends",
+    "count_links",
+    "normalize_polyline",
+]

@@ -1,0 +1,221 @@
+"""`LinkDistanceIndex` — minimum-link and bicriteria queries for a scene.
+
+Sits next to :class:`repro.core.allpairs.DistanceIndex` in the facade:
+the same obstacle set and registered point set, but answering the
+(length, bends) query family instead of lengths alone.  All answers come
+from the layered DP of :mod:`repro.links.solver`, which is exact on the
+Hanan grid; the independent grid-Dijkstra reference lives in
+:meth:`repro.core.baseline.GridOracle.link_dist` / ``link_pareto`` and
+the differential fuzz suite keeps the two byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.hanan import hanan_graph
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.primitives import Point, Rect
+from repro.links.solver import INF, LinkSolver, SourceSolve
+
+#: bound on cached per-source solves (converged layers only, no history)
+DEFAULT_SOLVE_CACHE = 64
+
+
+class LinkDistanceIndex:
+    """Min-link / bicriteria oracle over a fixed scene and point set.
+
+    All query points must be grid points (registered points or obstacle
+    vertices); the facade routes arbitrary endpoints through
+    :meth:`extended`, which rebuilds the grid with the extra coordinate
+    lines — the Hanan normalization argument makes that metric-preserving.
+
+    ``links`` counts maximal straight segments (0 iff the endpoints
+    coincide); ``bends = max(links - 1, 0)``.
+    """
+
+    def __init__(
+        self,
+        rects: Sequence[Rect],
+        points: Sequence[Point] = (),
+        seams: Sequence = (),
+        container: Optional[RectilinearPolygon] = None,
+        link_matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        self.rects = list(rects)
+        self.points = list(points)
+        self.seams = list(seams)
+        self.container = container
+        self.graph = hanan_graph(self.rects, self.points, seams=self.seams)
+        self.solver = LinkSolver(self.graph, container=container)
+        self._pos = {p: i for i, p in enumerate(self.points)}
+        if link_matrix is not None:
+            link_matrix = np.asarray(link_matrix)
+            if link_matrix.shape != (len(self.points), len(self.points)):
+                raise QueryError(
+                    f"link matrix shape {link_matrix.shape} does not match "
+                    f"{len(self.points)} registered points"
+                )
+        self._link_matrix = link_matrix
+        self._solves: "OrderedDict[int, SourceSolve]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def extended(self, extra_points: Sequence[Point]) -> "LinkDistanceIndex":
+        """A fresh index whose grid also carries ``extra_points`` — the
+        arbitrary-endpoint path (precomputed artifacts don't transfer)."""
+        return LinkDistanceIndex(
+            self.rects,
+            list(dict.fromkeys(list(self.points) + list(extra_points))),
+            seams=self.seams,
+            container=self.container,
+        )
+
+    def has_point(self, p: Point) -> bool:
+        try:
+            self.graph.node_id(p)
+        except Exception:  # noqa: BLE001 - off-grid
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _solve_cached(self, src_id: int, targets: Sequence[int]) -> SourceSolve:
+        """Per-source solve with an LRU of converged runs.
+
+        Cached solves keep only their target series and final layer, so a
+        hit must still cover the requested targets; misses re-solve with
+        the union (repeat sources in mixed batches stay one DP run)."""
+        hit = self._solves.get(src_id)
+        if hit is not None and all(t in hit.series for t in targets):
+            self._solves.move_to_end(src_id)
+            return hit
+        merged = list(targets)
+        if hit is not None:
+            merged.extend(hit.series)
+        sv = self.solver.solve(src_id, targets=merged)
+        self._solves[src_id] = sv
+        self._solves.move_to_end(src_id)
+        while len(self._solves) > DEFAULT_SOLVE_CACHE:
+            self._solves.popitem(last=False)
+        return sv
+
+    def _ids(self, p: Point, q: Point) -> tuple[int, int]:
+        try:
+            return self.graph.node_id(p), self.graph.node_id(q)
+        except Exception as exc:  # noqa: BLE001 - reraise with context
+            raise QueryError(
+                f"link queries need grid points (register endpoints or use "
+                f"extended()): {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def min_links(self, p: Point, q: Point) -> float:
+        """Minimum number of maximal segments of any path p → q (0 iff
+        ``p == q``, ``inf`` when disconnected)."""
+        if p == q:
+            return 0
+        i, j = self._pos.get(p), self._pos.get(q)
+        if self._link_matrix is not None and i is not None and j is not None:
+            v = int(self._link_matrix[i, j])
+            return v if v >= 0 else INF
+        pid, qid = self._ids(p, q)
+        return self._solve_cached(pid, [qid]).min_links(qid)
+
+    def link_counts(self, pairs: Sequence[tuple[Point, Point]]) -> list[float]:
+        """Batched :meth:`min_links`: pairs sharing an endpoint share one
+        DP run (the metric is symmetric, so each pair is oriented to put
+        its globally more frequent endpoint at the source)."""
+        out: list[float] = [0] * len(pairs)
+        freq = Counter(pt for pair in pairs for pt in pair)
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for k, (p, q) in enumerate(pairs):
+            if p == q:
+                continue
+            i, j = self._pos.get(p), self._pos.get(q)
+            if self._link_matrix is not None and i is not None and j is not None:
+                v = int(self._link_matrix[i, j])
+                out[k] = v if v >= 0 else INF
+                continue
+            src, tgt = (p, q) if freq[p] >= freq[q] else (q, p)
+            sid, tid = self._ids(src, tgt)
+            groups.setdefault(sid, []).append((k, tid))
+        for sid, items in groups.items():
+            sv = self._solve_cached(sid, [tid for _, tid in items])
+            for k, tid in items:
+                out[k] = sv.min_links(tid)
+        return out
+
+    # ------------------------------------------------------------------
+    def bicriteria(
+        self, p: Point, q: Point, with_paths: bool = True
+    ) -> list[tuple[float, int, Optional[list[Point]]]]:
+        """The Pareto frontier of ``(length, bends)`` pairs p → q, sorted
+        by increasing bends / decreasing length, with one witness path
+        per point (``with_paths=False`` skips witness backtracking and
+        returns ``None`` paths)."""
+        if p == q:
+            return [(0, 0, [p] if with_paths else None)]
+        pid, qid = self._ids(p, q)
+        if with_paths:
+            sv = self.solver.solve(pid, targets=[qid], keep_layers=True)
+        else:
+            sv = self._solve_cached(pid, [qid])
+        out: list[tuple[float, int, Optional[list[Point]]]] = []
+        for k, length in sv.series[qid]:
+            path = self.solver.witness(sv, qid, k) if with_paths else None
+            out.append((length, max(k - 1, 0), path))
+        return out
+
+    def paretos(
+        self, pairs: Sequence[tuple[Point, Point]]
+    ) -> list[list[tuple[float, int]]]:
+        """Batched witness-free frontiers, one ``[(length, bends), ...]``
+        list per pair, grouped by shared endpoints like
+        :meth:`link_counts`."""
+        out: list[list[tuple[float, int]]] = [[] for _ in pairs]
+        freq = Counter(pt for pair in pairs for pt in pair)
+        groups: dict[int, list[tuple[int, int]]] = {}
+        for k, (p, q) in enumerate(pairs):
+            if p == q:
+                out[k] = [(0, 0)]
+                continue
+            src, tgt = (p, q) if freq[p] >= freq[q] else (q, p)
+            sid, tid = self._ids(src, tgt)
+            groups.setdefault(sid, []).append((k, tid))
+        for sid, items in groups.items():
+            sv = self._solve_cached(sid, [tid for _, tid in items])
+            for k, tid in items:
+                out[k] = [
+                    (length, max(j - 1, 0)) for j, length in sv.series[tid]
+                ]
+        return out
+
+    def min_link_path(self, p: Point, q: Point) -> list[Point]:
+        """A witness path with the minimum link count (and the minimum
+        length among those)."""
+        frontier = self.bicriteria(p, q, with_paths=True)
+        if not frontier:
+            raise QueryError(f"{p} and {q} are disconnected")
+        length, bends, path = frontier[0]
+        assert path is not None
+        return path
+
+    # ------------------------------------------------------------------
+    def link_matrix(self) -> np.ndarray:
+        """All-pairs min-link counts among the registered points (one DP
+        run per source; ``-1`` marks disconnected pairs).  This is the
+        array a ``--links`` snapshot persists."""
+        if self._link_matrix is not None:
+            return self._link_matrix
+        n = len(self.points)
+        ids = [self.graph.node_id(p) for p in self.points]
+        mat = np.full((n, n), -1, dtype=np.int32)
+        for i, sid in enumerate(ids):
+            sv = self.solver.solve(sid, track_all_links=True)
+            assert sv.links_row is not None
+            mat[i] = sv.links_row[ids]
+        self._link_matrix = mat
+        return mat

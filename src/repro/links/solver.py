@@ -1,0 +1,296 @@
+"""Layered min-plus solver for minimum-link and bicriteria queries.
+
+The classic Hanan-grid normalization extends from lengths to bends: take
+any obstacle-avoiding rectilinear path and slide each maximal segment,
+one at a time, onto the nearest grid line induced by obstacle vertices
+and the two endpoints.  Sliding a segment between its neighbors never
+crosses an obstacle interior it did not cross before, never increases
+the L1 length, and never changes the number of maximal segments — so for
+every target there is a path that is simultaneously optimal in (length,
+bends) *and* lives on the grid.  The grid is therefore an exact model of
+the whole Pareto frontier, not just of the length metric.
+
+On the grid the frontier falls out of a layered dynamic program.  Let
+
+    ``A_k[v]`` = min length of a grid path source → ``v``
+                 with at most ``k`` maximal segments.
+
+``A_0`` is ``0`` at the source and ``+inf`` elsewhere, and
+
+    ``A_k = min(H(A_{k-1}), V(A_{k-1}))``
+
+where ``H``/``V`` extend every entry by one (possibly empty) horizontal/
+vertical straight run.  Each sweep is two directional scans per grid
+line, vectorized across the perpendicular axis, so a layer costs
+``O(grid)`` array work.  The per-target frontier is the strictly
+decreasing subsequence of ``A_k[target]``; the first finite layer is the
+link distance; global stabilization (``A_k == A_{k-1}``) means every
+later layer is identical, so iteration stops there with the frontier
+complete.
+
+Only *empty* sweeps let ``A_k`` mention paths with fewer than ``k``
+maximal segments, so a value strictly below ``A_{k-1}[t]`` is witnessed
+by a path with exactly ``k`` maximal segments — backtracking through the
+stored layers reproduces it segment by segment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.geometry.hanan import HananGraph
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.primitives import Point
+
+INF = float("inf")
+
+
+def container_blocked_masks(
+    graph: HananGraph, container: Optional[RectilinearPolygon]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Blocked-edge masks for *link* metrics: the graph's obstacle masks
+    plus every grid edge that leaves the container.
+
+    The length engines model a container via pocket rectangles, which
+    leaves zero-width corridors along pocket-pocket shared edges strictly
+    outside ``P``.  Grazing them never shortens a path (``P`` is
+    rectilinear convex) but it *can* save a bend, so the link metric must
+    block them explicitly.  ``P``'s rectilinear convexity makes the test
+    exact and cheap: an axis-parallel grid edge lies inside ``P`` iff
+    both endpoints do.
+    """
+    bh = graph.block_h
+    bv = graph.block_v
+    if container is None:
+        return bh, bv
+    inside = np.empty((len(graph.ys), len(graph.xs)), dtype=bool)
+    for yi, y in enumerate(graph.ys):
+        for xi, x in enumerate(graph.xs):
+            inside[yi, xi] = container.contains((x, y))
+    bh = bh | ~inside[:, :-1] | ~inside[:, 1:]
+    bv = bv | ~inside[:-1, :] | ~inside[1:, :]
+    return bh, bv
+
+
+class SourceSolve:
+    """The converged layered DP for one source.
+
+    ``series[t]`` — the target's Pareto series as ``[(k, length), ...]``
+    with ``k`` strictly increasing and ``length`` strictly decreasing
+    (empty when the target is unreachable).  ``layers[k]`` — the full
+    ``A_k`` grid (kept only when witnesses were requested; otherwise the
+    list holds just the converged layer).
+    """
+
+    __slots__ = ("src_id", "series", "layers", "links_row")
+
+    def __init__(
+        self,
+        src_id: int,
+        series: dict[int, list[tuple[int, float]]],
+        layers: list[np.ndarray],
+        links_row: Optional[np.ndarray] = None,
+    ) -> None:
+        self.src_id = src_id
+        self.series = series
+        self.layers = layers
+        self.links_row = links_row
+
+    def min_links(self, t_id: int) -> float:
+        s = self.series.get(t_id)
+        if not s:
+            return INF
+        return s[0][0]
+
+
+class LinkSolver:
+    """Min-link / bicriteria solver over one scene's Hanan grid."""
+
+    def __init__(
+        self, graph: HananGraph, container: Optional[RectilinearPolygon] = None
+    ) -> None:
+        self.graph = graph
+        self.nx = len(graph.xs)
+        self.ny = len(graph.ys)
+        self.dx = np.diff(np.asarray(graph.xs, dtype=np.float64))
+        self.dy = np.diff(np.asarray(graph.ys, dtype=np.float64))
+        self.block_h, self.block_v = container_blocked_masks(graph, container)
+
+    # -- one straight-run extension per axis ---------------------------
+    def _hsweep(self, a: np.ndarray) -> np.ndarray:
+        """Extend every entry by one horizontal straight run (length ≥ 0).
+
+        Forward and backward scans share one output array; a chained
+        right-then-left relaxation corresponds to a horizontal
+        out-and-back walk, which is always dominated by its straight
+        prefix/suffix, so sharing never creates values below the true
+        straight-run minimum.
+        """
+        out = a.copy()
+        bh, dx = self.block_h, self.dx
+        for xi in range(1, self.nx):
+            step = np.where(bh[:, xi - 1], INF, out[:, xi - 1] + dx[xi - 1])
+            np.minimum(out[:, xi], step, out=out[:, xi])
+        for xi in range(self.nx - 2, -1, -1):
+            step = np.where(bh[:, xi], INF, out[:, xi + 1] + dx[xi])
+            np.minimum(out[:, xi], step, out=out[:, xi])
+        return out
+
+    def _vsweep(self, a: np.ndarray) -> np.ndarray:
+        out = a.copy()
+        bv, dy = self.block_v, self.dy
+        for yi in range(1, self.ny):
+            step = np.where(bv[yi - 1], INF, out[yi - 1] + dy[yi - 1])
+            np.minimum(out[yi], step, out=out[yi])
+        for yi in range(self.ny - 2, -1, -1):
+            step = np.where(bv[yi], INF, out[yi + 1] + dy[yi])
+            np.minimum(out[yi], step, out=out[yi])
+        return out
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        src_id: int,
+        targets: Sequence[int] = (),
+        keep_layers: bool = False,
+        track_all_links: bool = False,
+    ) -> SourceSolve:
+        """Run the layered DP from one source to global stabilization."""
+        n = self.nx * self.ny
+        a = np.full((self.ny, self.nx), INF)
+        a.flat[src_id] = 0.0  # node id yi*nx+xi == C-order flat index
+        targets = list(dict.fromkeys(targets))
+        series: dict[int, list[tuple[int, float]]] = {t: [] for t in targets}
+        if src_id in series:
+            series[src_id].append((0, 0.0))
+        links_row = None
+        if track_all_links:
+            links_row = np.full(n, -1, dtype=np.int32)
+            links_row[src_id] = 0
+        layers = [a]
+        k = 0
+        # each layer strictly improves at least one node until the fixed
+        # point, so n+1 layers would already mean a broken sweep
+        while k <= n + 1:
+            k += 1
+            new = np.minimum(self._hsweep(a), self._vsweep(a))
+            if np.array_equal(new, a):
+                break
+            flat = new.ravel()
+            for t in targets:
+                prior = series[t][-1][1] if series[t] else INF
+                if flat[t] < prior:
+                    series[t].append((k, float(flat[t])))
+            if links_row is not None:
+                np.copyto(
+                    links_row, k, where=(links_row < 0) & np.isfinite(flat)
+                )
+            if keep_layers:
+                layers.append(new)
+            else:
+                layers = [new]
+            a = new
+        else:  # pragma: no cover - contradicts the strict-improvement bound
+            raise QueryError("link DP failed to stabilize")
+        return SourceSolve(src_id, series, layers, links_row)
+
+    # ------------------------------------------------------------------
+    def witness(self, solve: SourceSolve, t_id: int, k: int) -> list[Point]:
+        """A path source → target of length ``A_k[target]`` with at most
+        ``k`` maximal segments, backtracked through the stored layers.
+
+        For ``(k, A_k[t])`` on the target's Pareto series the segment
+        count is *exactly* ``k``: a witness with fewer maximal segments
+        would put its length into an earlier layer, contradicting the
+        series' strict decrease.
+        """
+        if len(solve.layers) < 2 and k > 0:
+            raise QueryError("witness backtracking needs keep_layers=True")
+        layers = solve.layers
+        j = min(k, len(layers) - 1)
+        cur = t_id
+        if not np.isfinite(layers[j].flat[cur]):
+            raise QueryError("unreachable target has no witness path")
+        nodes = [cur]
+        while cur != solve.src_id:
+            if j == 0:  # pragma: no cover - src row of A_0 is 0 only at src
+                raise QueryError("witness backtracking ran out of layers")
+            val = layers[j].flat[cur]
+            if layers[j - 1].flat[cur] == val:
+                j -= 1
+                continue
+            cur = self._find_pred(layers[j - 1].ravel(), cur, val)
+            nodes.append(cur)
+            j -= 1
+        pts = [self.graph.node_point(nid) for nid in reversed(nodes)]
+        return normalize_polyline(pts)
+
+    def _find_pred(self, prev: np.ndarray, nid: int, val: float) -> int:
+        """A node one straight open run away with ``prev + run == val``."""
+        nx = self.nx
+        yi, xi = divmod(nid, nx)
+        row = yi * nx
+        acc = 0.0
+        for x2 in range(xi - 1, -1, -1):  # leftward run
+            if self.block_h[yi, x2]:
+                break
+            acc += self.dx[x2]
+            if prev[row + x2] + acc == val:
+                return row + x2
+        acc = 0.0
+        for x2 in range(xi + 1, nx):  # rightward run
+            if self.block_h[yi, x2 - 1]:
+                break
+            acc += self.dx[x2 - 1]
+            if prev[row + x2] + acc == val:
+                return row + x2
+        acc = 0.0
+        for y2 in range(yi - 1, -1, -1):  # downward run
+            if self.block_v[y2, xi]:
+                break
+            acc += self.dy[y2]
+            if prev[y2 * nx + xi] + acc == val:
+                return y2 * nx + xi
+        acc = 0.0
+        for y2 in range(yi + 1, self.ny):  # upward run
+            if self.block_v[y2 - 1, xi]:
+                break
+            acc += self.dy[y2 - 1]
+            if prev[y2 * nx + xi] + acc == val:
+                return y2 * nx + xi
+        raise QueryError(  # pragma: no cover - contradicts the DP recurrence
+            "no straight-run predecessor while backtracking a link witness"
+        )
+
+
+def normalize_polyline(pts: Sequence[Point]) -> list[Point]:
+    """Drop repeated points and merge collinear runs — the canonical form
+    whose interior vertex count is exactly the bend count."""
+    out: list[Point] = []
+    for p in pts:
+        if out and out[-1] == p:
+            continue
+        if len(out) >= 2 and (
+            (out[-2][0] == out[-1][0] == p[0])
+            or (out[-2][1] == out[-1][1] == p[1])
+        ):
+            out[-1] = p
+        else:
+            out.append(p)
+    return out
+
+
+def count_bends(path: Sequence[Point]) -> int:
+    """Exact bend count of a rectilinear polyline (normalized first, so
+    collinear or duplicate vertices don't inflate the answer)."""
+    norm = normalize_polyline(list(path))
+    return max(len(norm) - 2, 0)
+
+
+def count_links(path: Sequence[Point]) -> int:
+    """Number of maximal straight segments (0 for a single point)."""
+    norm = normalize_polyline(list(path))
+    return max(len(norm) - 1, 0)

@@ -1,14 +1,22 @@
 """The batching query front-end over a :class:`SceneStore`.
 
 ``QueryServer`` is the request-facing layer: callers hand it a mixed
-stream of requests (lengths and path reports, possibly spanning several
-scenes) and it answers them in request order while *coalescing* all
-same-scene length requests into one vectorized
-:meth:`ShortestPathIndex.lengths` call — one containment check and one
-matrix gather for the whole group instead of a Python round-trip per
-request.  That amortization is the serving-side twin of the paper's
-build-side batching, and ``BENCH_serve.json`` records the resulting
-throughput multiple.
+stream of requests (lengths, path reports, min-link counts and Pareto
+frontiers, possibly spanning several scenes) and it answers them in
+request order while *coalescing* same-scene same-verb requests into one
+vectorized call — :meth:`ShortestPathIndex.lengths`,
+:meth:`ShortestPathIndex.link_counts` or
+:meth:`ShortestPathIndex.paretos` — so a group pays one containment
+check and one gather (or one shared link-DP run per distinct source)
+instead of a Python round-trip per request.  That amortization is the
+serving-side twin of the paper's build-side batching, and
+``BENCH_serve.json`` / ``BENCH_links.json`` record the resulting
+throughput multiples.
+
+Every answered request also lands in the ``repro.query.*`` metric
+families (per-verb counters plus answer-shape histograms, see
+``metrics.md``) through the process-default registry, so the in-process
+server, the cluster workers, and ``GET /metrics`` all expose one truth.
 
 The API is an in-process, thread-safe one: ``submit`` may be called from
 many threads at once (the store's per-scene locks serialize
@@ -26,16 +34,24 @@ import numpy as np
 from repro.errors import QueryError
 from repro.geometry.primitives import Point
 from repro.obs.recorders import BatchHistogram
+from repro.obs.registry import default_registry
 from repro.serve.store import SceneStore
 
 #: request kinds understood by :meth:`QueryServer.submit`
 OP_LENGTH = "length"
 OP_PATH = "path"
+OP_MINLINK = "minlink"
+OP_PARETO = "pareto"
+
+#: every op, in the order groups are answered
+_OPS = (OP_LENGTH, OP_MINLINK, OP_PARETO, OP_PATH)
 
 
 @dataclass(frozen=True)
 class Request:
-    """One query: ``op`` is ``"length"`` (default) or ``"path"``."""
+    """One query: ``op`` is ``"length"`` (default), ``"path"``,
+    ``"minlink"`` (minimum maximal-segment count) or ``"pareto"`` (the
+    (length, bends) frontier as ``[(length, bends), ...]``)."""
 
     scene: str
     p: Point
@@ -43,7 +59,7 @@ class Request:
     op: str = OP_LENGTH
 
     def __post_init__(self) -> None:
-        if self.op not in (OP_LENGTH, OP_PATH):
+        if self.op not in _OPS:
             raise QueryError(f"unknown request op {self.op!r}")
 
 
@@ -77,6 +93,22 @@ class QueryServer:
         self.coalesced_groups = 0
         self.largest_group = 0
         self.batch_hist = BatchHistogram()
+        reg = default_registry()
+        self._m_requests = reg.counter(
+            "repro.query.requests",
+            "queries answered by the batching server, per verb",
+            labels=("verb",),
+        )
+        self._m_link_count = reg.histogram(
+            "repro.query.link_count",
+            "min-link answers (maximal segment counts)",
+            buckets=(1, 2, 3, 4, 6, 8, 12, 16),
+        )
+        self._m_pareto_points = reg.histogram(
+            "repro.query.pareto_points",
+            "Pareto frontier sizes returned by pareto queries",
+            buckets=(1, 2, 3, 4, 6, 8, 12, 16),
+        )
 
     # -- single-call conveniences --------------------------------------
     def length(self, scene: str, p: Point, q: Point) -> float:
@@ -85,41 +117,73 @@ class QueryServer:
     def lengths(self, scene: str, pairs: Sequence[tuple[Point, Point]]) -> np.ndarray:
         """All-one-scene fast path: one coalesced call, array result."""
         with self.store.using(scene) as idx:
-            return np.asarray(idx.lengths(list(pairs)))
+            vals = np.asarray(idx.lengths(list(pairs)))
+        self._m_requests.inc(len(pairs), verb=OP_LENGTH)
+        return vals
 
     def shortest_path(self, scene: str, p: Point, q: Point) -> List[Point]:
         return self.submit([Request(scene, p, q, op=OP_PATH)])[0]
+
+    def min_links(self, scene: str, p: Point, q: Point) -> int:
+        return self.submit([Request(scene, p, q, op=OP_MINLINK)])[0]
+
+    def pareto(self, scene: str, p: Point, q: Point) -> list:
+        return self.submit([Request(scene, p, q, op=OP_PARETO)])[0]
 
     # -- the batched entry point ---------------------------------------
     def submit(self, requests: Iterable[RequestLike]) -> list:
         """Answer a mixed batch, returning results in request order.
 
-        Length requests are grouped by scene and answered with one
-        vectorized call per scene; path reports are answered per request
-        (path assembly is inherently per-pair, §8).
+        Length, min-link and pareto requests are each grouped by scene
+        and answered with one vectorized/shared-solve call per (scene,
+        verb) group; path reports are answered per request (path assembly
+        is inherently per-pair, §8).
         """
         reqs = [_coerce(r) for r in requests]
         out: list = [None] * len(reqs)
-        groups: dict[str, list[int]] = {}
+        groups: dict[tuple[str, str], list[int]] = {}
         path_positions: list[int] = []
         for i, r in enumerate(reqs):
-            if r.op == OP_LENGTH:
-                groups.setdefault(r.scene, []).append(i)
-            else:
+            if r.op == OP_PATH:
                 path_positions.append(i)
+            else:
+                groups.setdefault((r.scene, r.op), []).append(i)
         # pinned access: LRU eviction under the byte bound must never
         # free a scene while this batch is reading its matrix
-        for scene, positions in groups.items():
+        for (scene, op), positions in groups.items():
+            pairs = [(reqs[i].p, reqs[i].q) for i in positions]
             with self.store.using(scene) as idx:
-                vals = idx.lengths([(reqs[i].p, reqs[i].q) for i in positions])
-            for k, i in enumerate(positions):
-                out[i] = float(vals[k])
+                if op == OP_LENGTH:
+                    vals = idx.lengths(pairs)
+                    for k, i in enumerate(positions):
+                        out[i] = float(vals[k])
+                elif op == OP_MINLINK:
+                    counts = idx.link_counts(pairs)
+                    for k, i in enumerate(positions):
+                        if np.isfinite(counts[k]):
+                            out[i] = int(counts[k])
+                            self._m_link_count.observe(counts[k])
+                        else:  # enclosed point; keep the histogram finite
+                            out[i] = float("inf")
+                else:  # OP_PARETO
+                    fronts = idx.paretos(pairs)
+                    for k, i in enumerate(positions):
+                        out[i] = [
+                            (float(length), int(bends))
+                            for length, bends in fronts[k]
+                        ]
+                        self._m_pareto_points.observe(len(fronts[k]))
         for i in path_positions:
             r = reqs[i]
             with self.store.using(r.scene) as idx:
                 out[i] = idx.shortest_path(r.p, r.q)
         if reqs:
             self.batch_hist.observe(len(reqs))
+        by_verb: dict[str, int] = {}
+        for r in reqs:
+            by_verb[r.op] = by_verb.get(r.op, 0) + 1
+        for verb, n in by_verb.items():
+            self._m_requests.inc(n, verb=verb)
         with self._lock:
             self.requests += len(reqs)
             self.batches += 1

@@ -48,7 +48,7 @@ MANIFEST_VERSION = 1
 
 #: array members that go into the segment (everything else — rect lists,
 #: polygon loops, the container — is small and rides the manifest inline)
-_SEGMENT_MEMBERS = ("points", "matrix", "qs_parents")
+_SEGMENT_MEMBERS = ("points", "matrix", "qs_parents", "link_matrix")
 
 
 def _segment_name() -> str:
@@ -162,6 +162,8 @@ class ShmPublisher:
         }
         if arrays.get("qs_parents") is not None:
             seg_arrays["qs_parents"] = np.asarray(arrays["qs_parents"])
+        if arrays.get("link_matrix") is not None:
+            seg_arrays["link_matrix"] = np.asarray(arrays["link_matrix"])
         return self._publish_arrays(scene, seg_arrays, meta)
 
     def republish(self, scene: str, idx: ShortestPathIndex) -> dict:
@@ -422,6 +424,14 @@ def _index_arrays(idx: ShortestPathIndex) -> tuple[dict, bool]:
     include_query = not getattr(idx, "seams", [])
     if include_query:
         arrays["qs_parents"] = idx.query.export_world_parents()
+    # an already-computed link matrix rides along (never forced here —
+    # publishing must not trigger an all-pairs DP the caller didn't ask
+    # for; snapshot.save(include_links=True) is the explicit knob)
+    link_matrix = getattr(idx, "_link_matrix", None)
+    if link_matrix is None:
+        link_matrix = getattr(getattr(idx, "_links", None), "_link_matrix", None)
+    if link_matrix is not None:
+        arrays["link_matrix"] = np.asarray(link_matrix)
     return arrays, include_query
 
 

@@ -26,10 +26,24 @@ the build output the natural unit of persistence.  A snapshot is a single
 ``poly_vertices`` ``(K, 2)`` int64 — *v2+*: concatenated polygon
                  loops (seams are recomputed from the loops on load —
                  the decomposition is deterministic)
+``link_matrix``  ``(n, n)`` int32 — *v4+, optional* (``save(...,
+                 include_links=True)``): all-pairs min-link counts among
+                 the registered points, ``-1`` marking disconnected
+                 pairs; loaded snapshots use it as the fast path for
+                 ``minlink`` queries between registered points
+
+*v4* also added a ``verbs`` header key naming the query verbs the
+artifact supports.  Older artifacts (v1–v3) still load, but their
+indices advertise ``("length", "path")`` only — the link-query family
+was specified after v3 froze, so a pre-v4 artifact makes no promise
+about it and the facade's capability gate turns ``minlink``/``pareto``
+into a one-line :class:`~repro.errors.QueryError` instead of an answer
+that silently bypassed the artifact's contract.  Re-snapshot the scene
+to upgrade.
 
 Two container layouts exist:
 
-* **format v3 (current, "raw")** — a flat binary file: an 8-byte magic,
+* **formats v3/v4 (current, "raw")** — a flat binary file: an 8-byte magic,
   a little-endian ``uint64`` header length, the JSON header (which
   carries a table of contents of dtype/shape/offset per array), then the
   raw C-order array payloads at 64-byte-aligned offsets.  The layout is
@@ -75,9 +89,12 @@ PathLike = Union[str, pathlib.Path]
 
 #: snapshot format identity; bump ``SNAPSHOT_VERSION`` on layout changes
 SNAPSHOT_FORMAT = "repro-snapshot"
-SNAPSHOT_VERSION = 3
+SNAPSHOT_VERSION = 4
 #: every format version this build can read back
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
+#: verbs a pre-v4 artifact is assumed to support (the link family was
+#: introduced with v4; see the module docstring)
+LEGACY_VERBS = ("length", "path")
 #: the version written by ``save(..., layout="npz")`` (the legacy container)
 NPZ_VERSION = 2
 
@@ -102,7 +119,9 @@ def _matrix_digest(matrix: np.ndarray) -> str:
     return hashlib.sha256(np.ascontiguousarray(matrix).tobytes()).hexdigest()
 
 
-def _export_arrays(idx: ShortestPathIndex, include_query: bool) -> tuple[dict, bool]:
+def _export_arrays(
+    idx: ShortestPathIndex, include_query: bool, include_links: bool = False
+) -> tuple[dict, bool]:
     """All snapshot array members of ``idx`` (shared by both layouts)."""
     arrays = idx.index.export_arrays()
     arrays["rects"] = np.array(
@@ -127,6 +146,13 @@ def _export_arrays(idx: ShortestPathIndex, include_query: bool) -> tuple[dict, b
     include_query = include_query and not getattr(idx, "seams", [])
     if include_query:
         arrays["qs_parents"] = idx.query.export_world_parents()
+    if include_links:
+        # all-pairs min-link counts among the registered points — forces
+        # the link index (and one DP run per source) now so a loaded
+        # snapshot answers registered-pair minlink queries by lookup
+        arrays["link_matrix"] = np.ascontiguousarray(
+            idx.links.link_matrix(), dtype=np.int32
+        )
     return arrays, include_query
 
 
@@ -144,6 +170,10 @@ def _base_header(idx: ShortestPathIndex, include_query: bool, matrix) -> dict:
         "build_time": idx.pram.time,
         "build_work": idx.pram.work,
         "matrix_sha256": _matrix_digest(matrix),
+        # v4+: the query verbs this artifact supports; readers gate the
+        # facade's capabilities on it (absent on pre-v4 artifacts, which
+        # therefore narrow to LEGACY_VERBS on load)
+        "verbs": list(getattr(idx, "capabilities", LEGACY_VERBS)),
     }
     # stage provenance from repro.pipeline (engine + per-stage wall/PRAM
     # timings + cache hits): carried verbatim so `repro bench-info SNAP`
@@ -160,6 +190,7 @@ def save(
     path: PathLike,
     include_query: bool = True,
     layout: str = "raw",
+    include_links: bool = False,
 ) -> pathlib.Path:
     """Serialize ``idx`` to ``path``; returns the path written.
 
@@ -168,13 +199,19 @@ def save(
     — so a loaded snapshot answers arbitrary-point queries without any
     tracing work.
 
-    ``layout="raw"`` (default) writes the mmap-friendly format-v3 file;
+    ``include_links=True`` additionally precomputes and embeds the
+    all-pairs min-link matrix (one DP run per registered point now, a
+    lookup per ``minlink`` query forever after).  Link *queries* do not
+    require it — any v4 artifact answers them through the lazy link
+    index — it only trades build time for query latency.
+
+    ``layout="raw"`` (default) writes the mmap-friendly format-v4 file;
     ``layout="npz"`` writes the legacy format-v2 ``.npz`` archive (smaller
     on disk, but loads through a decompress-and-copy path and cannot back
     shared-memory serving directly).
     """
     path = pathlib.Path(path)
-    arrays, include_query = _export_arrays(idx, include_query)
+    arrays, include_query = _export_arrays(idx, include_query, include_links)
     header = _base_header(idx, include_query, arrays["matrix"])
     if layout == "raw":
         header["version"] = SNAPSHOT_VERSION
@@ -328,6 +365,7 @@ def load_arrays(path: PathLike, mmap: bool = True) -> tuple[dict, dict]:
         if required not in arrays:
             raise SnapshotError(f"{path}: snapshot has no {required!r} member")
     arrays.setdefault("qs_parents", None)
+    arrays.setdefault("link_matrix", None)  # v4 optional member
     if "poly_offsets" not in arrays:  # format v1: pre-polygon artifact
         arrays["poly_offsets"] = np.zeros(1, dtype=np.int64)
         arrays["poly_vertices"] = np.empty((0, 2), dtype=np.int64)
@@ -367,6 +405,15 @@ def reconstruct(header: dict, arrays: dict, label: str = "<arrays>") -> Shortest
                 f"{label}: query-structure parents shape {parents.shape} does "
                 f"not match {len(rects)} obstacles"
             )
+    link_matrix = arrays.get("link_matrix")
+    if link_matrix is not None:
+        link_matrix = np.asarray(link_matrix)
+        n = len(index)
+        if link_matrix.shape != (n, n):
+            raise SnapshotError(
+                f"{label}: link matrix shape {link_matrix.shape} does not "
+                f"match {n} registered points"
+            )
     idx = ShortestPathIndex(
         rects,
         index,
@@ -379,6 +426,21 @@ def reconstruct(header: dict, arrays: dict, label: str = "<arrays>") -> Shortest
     )
     # round-trip the build provenance (None for pre-pipeline artifacts)
     idx.provenance = header.get("provenance")
+    idx._link_matrix = link_matrix
+    # capability gate: a header that names its verbs is believed; one
+    # that predates the "verbs" key but carries a format version is a
+    # pre-v4 artifact and narrows to the legacy verb set; a header with
+    # neither (the shm-attach path: arrays from a live publisher, not an
+    # old file) advertises everything this build can answer.
+    verbs = header.get("verbs")
+    if verbs is not None:
+        idx.capabilities = tuple(str(v) for v in verbs)
+    elif "version" in header:
+        idx.capabilities = LEGACY_VERBS
+        idx.capability_note = (
+            f"snapshot format v{header['version']} predates link queries; "
+            f"re-snapshot the scene to enable them"
+        )
     return idx
 
 

@@ -6,7 +6,10 @@ validates paths and cross-checks engines the same way:
 ``assert_valid_path(idx, path, p, q, expected_len)``
     the polyline is rectilinear, endpoint-correct, clear of every obstacle
     interior (polygon interiors included), inside the container, and
-    exactly as long as reported.
+    exactly as long as reported.  The polyline is normalized (duplicate
+    vertices dropped, collinear runs merged) and the exact bend count is
+    returned — pass ``expected_bends`` to assert it, as the link-query
+    tests do.
 
 ``assert_engines_agree(obstacles, ...)``
     parallel vs sequential vs grid-Dijkstra baseline report identical
@@ -26,19 +29,28 @@ from repro.workloads.scenefile import save_scene
 FAILURE_DIR = pathlib.Path(__file__).parent / "failures"
 
 
-def assert_valid_path(idx, path, p, q, expected_len=None) -> None:
-    """Assert one reported polyline is fully valid (see module docstring)."""
+def assert_valid_path(idx, path, p, q, expected_len=None, expected_bends=None) -> int:
+    """Assert one reported polyline is fully valid (see module docstring)
+    and return its exact bend count (counted on the normalized polyline,
+    so collinear or duplicate vertices never inflate it)."""
+    from repro.links.solver import count_bends
+
     if expected_len is None:
         expected_len = idx.length(p, q)
-    problems = validate_path(idx, path, p, q, expected_len)
+    problems = validate_path(
+        idx, path, p, q, expected_len, expected_bends=expected_bends
+    )
     assert not problems, "; ".join(problems)
+    return count_bends(path)
 
 
 def assert_valid_path_raw(
-    rects, path, p, q, expected_len, seams=(), container=None
-) -> None:
+    rects, path, p, q, expected_len, seams=(), container=None,
+    expected_bends=None,
+) -> int:
     """assert_valid_path for engine-level tests that have no facade index:
     pass the obstacle rects (and seams/container) directly."""
+    from repro.links.solver import count_bends
 
     class _Shim:
         def __init__(self):
@@ -46,8 +58,11 @@ def assert_valid_path_raw(
             self.seams = list(seams)
             self.container = container
 
-    problems = validate_path(_Shim(), path, p, q, expected_len)
+    problems = validate_path(
+        _Shim(), path, p, q, expected_len, expected_bends=expected_bends
+    )
     assert not problems, "; ".join(problems)
+    return count_bends(path)
 
 
 def assert_engines_agree(

@@ -1,0 +1,63 @@
+"""Differential fuzz of the link-query family (200+ seeded scenes).
+
+Every scene runs :func:`repro.core.crosscheck.check_links`: the layered-
+DP :class:`~repro.links.index.LinkDistanceIndex` (through the facade, per
+engine) against the independent grid-Dijkstra reference
+(:meth:`GridOracle.link_dist` / ``link_pareto``).  Agreement is exact —
+min-link counts, the full (length, bends) Pareto frontier, frontier
+non-dominance, the frontier/length() tie-in — and the reference engine's
+witness paths must be valid (rectilinear, clear, in-container, correct
+length AND exact bend count) via ``validate_path``.
+
+Scene kinds cycle rects / polygons+rects / polygons-only / container —
+the acceptance grid for the subsystem.  Batches are parametrized so a
+failure names its (batch, seed) and pytest can rerun one batch alone.
+"""
+
+import pytest
+
+from repro.core.api import split_obstacles
+from repro.core.crosscheck import check_links
+from repro.workloads.generators import (
+    random_container_polygon,
+    random_disjoint_rects,
+    random_polygon_scene,
+)
+
+SCENES_PER_BATCH = 10
+N_BATCHES = 21  # 210 scenes total
+
+
+def _scene(seed: int, kind: int):
+    """One seeded scene of the cycling kind; returns (obstacles, container)."""
+    if kind == 0:  # pure rectangles (the paper's model)
+        return list(random_disjoint_rects(8, seed=seed)), None
+    if kind == 1:  # polygons + rects
+        return random_polygon_scene(2, 3, seed=seed), None
+    if kind == 2:  # polygons only
+        return random_polygon_scene(2, 0, seed=seed), None
+    obstacles = random_polygon_scene(1, 2, seed=seed)
+    _, _, all_rects, _ = split_obstacles(obstacles)
+    return obstacles, random_container_polygon(all_rects, seed=seed)
+
+
+@pytest.mark.parametrize("batch", range(N_BATCHES))
+def test_links_agree_with_grid_oracle(batch):
+    for i in range(SCENES_PER_BATCH):
+        n = batch * SCENES_PER_BATCH + i
+        seed = 40000 + n
+        obstacles, container = _scene(seed, n % 4)
+        problems = check_links(obstacles, container, seed=seed)
+        assert not problems, (
+            f"scene {n} (seed {seed}, kind {n % 4}): {problems[0]}"
+        )
+
+
+def test_links_agree_with_extra_registered_points():
+    """Registered extra points ride the Hanan grid and must agree too."""
+    rects = list(random_disjoint_rects(6, seed=77))
+    from repro.workloads.generators import random_free_points
+
+    extra = random_free_points(rects, 4, seed=77)
+    problems = check_links(rects, extra_points=extra, seed=77)
+    assert not problems, problems[0]

@@ -375,12 +375,12 @@ class TestSnapshotFormatV3:
         rects = random_disjoint_rects(8, seed=3)
         return rects, ShortestPathIndex.build(rects)
 
-    def test_default_save_is_raw_v3(self, tmp_path, built):
+    def test_default_save_is_raw_v4(self, tmp_path, built):
         _, idx = built
         path = save(idx, tmp_path / "r.rsp")
         assert path.read_bytes()[: len(RAW_MAGIC)] == RAW_MAGIC
         header = read_snapshot_header(path)
-        assert header["version"] == SNAPSHOT_VERSION == 3
+        assert header["version"] == SNAPSHOT_VERSION == 4
         assert header["layout"] == "raw"
         assert set(header["toc"]) >= {"points", "matrix", "rects", "container"}
         assert is_snapshot(path)
@@ -409,7 +409,7 @@ class TestSnapshotFormatV3:
         arrays, include_query = _export_arrays(idx, True)
         header = {
             "format": "repro-snapshot",
-            "version": 4,
+            "version": SNAPSHOT_VERSION + 1,
             "layout": "raw",
             "engine": "parallel",
             "matrix_sha256": "0" * 64,
