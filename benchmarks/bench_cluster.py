@@ -16,9 +16,10 @@ Two claims about :mod:`repro.cluster` are measured and recorded in
     ``BENCH_SMOKE``).
   - *CPU-bound query workload*: real bulk-``lengths`` requests with
     arbitrary endpoints (the §6.4 path).  This scales with *physical
-    cores*; the ratio is recorded always and asserted only when the
-    machine actually has ≥ 4 cores (``cpu_limited`` is recorded so the
-    artifact says which regime it measured).
+    cores*; the ratio is recorded always and asserted whenever
+    ``os.cpu_count() >= 4`` and the build worker pool can actually start
+    (``cpu_limited`` is still recorded so the artifact says which regime
+    it measured).
 
 * **flat worker memory** — one worker serving 1/4/8 shm-published
   copies of an ~8 MB-matrix scene.  The worker's *private* bytes
@@ -297,6 +298,7 @@ def test_c1_cluster_scaling_and_flat_rss():
         "cluster",
         {
             "cpus": CPUS,
+            "logical_cpus": os.cpu_count() or 1,
             "cpu_limited": CPUS < w_hi,
             "scenes": N_SCENES,
             "n_rects": N_RECTS,
@@ -346,9 +348,12 @@ def test_c1_cluster_scaling_and_flat_rss():
             f"cluster fan-out only {dispatch_scaling:.2f}x at {w_hi} workers "
             f"under the fixed-service-time workload"
         )
-        if CPUS >= w_hi:
+        if (os.cpu_count() or 1) >= 4 and _pool_available():
+            # on any ≥4-core host with a working process pool the
+            # CPU-bound ratio is load-bearing, not best-effort
             assert query_scaling >= 2.5, (
-                f"CPU-bound scaling only {query_scaling:.2f}x on {CPUS} cores"
+                f"CPU-bound scaling only {query_scaling:.2f}x on {CPUS} "
+                f"visible / {os.cpu_count()} logical cores"
             )
         assert chaos["availability"] >= 1.0, (
             f"availability {chaos['availability']:.4f} under chaos: "
@@ -366,3 +371,18 @@ def test_c1_cluster_scaling_and_flat_rss():
                 f"over {k_hi} scenes — shared matrices are being copied "
                 f"(copy cost would be {copy_cost / 2**20:.0f} MB)"
             )
+
+
+def _pool_available() -> bool:
+    """Can this host actually start the multiprocessing build pool?
+    (Sandboxes that forbid process spawn should skip the CPU-bound
+    assertion rather than fail it for the wrong reason.)"""
+    try:
+        from repro.core.pool import get_pool, shutdown_pool
+
+        pool = get_pool(2)
+        ok = not pool.closed
+        shutdown_pool()
+        return ok
+    except Exception:
+        return False

@@ -81,18 +81,57 @@ def emit(name: str, text: str) -> str:
     return text
 
 
+def host_context() -> dict:
+    """The machine every wall-clock number in a BENCH_*.json was taken
+    on: logical and *physical* core counts, the CPU model string, and
+    whether this was a smoke run.  A scaling curve without its core
+    count is unreproducible — two hosts disagreeing on a ratio is
+    expected, two hosts disagreeing on the same core count is a bug.
+    """
+    logical = os.cpu_count() or 1
+    try:
+        visible = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        visible = logical
+    physical, model = None, None
+    try:
+        cores = set()
+        for block in pathlib.Path("/proc/cpuinfo").read_text().split("\n\n"):
+            fields = dict(
+                line.split(":", 1) for line in block.splitlines() if ":" in line
+            )
+            fields = {k.strip(): v.strip() for k, v in fields.items()}
+            if "processor" not in fields:
+                continue
+            if model is None:
+                model = fields.get("model name")
+            cores.add((fields.get("physical id", "0"), fields.get("core id", "0")))
+        physical = len(cores) or None
+    except OSError:
+        pass
+    return {
+        "cpu_model": model,
+        "logical_cpus": logical,
+        "visible_cpus": visible,
+        "physical_cores": physical if physical is not None else logical,
+        "smoke": SMOKE,
+    }
+
+
 def emit_json(name: str, payload: dict) -> pathlib.Path:
     """Persist a machine-readable ``BENCH_<name>.json`` at the repo root.
 
     The payload carries the sweep rows (point, wall time, fitted slope,
     …) plus any recorded before/after baselines, so speedups are diffable
-    by tooling and CI without parsing the pretty tables.  Smoke runs
-    write ``BENCH_<name>_smoke.json`` instead, so a truncated CI sweep
-    never overwrites the recorded full-sweep artifacts.
+    by tooling and CI without parsing the pretty tables.  Every artifact
+    gets a ``host`` header (:func:`host_context`) identifying the machine
+    the wall-clock numbers came from.  Smoke runs write
+    ``BENCH_<name>_smoke.json`` instead, so a truncated CI sweep never
+    overwrites the recorded full-sweep artifacts.
     """
     suffix = "_smoke" if SMOKE else ""
     path = REPO_ROOT / f"BENCH_{name}{suffix}.json"
-    payload = dict(payload, smoke=SMOKE)
+    payload = dict(payload, smoke=SMOKE, host=host_context())
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 

@@ -81,7 +81,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
         )
     else:
         obstacles = random_disjoint_rects(args.n, seed=args.seed)
-    idx = ShortestPathIndex.build(obstacles, engine=args.engine)
+    idx = ShortestPathIndex.build(
+        obstacles, engine=args.engine, jobs=args.jobs, jit=args.jit
+    )
     t, w = idx.build_stats()
     vs = idx.vertices()
     p, q = vs[0], vs[-1]
@@ -121,6 +123,8 @@ def cmd_query(args: argparse.Namespace) -> int:
                 extra_points=[p, q, *scene.extra_points],
                 engine=args.engine,
                 container=scene.container,
+                jobs=args.jobs,
+                jit=args.jit,
             )
         except ReproError as exc:
             raise SystemExit(str(exc))
@@ -163,6 +167,8 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
             extra_points=scene.extra_points,
             engine=args.engine,
             container=scene.container,
+            jobs=args.jobs,
+            jit=args.jit,
         )
     except ReproError as exc:
         raise SystemExit(str(exc))
@@ -587,7 +593,8 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    """Differential fuzz smoke: random mixed scenes, three engines."""
+    """Differential fuzz smoke: random mixed scenes, the default engine
+    set (parallel, sequential, parallel-mp) plus any ``--engine``."""
     from repro.core.crosscheck import check_scene, shrink_scene
     from repro.workloads.generators import (
         random_container_polygon,
@@ -718,7 +725,10 @@ def cmd_plan(args: argparse.Namespace) -> int:
     # a fresh private cache: `plan` reports what a cold build costs, and
     # must neither read nor pollute the process-default artifact cache
     try:
-        idx = build_index(scene, engine=args.engine, cache=StageCache())
+        idx = build_index(
+            scene, engine=args.engine, cache=StageCache(),
+            jobs=args.jobs, jit=args.jit,
+        )
     except ReproError as exc:
         raise SystemExit(str(exc))
     prov = idx.provenance
@@ -752,23 +762,48 @@ def _build_profile_rows() -> list:
     """Per-stage profile rows for the most recent ``build_index`` call,
     read back from the observability layer (``repro.pipeline.BUILD_SPANS``)
     rather than from the index itself — `plan --profile` doubles as a
-    smoke test that build profiling actually flows through ``repro.obs``."""
+    smoke test that build profiling actually flows through ``repro.obs``.
+
+    A ``parallel-mp`` build also leaves one ``build.solve.subtree`` span
+    per pool-dispatched subtree/conquer task on the same trace; those are
+    folded in as indented sub-rows of the solve stage."""
     from repro.pipeline import BUILD_SPANS, STAGES
 
-    spans = BUILD_SPANS.snapshot(limit=len(STAGES))
+    stage_spans = BUILD_SPANS.snapshot(limit=len(STAGES))
+    if not stage_spans:
+        return []
+    # the newest stage span's trace id identifies the build that just
+    # ran; its subtree spans (if any) share it
+    trace = stage_spans[-1]["trace_id"]
     rows = []
-    for sp in spans:
+    for sp in BUILD_SPANS.snapshot(limit=512, trace_id=trace):
         attrs = sp.get("attrs", {})
-        rows.append(
-            {
-                "stage": sp["name"].removeprefix("build."),
-                "wall_ms": (sp["dur"] or 0.0) * 1e3,
-                "pram_time": attrs.get("pram_time", 0),
-                "pram_work": attrs.get("pram_work", 0),
-                "cached": bool(attrs.get("cached")),
-                "trace_id": sp["trace_id"],
-            }
-        )
+        if sp["name"] == "build.solve.subtree":
+            rows.append(
+                {
+                    "stage": "  solve:{} r{} p{}".format(
+                        attrs.get("kind", "task"),
+                        attrs.get("n_rects", 0),
+                        attrs.get("n_points", 0),
+                    ),
+                    "wall_ms": (sp["dur"] or 0.0) * 1e3,
+                    "pram_time": 0,
+                    "pram_work": 0,
+                    "cached": False,
+                    "trace_id": sp["trace_id"],
+                }
+            )
+        else:
+            rows.append(
+                {
+                    "stage": sp["name"].removeprefix("build."),
+                    "wall_ms": (sp["dur"] or 0.0) * 1e3,
+                    "pram_time": attrs.get("pram_time", 0),
+                    "pram_work": attrs.get("pram_work", 0),
+                    "cached": bool(attrs.get("cached")),
+                    "trace_id": sp["trace_id"],
+                }
+            )
     return rows
 
 
@@ -841,12 +876,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     # a newly registered engine is a first-class CLI citizen immediately
     engines = engine_names()
 
+    def _add_build_args(sp):
+        sp.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for --engine parallel-mp "
+                        "(default: visible cores, capped at 8; 1 = inline)")
+        sp.add_argument("--jit", action="store_true",
+                        help="use the compiled (min,+)/leaf kernels when "
+                        "numba is importable (results are byte-identical; "
+                        "silently falls back to numpy otherwise)")
+
     d = sub.add_parser("demo", help="random scene demo")
     d.add_argument("-n", type=int, default=12)
     d.add_argument("--seed", type=int, default=0)
     d.add_argument("--polygons", type=int, default=0,
                    help="also place this many random polygonal obstacles")
     d.add_argument("--engine", choices=engines, default="parallel")
+    _add_build_args(d)
     d.set_defaults(fn=cmd_demo)
 
     q = sub.add_parser("query", help="query a scene file or snapshot")
@@ -860,6 +905,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     q.add_argument("--pareto", action="store_true",
                    help="also report the (length, bends) Pareto frontier")
     q.add_argument("--engine", choices=engines, default="sequential")
+    _add_build_args(q)
     q.set_defaults(fn=cmd_query)
 
     s = sub.add_parser("snapshot", help="build a scene once and persist it")
@@ -871,6 +917,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     s.add_argument("--links", action="store_true",
                    help="also precompute and embed the all-pairs min-link "
                    "matrix (minlink queries become lookups on load)")
+    _add_build_args(s)
     s.set_defaults(fn=cmd_snapshot)
 
     pl = sub.add_parser(
@@ -882,7 +929,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                     help="print the provenance record as JSON")
     pl.add_argument("--profile", action="store_true",
                     help="also print per-stage profile rows (wall vs "
-                    "simulated PRAM) read back from the obs span buffer")
+                    "simulated PRAM) read back from the obs span buffer, "
+                    "plus per-subtree dispatch spans for parallel-mp")
+    _add_build_args(pl)
     pl.set_defaults(fn=cmd_plan)
 
     sb = sub.add_parser("serve-bench", help="replay a workload through the server")
@@ -1022,8 +1071,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     fz.add_argument("--scenes", type=int, default=25)
     fz.add_argument("--seed", type=int, default=0)
     fz.add_argument("--engine", choices=engines, default=None,
-                    help="cross-check this registered engine too "
-                    "(on top of parallel and sequential)")
+                    help="cross-check this registered engine too (on top "
+                    "of parallel, sequential, and parallel-mp)")
     fz.add_argument("--out-dir", default=".",
                     help="directory for shrunk failing-scene JSON dumps")
     fz.add_argument("--updates", type=int, default=0, metavar="N",

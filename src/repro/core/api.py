@@ -143,6 +143,8 @@ class ShortestPathIndex:
         container: Optional[RectilinearPolygon] = None,
         pram: Optional[PRAM] = None,
         leaf_size: int = 6,
+        jobs: Optional[int] = None,
+        jit: bool = False,
     ) -> "ShortestPathIndex":
         """Build the index over a mix of ``Rect`` and ``RectilinearPolygon``
         obstacles.
@@ -164,6 +166,12 @@ class ShortestPathIndex:
         engine — reuses the geometry stages), and the per-stage report is
         attached as ``idx.provenance``.  Use
         :func:`repro.pipeline.build_index` directly to control the cache.
+
+        ``jobs`` sizes the worker pool of the ``parallel-mp`` engine
+        (ignored by the others); ``jit=True`` opts the solve into the
+        compiled kernels of :mod:`repro.kernels` when numba is present
+        (byte-identical results either way — see
+        ``idx.provenance["jit"]``).
         """
         from repro.pipeline import build_index
         from repro.scene import Scene
@@ -171,7 +179,10 @@ class ShortestPathIndex:
         scene = Scene.from_obstacles(
             obstacles, container=container, extra_points=extra_points
         )
-        return build_index(scene, engine=engine, pram=pram, leaf_size=leaf_size)
+        return build_index(
+            scene, engine=engine, pram=pram, leaf_size=leaf_size,
+            jobs=jobs, jit=jit,
+        )
 
     # ------------------------------------------------------------------
     @property

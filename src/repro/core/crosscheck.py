@@ -113,9 +113,12 @@ def _matrix_diff(name_a: str, ma, pts_a, name_b: str, mb, pts_b) -> list[str]:
     ]
 
 
-#: the engine pair every scene is cross-checked with by default; ``fuzz
-#: --engine`` (and callers) may extend this with any registered engine
-DEFAULT_ENGINES = ("parallel", "sequential")
+#: the engines every scene is cross-checked with by default; ``fuzz
+#: --engine`` (and callers) may extend this with any registered engine.
+#: ``parallel-mp`` rides along so the multicore dispatch is fuzzed
+#: against the single-process engines on every scene — and, beyond the
+#: value-equality below, it is held to *byte* identity with ``parallel``
+DEFAULT_ENGINES = ("parallel", "sequential", "parallel-mp")
 
 
 def check_scene(
@@ -148,6 +151,16 @@ def check_scene(
     idx_ref = idxs[ref]
     pts = idx_ref.index.points
     problems = []
+    if "parallel" in idxs and "parallel-mp" in idxs:
+        # the pool engine promises more than value equality: the same
+        # floats in the same order, bit for bit
+        sp, mp = idxs["parallel"].index, idxs["parallel-mp"].index
+        if list(sp.points) != list(mp.points):
+            problems.append("parallel/parallel-mp point orders differ")
+        elif sp.matrix.tobytes() != mp.matrix.tobytes():
+            problems.append(
+                "parallel and parallel-mp matrices are not byte-identical"
+            )
     for name in engines[1:]:
         problems += _matrix_diff(
             ref, idx_ref.index.matrix, pts,

@@ -1,0 +1,301 @@
+"""Optional compiled backends for the two hottest build kernels.
+
+The build spends most of its wall-clock in two places: the batched
+SMAWK row-minima search inside every Monge (min,+) product
+(:func:`repro.monge.smawk.smawk_row_minima_array`) and the
+corner-graph leaf solve's L1 clearance sweep
+(:func:`repro.core.baseline.clear_l1_block`).  Both are vectorized
+numpy, but numpy still walks the data several times; a compiled loop
+walks it once.  This module provides ``numba``-compiled versions of
+both, behind three guarantees:
+
+* **A capability probe, not an import requirement.**  ``numba`` is
+  probed lazily and at most once per process (:func:`probe`); a missing
+  or broken install degrades to the pure-numpy paths with the failure
+  recorded, never raised.  ``build_index(..., jit=True)`` on a host
+  without numba is a silent no-op surfaced honestly in
+  ``idx.provenance["jit"]``.
+* **Bit-identical results.**  The compiled kernels replicate the numpy
+  kernels' exact semantics — leftmost argmin ties, all-infinite rows
+  passing their parent's search range through, float64 arithmetic in
+  the same association order — so a jit build's matrices are
+  byte-identical to a numpy build's and share the same content-addressed
+  cache entries.
+* **Opt-in per build, thread-scoped.**  The switch is a thread-local
+  (:func:`use_jit`) set by the pipeline around the solve stage and
+  shipped to pool workers per task, so concurrent builds with different
+  ``jit=`` settings don't bleed into each other.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = [
+    "probe",
+    "available",
+    "backend",
+    "use_jit",
+    "set_jit",
+    "jit_requested",
+    "jit_active",
+    "smawk_argmin",
+    "clear_l1",
+]
+
+_PROBE: dict = {"checked": False, "available": False, "version": None, "error": None}
+_PROBE_LOCK = threading.Lock()
+_COMPILED: dict = {}  # "kernels" -> dict of compiled fns, or None if compile failed
+_LOCAL = threading.local()
+
+
+def probe(force: bool = False) -> dict:
+    """Probe for a working numba once; return ``{available, version, error}``.
+
+    The result is cached for the life of the process (``force=True``
+    re-probes, for tests).  Any exception — ImportError, a broken
+    llvmlite, a bad cache dir — counts as unavailable and is recorded
+    as a one-line ``error`` string.
+    """
+    with _PROBE_LOCK:
+        if _PROBE["checked"] and not force:
+            return dict(_PROBE)
+        _PROBE["checked"] = True
+        try:
+            import numba  # noqa: F401
+
+            _PROBE["available"] = True
+            _PROBE["version"] = getattr(numba, "__version__", "unknown")
+            _PROBE["error"] = None
+        except BaseException as exc:  # pragma: no cover - depends on host
+            _PROBE["available"] = False
+            _PROBE["version"] = None
+            _PROBE["error"] = f"{type(exc).__name__}: {exc}"
+        return dict(_PROBE)
+
+
+def available() -> bool:
+    return bool(probe()["available"])
+
+
+def backend() -> str:
+    """Short name of the backend a jit-enabled build would actually use."""
+    p = probe()
+    return f"numba-{p['version']}" if p["available"] else "numpy"
+
+
+# ----------------------------------------------------------------------
+# the per-thread switch
+
+@contextmanager
+def use_jit(enabled: bool) -> Iterator[None]:
+    """Enable/disable the compiled kernels for this thread's scope."""
+    prev = getattr(_LOCAL, "jit", False)
+    _LOCAL.jit = bool(enabled)
+    try:
+        yield
+    finally:
+        _LOCAL.jit = prev
+
+
+def set_jit(enabled: bool) -> None:
+    """Non-scoped form, for pool worker processes applying a task flag."""
+    _LOCAL.jit = bool(enabled)
+
+
+def jit_requested() -> bool:
+    return bool(getattr(_LOCAL, "jit", False))
+
+
+def jit_active() -> bool:
+    """True iff this thread requested jit AND the kernels compiled."""
+    return jit_requested() and _kernels() is not None
+
+
+# ----------------------------------------------------------------------
+# compilation (lazy, once)
+
+def _kernels() -> Optional[dict]:
+    if "kernels" in _COMPILED:
+        return _COMPILED["kernels"]
+    with _PROBE_LOCK:
+        if "kernels" in _COMPILED:
+            return _COMPILED["kernels"]
+        tbl: Optional[dict] = None
+        if probe_unlocked_available():
+            try:  # pragma: no cover - requires numba on the host
+                tbl = _compile()
+            except BaseException as exc:
+                _PROBE["error"] = f"compile failed: {type(exc).__name__}: {exc}"
+                tbl = None
+        _COMPILED["kernels"] = tbl
+        return tbl
+
+
+def probe_unlocked_available() -> bool:
+    # probe() takes _PROBE_LOCK; inline the cached read for use under it
+    if not _PROBE["checked"]:
+        _PROBE["checked"] = True
+        try:
+            import numba  # noqa: F401
+
+            _PROBE["available"] = True
+            _PROBE["version"] = getattr(numba, "__version__", "unknown")
+        except BaseException as exc:  # pragma: no cover
+            _PROBE["available"] = False
+            _PROBE["error"] = f"{type(exc).__name__}: {exc}"
+    return bool(_PROBE["available"])
+
+
+def _compile() -> dict:  # pragma: no cover - requires numba on the host
+    import numba
+
+    @numba.njit(cache=False, fastmath=False)
+    def _smawk_argmin(offsets, b):
+        al, inner = offsets.shape
+        bc = b.shape[1]
+        arg = np.zeros((al, bc), dtype=np.int64)
+        # explicit stack of (jlo, jhi, klo, khi) column ranges, half-open
+        # in j; depth is <= log2(bc)+1 and each pop pushes at most two
+        stack = np.empty((140, 4), dtype=np.int64)
+        for i in range(al):
+            stack[0, 0] = 0
+            stack[0, 1] = bc
+            stack[0, 2] = 0
+            stack[0, 3] = inner - 1
+            top = 1
+            while top > 0:
+                top -= 1
+                jlo = stack[top, 0]
+                jhi = stack[top, 1]
+                klo = stack[top, 2]
+                khi = stack[top, 3]
+                if jlo >= jhi:
+                    continue
+                mid = (jlo + jhi) // 2
+                best = np.inf
+                besta = klo
+                for k in range(klo, khi + 1):
+                    v = offsets[i, k] + b[k, mid]
+                    if v < best:  # strict: leftmost argmin wins ties
+                        best = v
+                        besta = k
+                arg[i, mid] = besta
+                # an all-infinite segment constrains nothing: children
+                # inherit the full (klo, khi) range, as in the numpy path
+                if best == np.inf:
+                    lo2 = klo
+                    hi2 = khi
+                else:
+                    lo2 = besta
+                    hi2 = besta
+                if mid > jlo:
+                    stack[top, 0] = jlo
+                    stack[top, 1] = mid
+                    stack[top, 2] = klo
+                    stack[top, 3] = hi2
+                    top += 1
+                if mid + 1 < jhi:
+                    stack[top, 0] = mid + 1
+                    stack[top, 1] = jhi
+                    stack[top, 2] = lo2
+                    stack[top, 3] = khi
+                    top += 1
+        return arg
+
+    @numba.njit(cache=False, fastmath=False)
+    def _clear_l1(a, b, rects, seams):
+        na = a.shape[0]
+        nb = b.shape[0]
+        nr = rects.shape[0]
+        ns = seams.shape[0]
+        out = np.empty((na, nb), dtype=np.float64)
+        for i in range(na):
+            ax = a[i, 0]
+            ay = a[i, 1]
+            for j in range(nb):
+                bx = b[j, 0]
+                by = b[j, 1]
+                xmin = ax if ax < bx else bx
+                xmax = bx if ax < bx else ax
+                ymin = ay if ay < by else by
+                ymax = by if ay < by else ay
+                hv = False
+                vh = False
+                for r in range(nr):
+                    xlo = rects[r, 0]
+                    ylo = rects[r, 1]
+                    xhi = rects[r, 2]
+                    yhi = rects[r, 3]
+                    x_span = xmin < xhi and xlo < xmax
+                    y_span = ymin < yhi and ylo < ymax
+                    if (ylo < ay < yhi and x_span) or (xlo < bx < xhi and y_span):
+                        hv = True
+                    if (xlo < ax < xhi and y_span) or (ylo < by < yhi and x_span):
+                        vh = True
+                    if hv and vh:
+                        break
+                if not (hv and vh):
+                    for s in range(ns):
+                        sx = seams[s, 0]
+                        if ymin < seams[s, 2] and seams[s, 1] < ymax:
+                            if bx == sx:
+                                hv = True
+                            if ax == sx:
+                                vh = True
+                            if hv and vh:
+                                break
+                if hv and vh:
+                    out[i, j] = np.inf
+                else:
+                    out[i, j] = (xmax - xmin) + (ymax - ymin)
+        return out
+
+    # warm both signatures now so the first build doesn't pay compile
+    # latency inside a timed stage
+    _smawk_argmin(
+        np.zeros((1, 1), dtype=np.float64), np.zeros((1, 1), dtype=np.float64)
+    )
+    _clear_l1(
+        np.zeros((1, 2), dtype=np.float64),
+        np.zeros((1, 2), dtype=np.float64),
+        np.zeros((0, 4), dtype=np.float64),
+        np.zeros((0, 3), dtype=np.float64),
+    )
+    return {"smawk_argmin": _smawk_argmin, "clear_l1": _clear_l1}
+
+
+# ----------------------------------------------------------------------
+# kernel entry points (call only when jit_active())
+
+def smawk_argmin(offsets: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Compiled batched SMAWK argmin; same contract as the numpy path."""
+    tbl = _kernels()
+    assert tbl is not None, "smawk_argmin called without an active jit backend"
+    arg = tbl["smawk_argmin"](
+        np.ascontiguousarray(offsets, dtype=np.float64),
+        np.ascontiguousarray(b, dtype=np.float64),
+    )
+    return np.asarray(arg, dtype=np.intp)
+
+
+def clear_l1(
+    a: np.ndarray, b: np.ndarray, rect_arr: np.ndarray, seam_arr: np.ndarray
+) -> np.ndarray:
+    """Compiled L1 clearance sweep over ``(n, 2)`` point blocks.
+
+    ``rect_arr`` is ``(nr, 4)`` float64 ``[xlo, ylo, xhi, yhi]`` rows and
+    ``seam_arr`` is ``(ns, 3)`` float64 ``[x, ylo, yhi]`` rows.
+    """
+    tbl = _kernels()
+    assert tbl is not None, "clear_l1 called without an active jit backend"
+    return tbl["clear_l1"](
+        np.ascontiguousarray(a, dtype=np.float64),
+        np.ascontiguousarray(b, dtype=np.float64),
+        np.ascontiguousarray(rect_arr, dtype=np.float64),
+        np.ascontiguousarray(seam_arr, dtype=np.float64),
+    )

@@ -91,6 +91,25 @@ STAGES = ("decompose", "graph", "solve", "query-structures")
 #: ``python -m repro trace --demo`` and ``plan --profile`` read it
 BUILD_SPANS = SpanBuffer(512)
 
+#: per-build options that cannot ride the fixed engine signature
+#: ``solve(dec, graph, pram, leaf_size)``: worker count for ``parallel-mp``,
+#: the jit flag, this build's trace id, and the pool stats the engine
+#: reports back for provenance.  Thread-local so concurrent builds with
+#: different settings (a QueryServer thread vs. a repair thread) don't
+#: bleed into each other.
+_BUILD_OPTS = threading.local()
+
+
+def current_build_trace() -> str:
+    """The trace id of the build running on this thread (one is minted
+    per ``build_index`` call); per-subtree spans join it so ``plan
+    --profile`` can show them under the same build."""
+    tid = getattr(_BUILD_OPTS, "trace", None)
+    if tid is None:
+        tid = new_trace_id()
+        _BUILD_OPTS.trace = tid
+    return tid
+
 
 # ----------------------------------------------------------------------
 # stage artifacts
@@ -349,6 +368,53 @@ def _solve_parallel(
 
 
 @register_engine(
+    "parallel-mp",
+    description="the §5/§6 divide-and-conquer with separator subtrees and "
+    "(min,+) conquers dispatched across a real multiprocessing worker pool "
+    "(byte-identical to 'parallel')",
+)
+def _solve_parallel_mp(
+    dec: DecomposeArtifact, graph: GraphArtifact, pram: PRAM, leaf_size: int
+) -> DistanceIndex:
+    from repro.core.mpengine import ParallelMPEngine
+
+    jobs, pool, pool_error = _acquire_build_pool()
+    eng = ParallelMPEngine(
+        dec.all_rects,
+        list(graph.extras),
+        pram,
+        leaf_size=leaf_size,
+        validate=False,
+        seams=dec.seams,
+        pool=pool,
+        jobs=jobs,
+    )
+    index = eng.build()
+    stats = dict(eng.pool_stats)
+    if pool_error is not None:
+        stats["pool_error"] = pool_error
+    _BUILD_OPTS.pool_stats = stats
+    return index
+
+
+def _acquire_build_pool():
+    """The (jobs, pool, error) triple for a ``parallel-mp`` solve.  A pool
+    that cannot start (sandboxed /dev/shm, fork limits) degrades to the
+    inline single-core path with the reason recorded in provenance."""
+    from repro.core.pool import default_jobs, get_pool
+
+    jobs = getattr(_BUILD_OPTS, "jobs", None) or default_jobs()
+    if jobs <= 1:
+        # one worker buys only IPC overhead; run inline (still the same
+        # bytes — the MP engine's inline path is the parent class)
+        return 1, None, None
+    try:
+        return jobs, get_pool(jobs), None
+    except Exception as exc:  # pragma: no cover - host-dependent
+        return jobs, None, f"{type(exc).__name__}: {exc}"
+
+
+@register_engine(
     "sequential",
     description="§9 monotone-DAG sweeps (O(n²) sequential)",
 )
@@ -404,6 +470,8 @@ def build_index(
     cache: Optional[StageCache] = None,
     incremental: bool = False,
     delta_hint: Optional[tuple] = None,
+    jobs: Optional[int] = None,
+    jit: bool = False,
 ):
     """Run the full stage pipeline over ``scene`` and return a queryable
     :class:`~repro.core.api.ShortestPathIndex` with ``idx.provenance``
@@ -421,10 +489,19 @@ def build_index(
     compute the same exact integer distances over the same root point
     set — so the solve artifact is shared with non-incremental builds.
     ``delta_hint = ("delete", rect)`` additionally unlocks the monotone
-    delta conquer at dirty nodes.  Engines other than ``parallel``, CREW
-    audits, and scenes with non-integer extra points fall back to the
-    ordinary solve (still correct, no subtree reuse).
+    delta conquer at dirty nodes.  Engines other than ``parallel`` /
+    ``parallel-mp``, CREW audits, and scenes with non-integer extra
+    points fall back to the ordinary solve (still correct, no subtree
+    reuse).
+
+    ``jobs`` sizes the ``parallel-mp`` engine's worker pool (default:
+    the visible cores, capped at 8; ignored by other engines).
+    ``jit=True`` opts the solve into the compiled kernels of
+    :mod:`repro.kernels` when numba is importable — results are
+    byte-identical either way, and ``idx.provenance["jit"]`` records
+    what actually ran.
     """
+    from repro import kernels
     from repro.core.api import ShortestPathIndex
 
     spec = get_engine(engine)  # fail before any work on a bad name
@@ -433,6 +510,25 @@ def build_index(
     stages: list[dict] = []
     geo_hash = scene.geometry_hash()
     full_hash = scene.content_hash()
+    _BUILD_OPTS.jobs = jobs
+    _BUILD_OPTS.pool_stats = None
+    _BUILD_OPTS.trace = new_trace_id()
+    try:
+        return _build_index_inner(
+            scene, engine, pram, leaf_size, cache, incremental, delta_hint,
+            jit, spec, stages, geo_hash, full_hash, kernels,
+            ShortestPathIndex,
+        )
+    finally:
+        _BUILD_OPTS.jobs = None
+        _BUILD_OPTS.pool_stats = None
+        _BUILD_OPTS.trace = None
+
+
+def _build_index_inner(
+    scene, engine, pram, leaf_size, cache, incremental, delta_hint,
+    jit, spec, stages, geo_hash, full_hash, kernels, ShortestPathIndex,
+):
 
     dec, _ = _run_stage(
         stages, "decompose", cache, ("decompose", geo_hash), lambda: _decompose(scene)
@@ -443,7 +539,7 @@ def build_index(
 
     inc_ok = (
         incremental
-        and engine == "parallel"
+        and engine in ("parallel", "parallel-mp")
         and not pram.detect_conflicts
         and cache.max_entries > 0
         and all(_is_integral_point(p) for p in scene.extra_points)
@@ -457,12 +553,14 @@ def build_index(
     sub_stats: Optional[dict] = None
     if not cached:
         child = PRAM(f"{pram.name}/solve[{engine}]", pram.detect_conflicts)
-        if inc_ok:
-            index, sub_stats = _solve_parallel_incremental(
-                dec, graph, child, leaf_size, cache, delta_hint
-            )
-        else:
-            index = spec.solve(dec, graph, child, leaf_size)
+        with kernels.use_jit(jit):
+            if inc_ok:
+                index, sub_stats = _solve_parallel_incremental(
+                    dec, graph, child, leaf_size, cache, delta_hint,
+                    engine=engine,
+                )
+            else:
+                index = spec.solve(dec, graph, child, leaf_size)
         # the matrix may be aliased by every later build of this scene (a
         # cache hit shares the ndarray, it does not copy): freeze it so an
         # in-place edit through one index cannot corrupt the others
@@ -496,9 +594,20 @@ def build_index(
         "n_rects": len(dec.all_rects),
         "stages": stages,
         "incremental": bool(inc_ok),
+        "jit": {
+            "requested": bool(jit),
+            "available": kernels.available() if jit else None,
+            "active": bool(jit) and kernels.available(),
+            "backend": kernels.backend() if jit else "numpy",
+        },
     }
     if sub_stats is not None:
         idx.provenance["subtree"] = sub_stats
+    pool_stats = getattr(_BUILD_OPTS, "pool_stats", None)
+    if engine == "parallel-mp":
+        # a cached solve never touched the pool; say so instead of
+        # omitting the section (callers key off its presence)
+        idx.provenance["pool"] = pool_stats or {"cached": True}
     # the update path needs the source scene and the cache the subtree
     # entries live in; both ride on the index (scene is immutable, the
     # cache reference adds no lifetime beyond the process default)
@@ -522,6 +631,7 @@ def _solve_parallel_incremental(
     leaf_size: int,
     cache: StageCache,
     delta_hint: Optional[tuple],
+    engine: str = "parallel",
 ):
     """The parallel solve with subtree caching on (see ``build_index``)."""
     from repro.core.allpairs import ParallelEngine
@@ -530,15 +640,14 @@ def _solve_parallel_incremental(
     # must be part of the subtree salt, or two configurations would trade
     # entries: leaf size (recursion shape), pivot rule, and the seam set
     # (seams alter the metric but are invisible to the rect-coordinate key)
+    # — deliberately NOT the engine: parallel and parallel-mp deposit
+    # byte-identical matrices, so they share one entry population
     salt = (
         "v1",
         leaf_size,
         tuple(sorted((s.x, s.ylo, s.yhi) for s in dec.seams)),
     )
-    eng = ParallelEngine(
-        dec.all_rects,
-        list(graph.extras),
-        pram,
+    kwargs = dict(
         leaf_size=leaf_size,
         validate=False,
         seams=dec.seams,
@@ -547,7 +656,22 @@ def _solve_parallel_incremental(
         subtree_salt=salt,
         delta_hint=delta_hint,
     )
+    if engine == "parallel-mp":
+        from repro.core.mpengine import ParallelMPEngine
+
+        jobs, pool, pool_error = _acquire_build_pool()
+        eng = ParallelMPEngine(
+            dec.all_rects, list(graph.extras), pram,
+            pool=pool, jobs=jobs, **kwargs,
+        )
+    else:
+        eng = ParallelEngine(dec.all_rects, list(graph.extras), pram, **kwargs)
     index = eng.build()
+    if engine == "parallel-mp":
+        stats = dict(eng.pool_stats)
+        if pool_error is not None:
+            stats["pool_error"] = pool_error
+        _BUILD_OPTS.pool_stats = stats
     s = eng.stats
     return index, {
         "hits": s.subtree_hits,
@@ -695,7 +819,9 @@ def _record_build_profile(stages: list, engine: str) -> None:
         "repro.pipeline.stage_pram_work", "cumulative simulated PRAM work",
         labels=["stage", "engine"],
     )
-    trace_id = new_trace_id()
+    # join the trace the build minted (per-subtree spans of a parallel-mp
+    # solve are already on it), so one trace id covers the whole build
+    trace_id = current_build_trace()
     t0 = time.time() - sum(st["wall_s"] for st in stages)
     for st in stages:
         name = st["name"]

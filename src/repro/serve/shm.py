@@ -87,6 +87,54 @@ def list_segments() -> list[str]:
     return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))
 
 
+def build_toc(arrays: "Dict[str, np.ndarray]") -> tuple[dict, int]:
+    """Lay out named contiguous arrays back-to-back (RAW_ALIGN'd): the
+    ``(toc, total_size)`` pair consumed by :func:`write_array_block` /
+    :func:`read_array_block`.  The TOC is JSON-safe and matches the raw
+    (v3) snapshot payload layout.  Shared by the scene publisher and the
+    build pool's result segments."""
+    toc: dict = {}
+    offset = 0
+    for name, arr in arrays.items():
+        toc[name] = {
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": offset,
+            "nbytes": arr.nbytes,
+        }
+        offset = _align(offset + arr.nbytes, RAW_ALIGN)
+    return toc, offset
+
+
+def write_array_block(buf, toc: dict, arrays: "Dict[str, np.ndarray]") -> None:
+    """Copy each TOC member of ``arrays`` into ``buf`` at its offset."""
+    for name, ent in toc.items():
+        dst = np.ndarray(
+            tuple(int(s) for s in ent["shape"]),
+            dtype=np.dtype(ent["dtype"]),
+            buffer=buf,
+            offset=int(ent["offset"]),
+        )
+        np.copyto(dst, arrays[name])
+        del dst  # no exported views may outlive close()
+
+
+def read_array_block(buf, toc: dict) -> "Dict[str, np.ndarray]":
+    """Read-only ndarray views into ``buf`` for every TOC member (zero
+    copy: the views alias the mapping; keep it alive while they live)."""
+    out: Dict[str, np.ndarray] = {}
+    for name, ent in toc.items():
+        arr = np.ndarray(
+            tuple(int(s) for s in ent["shape"]),
+            dtype=np.dtype(ent["dtype"]),
+            buffer=buf,
+            offset=int(ent["offset"]),
+        )
+        arr.flags.writeable = False
+        out[name] = arr
+    return out
+
+
 class _Segment:
     """One owned shared-memory segment with a scene refcount."""
 
@@ -218,32 +266,15 @@ class ShmPublisher:
             seg_name, toc = shared
             seg = self._segments[seg_name]
         else:
-            converted = [
-                (name, np.ascontiguousarray(arrays[name]))
+            converted = {
+                name: np.ascontiguousarray(arrays[name])
                 for name in _SEGMENT_MEMBERS
                 if name in arrays
-            ]
-            toc = {}
-            offset = 0
-            for name, arr in converted:
-                toc[name] = {
-                    "dtype": arr.dtype.str,
-                    "shape": list(arr.shape),
-                    "offset": offset,
-                    "nbytes": arr.nbytes,
-                }
-                offset = _align(offset + arr.nbytes, RAW_ALIGN)
-            seg = _Segment(offset)
+            }
+            toc, size = build_toc(converted)
+            seg = _Segment(size)
             try:
-                for name, arr in converted:
-                    dst = np.ndarray(
-                        arr.shape,
-                        dtype=arr.dtype,
-                        buffer=seg.shm.buf,
-                        offset=toc[name]["offset"],
-                    )
-                    np.copyto(dst, arr)
-                    del dst  # no exported views may outlive close()
+                write_array_block(seg.shm.buf, toc, converted)
             except BaseException:
                 seg.shm.close()
                 seg.shm.unlink()
@@ -343,14 +374,7 @@ class AttachedScene:
             )
         arrays: dict[str, Optional[np.ndarray]] = {}
         try:
-            for name, ent in manifest["toc"].items():
-                dtype = np.dtype(ent["dtype"])
-                shape = tuple(int(s) for s in ent["shape"])
-                arr = np.ndarray(
-                    shape, dtype=dtype, buffer=self.shm.buf, offset=int(ent["offset"])
-                )
-                arr.flags.writeable = False
-                arrays[name] = arr
+            arrays.update(read_array_block(self.shm.buf, manifest["toc"]))
             meta = manifest["meta"]
             arrays["rects"] = np.asarray(meta["rects"], dtype=np.int64).reshape(-1, 4)
             container = meta.get("container")

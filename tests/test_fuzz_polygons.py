@@ -1,10 +1,12 @@
-"""Seeded differential fuzz: polygon/rect mixed scenes, three engines.
+"""Seeded differential fuzz: polygon/rect mixed scenes, four engines.
 
-Every scene is solved by the parallel D&C engine, the sequential engine,
-and the grid-Dijkstra baseline; matrices must agree exactly, sampled
-paths must be valid, and arbitrary-point queries must match the oracle
-(see ``tests/harness.py``).  Failing scenes are shrunk and dumped as
-replayable JSON under ``tests/failures/``.
+Every scene is solved by the parallel D&C engine, the multiprocessing
+``parallel-mp`` engine (held to *byte* identity with ``parallel``, not
+just value equality), the sequential engine, and the grid-Dijkstra
+baseline; matrices must agree exactly, sampled paths must be valid, and
+arbitrary-point queries must match the oracle (see ``tests/harness.py``).
+Failing scenes are shrunk and dumped as replayable JSON under
+``tests/failures/``.
 
 ≥ 200 scenes total: 120 mixed polygon+rect, 40 polygon-only (one per
 generator family and seed), 24 container + polygon-obstacle combos, and
@@ -124,3 +126,24 @@ def test_solid_semantics_blocks_seam_shortcut():
         from harness import assert_valid_path
 
         assert_valid_path(idx, path, (2, -2), (2, 2), 10)
+
+
+def test_fuzz_parallel_mp_jit_modes():
+    """parallel-mp under jit=True vs jit=False on seam-heavy scenes: the
+    compiled kernels (or, without numba, the fallback) must leave the
+    matrix byte-identical."""
+    from repro.pipeline import StageCache, build_index
+    from repro.scene import Scene
+
+    for seed in (0, 4):
+        obstacles = random_polygon_scene(n_polygons=2, n_rects=3, seed=seed)
+        scene = Scene.from_obstacles(obstacles)
+        on = build_index(
+            scene, engine="parallel-mp", jobs=2, jit=True,
+            cache=StageCache(max_entries=0),
+        )
+        off = build_index(
+            scene, engine="parallel-mp", jobs=2, jit=False,
+            cache=StageCache(max_entries=0),
+        )
+        assert on.index.matrix.tobytes() == off.index.matrix.tobytes()
